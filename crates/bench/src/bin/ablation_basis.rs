@@ -1,0 +1,104 @@
+//! Ablation: two ways to tame `|R|`-proportional model growth.
+//!
+//! RGCN's model size scales with the number of relations. The literature's
+//! fix is **basis decomposition** (share B bases across relations);
+//! KG-TOSA's fix is to shrink `|R|` itself by extracting the TOSG. This
+//! ablation runs full-parameter RGCN and basis-RGCN (B ∈ {2, 8}) on both
+//! FG and KG', showing the two are complementary: the TOSG shrinks every
+//! variant, and basis sharing trades a little accuracy for a lot of
+//! parameters on both inputs.
+
+use kgtosa_bench::{measure, remap_nc, save_json, Env, Record};
+use kgtosa_core::{extract_sparql, GraphPattern};
+use kgtosa_models::{train_rgcn_basis_nc, train_rgcn_nc, NcDataset, TrainReport};
+use kgtosa_rdf::{FetchConfig, RdfStore};
+
+#[global_allocator]
+static ALLOC: kgtosa_memtrack::TrackingAllocator = kgtosa_memtrack::TrackingAllocator;
+
+fn main() {
+    let env = Env::from_env();
+    let cfg = env.train_config();
+    println!(
+        "Ablation — full RGCN vs basis decomposition, FG vs KG-TOSA_d1h1 (scale {})",
+        env.scale
+    );
+    let dataset = kgtosa_datagen::mag(env.scale, env.seed);
+    let kg = &dataset.gen.kg;
+    let task = &dataset.nc[0];
+    let ext_task = kgtosa_bench::nc_extraction_task(task);
+    let store = RdfStore::new(kg);
+    let tosg = extract_sparql(&store, &ext_task, &GraphPattern::D1H1, &FetchConfig::default())
+        .expect("extraction");
+    let view = remap_nc(&tosg.subgraph, task);
+
+    type Trainer<'a> = Box<dyn Fn(&NcDataset<'_>) -> TrainReport + 'a>;
+    let variants: Vec<(&str, Trainer<'_>)> = vec![
+        ("full", Box::new(|d: &NcDataset<'_>| train_rgcn_nc(d, &cfg))),
+        ("basis-8", Box::new(|d: &NcDataset<'_>| train_rgcn_basis_nc(d, &cfg, 8))),
+        ("basis-2", Box::new(|d: &NcDataset<'_>| train_rgcn_basis_nc(d, &cfg, 2))),
+    ];
+
+    let mut rows: Vec<Record> = Vec::new();
+    for (name, trainer) in &variants {
+        // FG.
+        let ((report, tsecs), _, peak) = measure(|| {
+            let (graph, tsecs) = kgtosa_core::transform(kg);
+            let data = NcDataset {
+                kg,
+                graph: &graph,
+                labels: &task.labels,
+                num_labels: task.num_labels,
+                train: &task.train,
+                valid: &task.valid,
+                test: &task.test,
+            };
+            (trainer(&data), tsecs)
+        });
+        rows.push(Record {
+            task: task.name.clone(),
+            method: format!("RGCN-{name}"),
+            input: "FG".into(),
+            metric: report.metric,
+            extraction_s: 0.0,
+            transformation_s: tsecs,
+            training_s: report.training_s,
+            inference_s: report.inference_s,
+            params: report.param_count,
+            peak_bytes: peak,
+            subgraph_triples: 0,
+            trace: vec![],
+        });
+        // KG'.
+        let sub = &tosg.subgraph;
+        let ((report, tsecs), _, peak) = measure(|| {
+            let (graph, tsecs) = kgtosa_core::transform(&sub.kg);
+            let data = NcDataset {
+                kg: &sub.kg,
+                graph: &graph,
+                labels: &view.labels,
+                num_labels: task.num_labels,
+                train: &view.train,
+                valid: &view.valid,
+                test: &view.test,
+            };
+            (trainer(&data), tsecs)
+        });
+        rows.push(Record {
+            task: task.name.clone(),
+            method: format!("RGCN-{name}"),
+            input: "KG-TOSA_d1h1".into(),
+            metric: report.metric,
+            extraction_s: tosg.report.seconds,
+            transformation_s: tsecs,
+            training_s: report.training_s,
+            inference_s: report.inference_s,
+            params: report.param_count,
+            peak_bytes: peak,
+            subgraph_triples: tosg.report.triples,
+            trace: vec![],
+        });
+    }
+    kgtosa_bench::print_panel("Ablation: parameter taming", &rows);
+    save_json("ablation_basis", &rows);
+}

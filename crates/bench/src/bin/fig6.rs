@@ -1,0 +1,55 @@
+//! Figure 6 — node classification: all four NC methods × {FG, KG'} on the
+//! three plotted tasks (PV/MAG at the top, PV/DBLP in the middle,
+//! PC/YAGO at the bottom), reporting accuracy, training time including
+//! KG-TOSA's preprocessing, and peak training memory.
+//!
+//! `KG'` is extracted with the paper's NC default `KG-TOSA_{d1h1}`.
+
+use kgtosa_bench::{nc_fg_record, nc_tosg_record, print_panel, save_json, Env, NcMethod};
+use kgtosa_core::{extract_sparql, GraphPattern};
+use kgtosa_rdf::{FetchConfig, RdfStore};
+
+#[global_allocator]
+static ALLOC: kgtosa_memtrack::TrackingAllocator = kgtosa_memtrack::TrackingAllocator;
+
+fn main() {
+    let env = Env::from_env();
+    let cfg = env.train_config();
+    println!(
+        "Figure 6 — NC tasks, 4 methods x (FG, KG-TOSA_d1h1), scale {}",
+        env.scale
+    );
+
+    let mag = kgtosa_datagen::mag(env.scale, env.seed);
+    let dblp = kgtosa_datagen::dblp(env.scale, env.seed + 200);
+    let yago = kgtosa_datagen::yago30(env.scale, env.seed + 100);
+    let cases = [(&mag, 0usize), (&dblp, 0usize), (&yago, 0usize)];
+
+    let mut all = Vec::new();
+    for (dataset, task_idx) in cases {
+        let task = &dataset.nc[task_idx];
+        let kg = &dataset.gen.kg;
+        let ext_task = kgtosa_bench::nc_extraction_task(task);
+        let store = RdfStore::new(kg);
+        let tosg =
+            extract_sparql(&store, &ext_task, &GraphPattern::D1H1, &FetchConfig::default())
+                .expect("extraction");
+        println!(
+            "\n{}: FG {} triples → KG' {} triples ({:.1}%), extracted in {:.2}s",
+            task.name,
+            kg.num_triples(),
+            tosg.report.triples,
+            100.0 * tosg.report.triples as f64 / kg.num_triples() as f64,
+            tosg.report.seconds
+        );
+
+        let mut rows = Vec::new();
+        for method in NcMethod::ALL {
+            rows.push(nc_fg_record(kg, task, method, &cfg));
+            rows.push(nc_tosg_record(task, &tosg, method, &cfg));
+        }
+        print_panel(&format!("Figure 6 — {}", task.name), &rows);
+        all.extend(rows);
+    }
+    save_json("fig6", &all);
+}

@@ -1,0 +1,51 @@
+//! Supplementary NC results (the paper shows three of its six NC tasks in
+//! Figure 6 "due to space constraints" and defers the rest to the
+//! supplementary material): PD/MAG, AC/DBLP, CG/YAGO with all four
+//! methods × {FG, KG-TOSA_d1h1}.
+
+use kgtosa_bench::{nc_fg_record, nc_tosg_record, print_panel, save_json, Env, NcMethod};
+use kgtosa_core::{extract_sparql, GraphPattern};
+use kgtosa_rdf::{FetchConfig, RdfStore};
+
+#[global_allocator]
+static ALLOC: kgtosa_memtrack::TrackingAllocator = kgtosa_memtrack::TrackingAllocator;
+
+fn main() {
+    let env = Env::from_env();
+    let cfg = env.train_config();
+    println!(
+        "Figure 6 (supplementary) — remaining NC tasks, scale {}",
+        env.scale
+    );
+
+    let mag = kgtosa_datagen::mag(env.scale, env.seed);
+    let dblp = kgtosa_datagen::dblp(env.scale, env.seed + 200);
+    let yago = kgtosa_datagen::yago30(env.scale, env.seed + 100);
+    let cases = [(&mag, 1usize), (&dblp, 1usize), (&yago, 1usize)];
+
+    let mut all = Vec::new();
+    for (dataset, task_idx) in cases {
+        let task = &dataset.nc[task_idx];
+        let kg = &dataset.gen.kg;
+        let ext_task = kgtosa_bench::nc_extraction_task(task);
+        let store = RdfStore::new(kg);
+        let tosg =
+            extract_sparql(&store, &ext_task, &GraphPattern::D1H1, &FetchConfig::default())
+                .expect("extraction");
+        println!(
+            "\n{}: FG {} triples → KG' {} triples ({:.1}%)",
+            task.name,
+            kg.num_triples(),
+            tosg.report.triples,
+            100.0 * tosg.report.triples as f64 / kg.num_triples() as f64,
+        );
+        let mut rows = Vec::new();
+        for method in NcMethod::ALL {
+            rows.push(nc_fg_record(kg, task, method, &cfg));
+            rows.push(nc_tosg_record(task, &tosg, method, &cfg));
+        }
+        print_panel(&format!("Supplementary — {}", task.name), &rows);
+        all.extend(rows);
+    }
+    save_json("fig6_supplement", &all);
+}

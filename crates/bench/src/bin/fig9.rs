@@ -1,0 +1,69 @@
+//! Figure 9 — convergence-rate analysis: GraphSAINT's validation accuracy
+//! as a function of wall-clock training time on the full graph versus the
+//! KG-TOSA_{d1h1} subgraph, for all six NC tasks.
+//!
+//! The paper's observation: KG' epochs are much shorter, so the model
+//! reaches its plateau earlier in wall-clock terms.
+
+use kgtosa_bench::{nc_fg_record, nc_tosg_record, save_json, Env, NcMethod, Record};
+use kgtosa_core::{extract_sparql, GraphPattern};
+use kgtosa_rdf::{FetchConfig, RdfStore};
+
+#[global_allocator]
+static ALLOC: kgtosa_memtrack::TrackingAllocator = kgtosa_memtrack::TrackingAllocator;
+
+fn print_trace(label: &str, rec: &Record) {
+    print!("  {label:<8}");
+    for (t, m) in rec.trace.iter().step_by(rec.trace.len().div_ceil(10).max(1)) {
+        print!(" {t:>6.2}s:{:>5.3}", m);
+    }
+    println!(" | final test {:.3}", rec.metric);
+}
+
+fn main() {
+    let env = Env::from_env();
+    let cfg = env.train_config();
+    println!(
+        "Figure 9 — GraphSAINT convergence, FG vs KG-TOSA_d1h1 (scale {}, {} epochs)",
+        env.scale, cfg.epochs
+    );
+
+    let mag = kgtosa_datagen::mag(env.scale, env.seed);
+    let yago = kgtosa_datagen::yago30(env.scale, env.seed + 100);
+    let dblp = kgtosa_datagen::dblp(env.scale, env.seed + 200);
+    let tasks: Vec<(&kgtosa_datagen::Dataset, usize)> = vec![
+        (&mag, 0),
+        (&mag, 1),
+        (&yago, 0),
+        (&yago, 1),
+        (&dblp, 0),
+        (&dblp, 1),
+    ];
+
+    let mut all = Vec::new();
+    for (dataset, idx) in tasks {
+        let task = &dataset.nc[idx];
+        let kg = &dataset.gen.kg;
+        let ext_task = kgtosa_bench::nc_extraction_task(task);
+        let store = RdfStore::new(kg);
+        let tosg =
+            extract_sparql(&store, &ext_task, &GraphPattern::D1H1, &FetchConfig::default())
+                .expect("extraction");
+
+        let fg = nc_fg_record(kg, task, NcMethod::GraphSaint, &cfg);
+        let kgp = nc_tosg_record(task, &tosg, NcMethod::GraphSaint, &cfg);
+
+        println!("\n{} (validation accuracy vs elapsed seconds):", task.name);
+        print_trace("FG", &fg);
+        print_trace("KG'", &kgp);
+        let fg_end = fg.trace.last().map(|p| p.0).unwrap_or(0.0);
+        let kgp_end = kgp.trace.last().map(|p| p.0).unwrap_or(0.0);
+        println!(
+            "  -> same #epochs in {kgp_end:.2}s on KG' vs {fg_end:.2}s on FG ({:.1}x faster/epoch)",
+            fg_end / kgp_end.max(1e-9)
+        );
+        all.push(fg);
+        all.push(kgp);
+    }
+    save_json("fig9", &all);
+}

@@ -1,0 +1,86 @@
+//! §V-B2's closing claim: "performing KG completion using MorsE on
+//! DBLP-15M consumed 330GB memory and 124 training hours compared with
+//! 11GB and 9.8 training hours using the KG' of KG-TOSA for the
+//! affiliatedWith edge type only" — one order of magnitude saved in both
+//! time and memory by scoping LP to the predicate of interest.
+//!
+//! Reproduced at scale: (a) MorsE trained for *full KG completion* (every
+//! edge type scored) on the full DBLP graph, versus (b) MorsE trained for
+//! the `affiliatedWith` predicate only on the KG-TOSA_{d2h1} subgraph.
+
+use kgtosa_bench::{lp_fg_record, lp_tosg_record, measure, save_json, Env, LpMethod, Record};
+use kgtosa_core::{extract_sparql, GraphPattern};
+use kgtosa_datagen::LpTask;
+use kgtosa_models::{train_morse_lp, LpDataset};
+use kgtosa_rdf::{FetchConfig, RdfStore};
+
+#[global_allocator]
+static ALLOC: kgtosa_memtrack::TrackingAllocator = kgtosa_memtrack::TrackingAllocator;
+
+fn main() {
+    let env = Env::from_env();
+    let cfg = env.train_config();
+    println!(
+        "KG completion vs predicate-scoped LP (MorsE on DBLP, scale {})",
+        env.scale
+    );
+    let dataset = kgtosa_datagen::dblp(env.scale, env.seed + 200);
+    let kg = &dataset.gen.kg;
+    let task = &dataset.lp[0];
+
+    // --- (a) Full KG completion on FG: every triple is a training example.
+    let all_triples: Vec<_> = kg.triples().to_vec();
+    let completion_task = LpTask {
+        name: "completion/DBLP".into(),
+        predicate: "*".into(),
+        src_class: task.src_class.clone(),
+        dst_class: task.dst_class.clone(),
+        train: all_triples,
+        valid: task.valid.clone(),
+        test: task.test.clone(),
+    };
+    let ((report, transformation_s), _, peak) = measure(|| {
+        let (graph, tsecs) = kgtosa_core::transform(kg);
+        let data = LpDataset {
+            kg,
+            graph: &graph,
+            train: &completion_task.train,
+            valid: &completion_task.valid,
+            test: &completion_task.test,
+        };
+        (train_morse_lp(&data, &cfg), tsecs)
+    });
+    let completion = Record {
+        task: completion_task.name.clone(),
+        method: "MorsE".into(),
+        input: "FG (all predicates)".into(),
+        metric: report.metric,
+        extraction_s: 0.0,
+        transformation_s,
+        training_s: report.training_s,
+        inference_s: report.inference_s,
+        params: report.param_count,
+        peak_bytes: peak,
+        subgraph_triples: 0,
+        trace: vec![],
+    };
+
+    // --- (b) Single-predicate LP on the KG-TOSA_{d2h1} subgraph.
+    let ext_task = kgtosa_bench::lp_extraction_task(task, &dataset.gen);
+    let store = RdfStore::new(kg);
+    let tosg = extract_sparql(&store, &ext_task, &GraphPattern::D2H1, &FetchConfig::default())
+        .expect("extraction");
+    let scoped = lp_tosg_record(kg, task, &tosg, LpMethod::Morse, &cfg);
+    // Also the single-predicate FG run for reference.
+    let fg_scoped = lp_fg_record(kg, task, LpMethod::Morse, &cfg);
+
+    let rows = vec![completion, fg_scoped, scoped];
+    kgtosa_bench::print_panel("MorsE: completion vs predicate-scoped", &rows);
+    let time_ratio = rows[0].training_s / rows[2].training_s.max(1e-9);
+    let mem_ratio = rows[0].peak_bytes as f64 / rows[2].peak_bytes.max(1) as f64;
+    println!(
+        "\npredicate-scoped LP on KG' is {time_ratio:.1}x faster and uses {mem_ratio:.1}x \
+         less peak memory than full completion on FG\n(paper: ~12.7x time, ~30x memory)"
+    );
+    save_json("kg_completion", &rows);
+}

@@ -1,0 +1,46 @@
+//! Table I — benchmark statistics: nodes, edges, node types, edge types
+//! for the five (scaled) KGs.
+
+use kgtosa_bench::{save_json, Env};
+use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: kgtosa_memtrack::TrackingAllocator = kgtosa_memtrack::TrackingAllocator;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    nodes: usize,
+    edges: usize,
+    node_types: usize,
+    edge_types: usize,
+}
+
+fn main() {
+    let env = Env::from_env();
+    println!("Table I — Benchmark statistics (scale {})", env.scale);
+    println!(
+        "{:<14} {:>9} {:>9} {:>8} {:>8}",
+        "KG-Dataset", "#nodes", "#edges", "#n-type", "#e-type"
+    );
+    let mut rows = Vec::new();
+    for d in kgtosa_datagen::all_datasets(env.scale, env.seed) {
+        let kg = &d.gen.kg;
+        println!(
+            "{:<14} {:>9} {:>9} {:>8} {:>8}",
+            d.gen.spec.name,
+            kg.num_nodes(),
+            kg.num_triples(),
+            kg.num_classes(),
+            kg.num_relations()
+        );
+        rows.push(Row {
+            dataset: d.gen.spec.name.clone(),
+            nodes: kg.num_nodes(),
+            edges: kg.num_triples(),
+            node_types: kg.num_classes(),
+            edge_types: kg.num_relations(),
+        });
+    }
+    save_json("table1", &rows);
+}

@@ -1,0 +1,68 @@
+//! Table II — task summary: task type, name, KG, split kind, split ratio,
+//! and evaluation metric for the six NC and three LP tasks.
+
+use kgtosa_bench::{save_json, Env};
+use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: kgtosa_memtrack::TrackingAllocator = kgtosa_memtrack::TrackingAllocator;
+
+#[derive(Serialize)]
+struct Row {
+    task_type: &'static str,
+    name: String,
+    kg: String,
+    split: String,
+    ratio: String,
+    metric: &'static str,
+    targets: usize,
+}
+
+fn main() {
+    let env = Env::from_env();
+    println!("Table II — GNN task summary (scale {})", env.scale);
+    println!(
+        "{:<4} {:<14} {:<14} {:<8} {:<14} {:<9} {:>8}",
+        "TT", "Name", "KG", "Split", "Ratio", "Metric", "targets"
+    );
+    let mut rows = Vec::new();
+    for d in kgtosa_datagen::all_datasets(env.scale, env.seed) {
+        for t in &d.nc {
+            let total = t.train.len() + t.valid.len() + t.test.len();
+            let pct = |n: usize| format!("{:.0}", 100.0 * n as f64 / total as f64);
+            let ratio = format!("{}/{}/{}", pct(t.train.len()), pct(t.valid.len()), pct(t.test.len()));
+            println!(
+                "{:<4} {:<14} {:<14} {:<8} {:<14} {:<9} {:>8}",
+                "NC", t.name, d.gen.spec.name, format!("{:?}", t.split), ratio, "Accuracy", total
+            );
+            rows.push(Row {
+                task_type: "NC",
+                name: t.name.clone(),
+                kg: d.gen.spec.name.clone(),
+                split: format!("{:?}", t.split),
+                ratio,
+                metric: "Accuracy",
+                targets: total,
+            });
+        }
+        for t in &d.lp {
+            let total = t.train.len() + t.valid.len() + t.test.len();
+            let pct = |n: usize| format!("{:.1}", 100.0 * n as f64 / total as f64);
+            let ratio = format!("{}/{}/{}", pct(t.train.len()), pct(t.valid.len()), pct(t.test.len()));
+            println!(
+                "{:<4} {:<14} {:<14} {:<8} {:<14} {:<9} {:>8}",
+                "LP", t.name, d.gen.spec.name, "Time", ratio, "Hits@10", total
+            );
+            rows.push(Row {
+                task_type: "LP",
+                name: t.name.clone(),
+                kg: d.gen.spec.name.clone(),
+                split: "Time".into(),
+                ratio,
+                metric: "Hits@10",
+                targets: total,
+            });
+        }
+    }
+    save_json("table2", &rows);
+}

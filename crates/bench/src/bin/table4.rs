@@ -1,0 +1,84 @@
+//! Table IV — the full cost breakdown for the six NC tasks: KG'
+//! extraction time, triples→adjacency transformation time, GraphSAINT
+//! training time, total, accuracy, model size (#params), inference time
+//! and peak training memory — for the traditional pipeline (FG) versus
+//! KG-TOSA_{d1h1} (KG').
+
+use kgtosa_bench::{nc_fg_record, nc_tosg_record, save_json, Env, NcMethod, Record};
+use kgtosa_core::{extract_sparql, GraphPattern};
+use kgtosa_rdf::{FetchConfig, RdfStore};
+
+#[global_allocator]
+static ALLOC: kgtosa_memtrack::TrackingAllocator = kgtosa_memtrack::TrackingAllocator;
+
+fn print_pair(task: &str, fg: &Record, kgp: &Record) {
+    println!("\n--- {task} ---");
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "step", "FG", "KG'"
+    );
+    let row = |name: &str, a: f64, b: f64, unit: &str| {
+        println!("{:<24} {:>11.2}{} {:>11.2}{}", name, a, unit, b, unit);
+    };
+    row("KG extraction time", fg.extraction_s, kgp.extraction_s, "s");
+    row("transformation time", fg.transformation_s, kgp.transformation_s, "s");
+    row("GNN training time", fg.training_s, kgp.training_s, "s");
+    row(
+        "total time",
+        fg.extraction_s + fg.transformation_s + fg.training_s,
+        kgp.extraction_s + kgp.transformation_s + kgp.training_s,
+        "s",
+    );
+    row("accuracy (%)", fg.metric * 100.0, kgp.metric * 100.0, "");
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "model size (#params)", fg.params, kgp.params
+    );
+    row("inference time", fg.inference_s, kgp.inference_s, "s");
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "training memory",
+        kgtosa_memtrack::format_bytes(fg.peak_bytes),
+        kgtosa_memtrack::format_bytes(kgp.peak_bytes)
+    );
+}
+
+fn main() {
+    let env = Env::from_env();
+    let cfg = env.train_config();
+    println!(
+        "Table IV — cost breakdown, traditional pipeline (FG) vs KG-TOSA_d1h1 (KG'), scale {}",
+        env.scale
+    );
+
+    let mag = kgtosa_datagen::mag(env.scale, env.seed);
+    let dblp = kgtosa_datagen::dblp(env.scale, env.seed + 200);
+    let yago = kgtosa_datagen::yago30(env.scale, env.seed + 100);
+    // Table IV order: PV/MAG, PD/MAG, PV/DBLP, AC/DBLP, PC/YAGO, CG/YAGO.
+    let tasks: Vec<(&kgtosa_datagen::Dataset, usize)> = vec![
+        (&mag, 0),
+        (&mag, 1),
+        (&dblp, 0),
+        (&dblp, 1),
+        (&yago, 0),
+        (&yago, 1),
+    ];
+
+    let mut all = Vec::new();
+    for (dataset, idx) in tasks {
+        let task = &dataset.nc[idx];
+        let kg = &dataset.gen.kg;
+        let ext_task = kgtosa_bench::nc_extraction_task(task);
+        let store = RdfStore::new(kg);
+        let tosg =
+            extract_sparql(&store, &ext_task, &GraphPattern::D1H1, &FetchConfig::default())
+                .expect("extraction");
+
+        let fg = nc_fg_record(kg, task, NcMethod::GraphSaint, &cfg);
+        let kgp = nc_tosg_record(task, &tosg, NcMethod::GraphSaint, &cfg);
+        print_pair(&task.name, &fg, &kgp);
+        all.push(fg);
+        all.push(kgp);
+    }
+    save_json("table4", &all);
+}

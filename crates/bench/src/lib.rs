@@ -1,0 +1,483 @@
+//! # kgtosa-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table I — benchmark statistics |
+//! | `table2` | Table II — task summary |
+//! | `fig1` | Figure 1 — motivation: FG vs handcrafted vs KG-TOSA |
+//! | `fig2_fig5` | Figures 2 & 5 — URW vs BRW sample composition |
+//! | `fig6` | Figure 6 — NC tasks, 4 methods × FG/KG' |
+//! | `fig7` | Figure 7 — LP tasks, 3 methods × FG/KG' |
+//! | `fig8` | Figure 8 — BRW/IBS vs the four SPARQL variants |
+//! | `fig9` | Figure 9 — convergence traces FG vs KG' |
+//! | `table3` | Table III — subgraph quality indicators |
+//! | `table4` | Table IV — cost breakdown for the six NC tasks |
+//!
+//! Every binary honours the environment variables `KGTOSA_SCALE` (dataset
+//! scale factor, default 0.1), `KGTOSA_SEED`, `KGTOSA_EPOCHS`,
+//! `KGTOSA_DIM`, and writes machine-readable JSON rows to
+//! `results/<name>.json` next to the printed table.
+
+use std::time::Instant;
+
+use kgtosa_core::{ExtractionTask, QualityRow};
+use kgtosa_datagen::{GeneratedKg, LpTask, NcTask};
+use kgtosa_kg::{InducedSubgraph, Triple, Vid};
+use kgtosa_models::{
+    train_graphsaint_nc, train_lhgnn_lp, train_morse_lp, train_rgcn_lp, train_rgcn_nc,
+    train_sehgnn_nc, train_shadowsaint_nc, LpDataset, NcDataset, SaintSampler, TrainConfig,
+    TrainReport,
+};
+use serde::Serialize;
+
+/// Experiment-wide knobs, read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Env {
+    /// Dataset scale factor relative to the `scale = 1` presets.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Training epochs per run.
+    pub epochs: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+}
+
+impl Env {
+    /// Reads `KGTOSA_*` variables with bench-friendly defaults.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: f64| -> f64 {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Self {
+            scale: get("KGTOSA_SCALE", 0.1),
+            seed: get("KGTOSA_SEED", 7.0) as u64,
+            epochs: get("KGTOSA_EPOCHS", 15.0) as usize,
+            dim: get("KGTOSA_DIM", 16.0) as usize,
+        }
+    }
+
+    /// The shared training configuration.
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            epochs: self.epochs,
+            dim: self.dim,
+            lr: 0.02,
+            seed: self.seed,
+            batch_size: 512,
+            negatives: 4,
+            margin: 2.0,
+        }
+    }
+}
+
+/// An NC task remapped into a subgraph's id space.
+pub struct NcView {
+    /// Per-subgraph-vertex labels.
+    pub labels: Vec<u32>,
+    /// Remapped training split.
+    pub train: Vec<Vid>,
+    /// Remapped validation split.
+    pub valid: Vec<Vid>,
+    /// Remapped test split.
+    pub test: Vec<Vid>,
+}
+
+/// Remaps an NC task into subgraph ids (targets lost by extraction are
+/// dropped from their splits).
+pub fn remap_nc(sub: &InducedSubgraph, task: &NcTask) -> NcView {
+    let mut labels = vec![u32::MAX; sub.kg.num_nodes()];
+    for v in 0..sub.kg.num_nodes() as u32 {
+        labels[v as usize] = task.labels[sub.map_up(Vid(v)).idx()];
+    }
+    let map = |nodes: &[Vid]| -> Vec<Vid> {
+        nodes.iter().filter_map(|&v| sub.map_down(v)).collect()
+    };
+    NcView {
+        labels,
+        train: map(&task.train),
+        valid: map(&task.valid),
+        test: map(&task.test),
+    }
+}
+
+/// Remaps LP triples into subgraph ids, dropping triples whose endpoints
+/// or predicate did not survive.
+pub fn remap_lp(
+    sub: &InducedSubgraph,
+    parent: &kgtosa_kg::KnowledgeGraph,
+    triples: &[Triple],
+) -> Vec<Triple> {
+    triples
+        .iter()
+        .filter_map(|t| {
+            Some(Triple::new(
+                sub.map_down(t.s)?,
+                sub.kg.find_relation(parent.relation_term(t.p))?,
+                sub.map_down(t.o)?,
+            ))
+        })
+        .collect()
+}
+
+/// Builds the extraction task of an NC benchmark task.
+pub fn nc_extraction_task(task: &NcTask) -> ExtractionTask {
+    ExtractionTask::node_classification(&task.name, &task.target_class, task.targets())
+}
+
+/// Builds the extraction task of an LP benchmark task.
+pub fn lp_extraction_task(task: &LpTask, gen: &GeneratedKg) -> ExtractionTask {
+    ExtractionTask::link_prediction(
+        &task.name,
+        vec![task.src_class.clone(), task.dst_class.clone()],
+        task.target_nodes(gen),
+        &task.predicate,
+    )
+}
+
+/// The four NC methods of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NcMethod {
+    /// Full-batch RGCN.
+    Rgcn,
+    /// GraphSAINT (URW sampler).
+    GraphSaint,
+    /// ShaDowSAINT.
+    ShadowSaint,
+    /// SeHGNN.
+    SeHgnn,
+}
+
+impl NcMethod {
+    /// All four, in the paper's plotting order.
+    pub const ALL: [NcMethod; 4] = [
+        NcMethod::Rgcn,
+        NcMethod::GraphSaint,
+        NcMethod::ShadowSaint,
+        NcMethod::SeHgnn,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NcMethod::Rgcn => "RGCN",
+            NcMethod::GraphSaint => "GraphSAINT",
+            NcMethod::ShadowSaint => "ShaDowSAINT",
+            NcMethod::SeHgnn => "SeHGNN",
+        }
+    }
+
+    /// Runs the method on a dataset view.
+    pub fn run(self, data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainReport {
+        match self {
+            NcMethod::Rgcn => train_rgcn_nc(data, cfg),
+            NcMethod::GraphSaint => train_graphsaint_nc(data, cfg, SaintSampler::Uniform),
+            NcMethod::ShadowSaint => train_shadowsaint_nc(data, cfg),
+            NcMethod::SeHgnn => train_sehgnn_nc(data, cfg),
+        }
+    }
+}
+
+/// The three LP methods of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpMethod {
+    /// RGCN encoder + DistMult.
+    Rgcn,
+    /// MorsE-TransE.
+    Morse,
+    /// LHGNN.
+    Lhgnn,
+}
+
+impl LpMethod {
+    /// All three, in the paper's plotting order.
+    pub const ALL: [LpMethod; 3] = [LpMethod::Rgcn, LpMethod::Morse, LpMethod::Lhgnn];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LpMethod::Rgcn => "RGCN",
+            LpMethod::Morse => "MorsE",
+            LpMethod::Lhgnn => "LHGNN",
+        }
+    }
+
+    /// Runs the method on a dataset view.
+    pub fn run(self, data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
+        match self {
+            LpMethod::Rgcn => train_rgcn_lp(data, cfg),
+            LpMethod::Morse => train_morse_lp(data, cfg),
+            LpMethod::Lhgnn => train_lhgnn_lp(data, cfg),
+        }
+    }
+}
+
+/// A `(result, seconds, peak_heap_bytes)` measurement of `f`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64, usize) {
+    let start = Instant::now();
+    let (out, peak) = kgtosa_memtrack::measure_peak(f);
+    (out, start.elapsed().as_secs_f64(), peak)
+}
+
+/// One experiment record, serialized to `results/<file>.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Record {
+    /// Task name.
+    pub task: String,
+    /// Method name.
+    pub method: String,
+    /// Input graph label (`FG`, `KG-TOSA_d1h1`, `BRW`, ...).
+    pub input: String,
+    /// Final metric (accuracy or Hits@10).
+    pub metric: f64,
+    /// Extraction (preprocessing) seconds.
+    pub extraction_s: f64,
+    /// Transformation seconds.
+    pub transformation_s: f64,
+    /// Training seconds.
+    pub training_s: f64,
+    /// Inference seconds.
+    pub inference_s: f64,
+    /// Trainable parameters.
+    pub params: usize,
+    /// Peak heap bytes during the run.
+    pub peak_bytes: usize,
+    /// Subgraph triples (0 for FG).
+    pub subgraph_triples: usize,
+    /// Convergence trace (elapsed_s, metric) pairs.
+    pub trace: Vec<(f64, f64)>,
+}
+
+/// Writes any serializable result set as JSON under `results/`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    std::fs::write(&path, json).expect("write results");
+    eprintln!("[saved {}]", path.display());
+}
+
+/// Prints a formatted metric/time/memory block like the paper's grouped
+/// bar panels.
+pub fn print_panel(title: &str, rows: &[Record]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<14} {:<14} {:>9} {:>9} {:>9} {:>9} {:>11} {:>10}",
+        "method", "input", "metric", "prep(s)", "train(s)", "infer(s)", "params", "peak-mem"
+    );
+    for r in rows {
+        println!(
+            "{:<14} {:<14} {:>9.4} {:>9.2} {:>9.2} {:>9.3} {:>11} {:>10}",
+            r.method,
+            r.input,
+            r.metric,
+            r.extraction_s + r.transformation_s,
+            r.training_s,
+            r.inference_s,
+            r.params,
+            kgtosa_memtrack::format_bytes(r.peak_bytes),
+        );
+    }
+}
+
+/// Quality-row printing shared by the table3/fig2 binaries.
+pub fn print_quality(title: &str, rows: &[QualityRow]) {
+    println!("\n=== {title} ===");
+    println!("{}", QualityRow::header());
+    for r in rows {
+        println!("{}", r.format_row());
+    }
+}
+
+/// Trains an NC method on the full graph, measuring the whole
+/// transform+train pipeline (Figure 6's "FG" bars).
+pub fn nc_fg_record(
+    kg: &kgtosa_kg::KnowledgeGraph,
+    task: &NcTask,
+    method: NcMethod,
+    cfg: &TrainConfig,
+) -> Record {
+    let ((report, transformation_s), _, peak) = measure(|| {
+        let (graph, transformation_s) = kgtosa_core::transform(kg);
+        let data = NcDataset {
+            kg,
+            graph: &graph,
+            labels: &task.labels,
+            num_labels: task.num_labels,
+            train: &task.train,
+            valid: &task.valid,
+            test: &task.test,
+        };
+        (method.run(&data, cfg), transformation_s)
+    });
+    record_from_report(task.name.clone(), "FG", report, 0.0, transformation_s, peak, 0)
+}
+
+/// Trains an NC method on an extracted TOSG (any extraction method),
+/// measuring transform+train and carrying the extraction cost.
+pub fn nc_tosg_record(
+    task: &NcTask,
+    extraction: &kgtosa_core::ExtractionResult,
+    method: NcMethod,
+    cfg: &TrainConfig,
+) -> Record {
+    let sub = &extraction.subgraph;
+    let view = remap_nc(sub, task);
+    let ((report, transformation_s), _, peak) = measure(|| {
+        let (graph, transformation_s) = kgtosa_core::transform(&sub.kg);
+        let data = NcDataset {
+            kg: &sub.kg,
+            graph: &graph,
+            labels: &view.labels,
+            num_labels: task.num_labels,
+            train: &view.train,
+            valid: &view.valid,
+            test: &view.test,
+        };
+        (method.run(&data, cfg), transformation_s)
+    });
+    record_from_report(
+        task.name.clone(),
+        &extraction.report.method,
+        report,
+        extraction.report.seconds,
+        transformation_s,
+        peak,
+        extraction.report.triples,
+    )
+}
+
+/// Trains an LP method on the full graph.
+pub fn lp_fg_record(
+    kg: &kgtosa_kg::KnowledgeGraph,
+    task: &LpTask,
+    method: LpMethod,
+    cfg: &TrainConfig,
+) -> Record {
+    let ((report, transformation_s), _, peak) = measure(|| {
+        let (graph, transformation_s) = kgtosa_core::transform(kg);
+        let data = LpDataset {
+            kg,
+            graph: &graph,
+            train: &task.train,
+            valid: &task.valid,
+            test: &task.test,
+        };
+        (method.run(&data, cfg), transformation_s)
+    });
+    record_from_report(task.name.clone(), "FG", report, 0.0, transformation_s, peak, 0)
+}
+
+/// Trains an LP method on an extracted TOSG.
+pub fn lp_tosg_record(
+    parent: &kgtosa_kg::KnowledgeGraph,
+    task: &LpTask,
+    extraction: &kgtosa_core::ExtractionResult,
+    method: LpMethod,
+    cfg: &TrainConfig,
+) -> Record {
+    let sub = &extraction.subgraph;
+    let train = remap_lp(sub, parent, &task.train);
+    let valid = remap_lp(sub, parent, &task.valid);
+    let test = remap_lp(sub, parent, &task.test);
+    let ((report, transformation_s), _, peak) = measure(|| {
+        let (graph, transformation_s) = kgtosa_core::transform(&sub.kg);
+        let data = LpDataset {
+            kg: &sub.kg,
+            graph: &graph,
+            train: &train,
+            valid: &valid,
+            test: &test,
+        };
+        (method.run(&data, cfg), transformation_s)
+    });
+    record_from_report(
+        task.name.clone(),
+        &extraction.report.method,
+        report,
+        extraction.report.seconds,
+        transformation_s,
+        peak,
+        extraction.report.triples,
+    )
+}
+
+fn record_from_report(
+    task: String,
+    input: &str,
+    report: TrainReport,
+    extraction_s: f64,
+    transformation_s: f64,
+    peak_bytes: usize,
+    subgraph_triples: usize,
+) -> Record {
+    Record {
+        task,
+        method: report.method.clone(),
+        input: input.to_string(),
+        metric: report.metric,
+        extraction_s,
+        transformation_s,
+        training_s: report.training_s,
+        inference_s: report.inference_s,
+        params: report.param_count,
+        peak_bytes,
+        subgraph_triples,
+        trace: report.trace.iter().map(|p| (p.elapsed_s, p.metric)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        let env = Env::from_env();
+        assert!(env.scale > 0.0);
+        assert!(env.epochs > 0);
+    }
+
+    #[test]
+    fn method_tables_complete() {
+        assert_eq!(NcMethod::ALL.len(), 4);
+        assert_eq!(LpMethod::ALL.len(), 3);
+        assert_eq!(NcMethod::SeHgnn.name(), "SeHGNN");
+        assert_eq!(LpMethod::Morse.name(), "MorsE");
+    }
+
+    #[test]
+    fn measure_returns_value() {
+        let (v, secs, _bytes) = measure(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn remap_nc_preserves_labels() {
+        let mut kg = kgtosa_kg::KnowledgeGraph::new();
+        kg.add_triple_terms("a", "T", "r", "b", "T");
+        let task = kgtosa_datagen::NcTask {
+            name: "t".into(),
+            target_class: "T".into(),
+            labels: vec![0, 1],
+            num_labels: 2,
+            split: kgtosa_datagen::SplitKind::Time,
+            train: vec![Vid(0)],
+            valid: vec![],
+            test: vec![Vid(1)],
+        };
+        let keep = kgtosa_kg::NodeSet::from_iter(2, [Vid(1)]);
+        let sub = kgtosa_kg::induced_subgraph(&kg, &keep);
+        let view = remap_nc(&sub, &task);
+        assert_eq!(view.labels, vec![1]);
+        assert!(view.train.is_empty());
+        assert_eq!(view.test.len(), 1);
+    }
+}

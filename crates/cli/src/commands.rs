@@ -1,0 +1,367 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::time::Instant;
+
+use kgtosa_core::{
+    extract_brw, extract_ibs, extract_metapath, extract_sparql, ExtractionResult, ExtractionTask,
+    GraphPattern, MetapathConfig, QualityRow,
+};
+use kgtosa_datagen::Dataset;
+use kgtosa_kg::{HeteroGraph, KnowledgeGraph, Vid};
+use kgtosa_models::{
+    train_graphsaint_nc, train_lhgnn_lp, train_morse_lp, train_rgcn_lp, train_rgcn_nc,
+    train_sehgnn_nc, train_shadowsaint_nc, LpDataset, NcDataset, SaintSampler, TrainConfig,
+    TrainReport,
+};
+use kgtosa_rdf::{read_ntriples, write_ntriples, FetchConfig, RdfStore, SparqlEngine};
+use kgtosa_sampler::{IbsConfig, WalkConfig};
+
+use crate::args::Args;
+
+/// Loads a KG from N-Triples (`.nt`) or the binary snapshot format
+/// (`.kgb`), auto-detected by extension.
+fn load_kg(path: &str) -> Result<KnowledgeGraph, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    if path.ends_with(".kgb") {
+        kgtosa_kg::read_snapshot(BufReader::new(file))
+            .map_err(|e| format!("cannot parse snapshot {path}: {e}"))
+    } else {
+        read_ntriples(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+    }
+}
+
+/// Saves a KG as N-Triples, or as a binary snapshot when the path ends in
+/// `.kgb`.
+fn save_kg(kg: &KnowledgeGraph, path: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    if path.ends_with(".kgb") {
+        kgtosa_kg::write_snapshot(kg, BufWriter::new(file))
+            .map_err(|e| format!("cannot write snapshot {path}: {e}"))
+    } else {
+        write_ntriples(kg, BufWriter::new(file)).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+fn dataset_by_name(name: &str, scale: f64, seed: u64) -> Result<Dataset, String> {
+    match name {
+        "mag" => Ok(kgtosa_datagen::mag(scale, seed)),
+        "yago30" => Ok(kgtosa_datagen::yago30(scale, seed)),
+        "dblp" => Ok(kgtosa_datagen::dblp(scale, seed)),
+        "wikikg2" => Ok(kgtosa_datagen::wikikg2(scale, seed)),
+        "yago3-10" => Ok(kgtosa_datagen::yago3_10(scale, seed)),
+        other => Err(format!(
+            "unknown dataset {other:?} (expected mag|yago30|dblp|wikikg2|yago3-10)"
+        )),
+    }
+}
+
+fn pattern_by_name(name: &str) -> Result<GraphPattern, String> {
+    GraphPattern::VARIANTS
+        .into_iter()
+        .find(|p| p.label() == name)
+        .ok_or_else(|| format!("unknown pattern {name:?} (expected d1h1|d2h1|d1h2|d2h2)"))
+}
+
+/// `kgtosa generate`.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let dataset = args.required("dataset")?;
+    let out = args.required("out")?;
+    let scale = args.parse_or("scale", 0.1)?;
+    let seed = args.parse_or("seed", 7u64)?;
+    let d = dataset_by_name(dataset, scale, seed)?;
+    save_kg(&d.gen.kg, out)?;
+    println!(
+        "wrote {out}: {} nodes, {} triples, {} node types, {} edge types",
+        d.gen.kg.num_nodes(),
+        d.gen.kg.num_triples(),
+        d.gen.kg.num_classes(),
+        d.gen.kg.num_relations()
+    );
+    for t in &d.nc {
+        println!("  NC task {}: {} targets of class {}", t.name, t.targets().len(), t.target_class);
+    }
+    for t in &d.lp {
+        println!(
+            "  LP task {}: predicate <{}>, {} train / {} valid / {} test",
+            t.name,
+            t.predicate,
+            t.train.len(),
+            t.valid.len(),
+            t.test.len()
+        );
+    }
+    Ok(())
+}
+
+/// `kgtosa stats`.
+pub fn stats(args: &Args) -> Result<(), String> {
+    let kg = load_kg(args.required("kg")?)?;
+    println!(
+        "nodes: {}\ntriples: {}\nnode types: {}\nedge types: {}",
+        kg.num_nodes(),
+        kg.num_triples(),
+        kg.num_classes(),
+        kg.num_relations()
+    );
+    let mut hist: Vec<(usize, String)> = kg
+        .class_histogram()
+        .into_iter()
+        .enumerate()
+        .map(|(c, n)| (n, kg.class_term(kgtosa_kg::Cid(c as u32)).to_string()))
+        .collect();
+    hist.sort_unstable_by(|a, b| b.cmp(a));
+    println!("largest classes:");
+    for (count, name) in hist.iter().take(10) {
+        println!("  {name:<32} {count}");
+    }
+    if let Some(class) = args.options.get("target-class") {
+        let cid = kg
+            .find_class(class)
+            .ok_or_else(|| format!("class {class:?} not found"))?;
+        let targets = kg.nodes_of_class(cid);
+        let q = kgtosa_kg::quality(&kg, &targets);
+        println!("\nquality w.r.t. {} targets of class {class}:", targets.len());
+        println!("  target ratio      {:.2}%", q.target_ratio_pct);
+        println!("  disconnected      {:.2}%", q.target_disconnected_pct);
+        println!("  avg dist→target   {:.2}", q.avg_dist_to_target);
+        println!("  type entropy      {:.3}", q.avg_entropy);
+    }
+    Ok(())
+}
+
+/// `kgtosa query`.
+pub fn query(args: &Args) -> Result<(), String> {
+    let kg = load_kg(args.required("kg")?)?;
+    let sparql = args.required("sparql")?;
+    let limit = args.parse_or("limit", 20usize)?;
+    let store = RdfStore::new(&kg);
+    let engine = SparqlEngine::new(&store);
+    let start = Instant::now();
+    let rs = engine.execute_str(sparql).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    if args.flag("explain") {
+        eprintln!("parsed: {}", kgtosa_rdf::parse(sparql).map_err(|e| e.to_string())?);
+    }
+    println!("{}", rs.vars.join("\t"));
+    for i in 0..rs.len().min(limit) {
+        println!("{}", rs.row_terms(&store, i).join("\t"));
+    }
+    if rs.len() > limit {
+        println!("... ({} more rows)", rs.len() - limit);
+    }
+    eprintln!("{} rows in {:.3}s", rs.len(), elapsed.as_secs_f64());
+    Ok(())
+}
+
+/// `kgtosa extract`.
+pub fn extract(args: &Args) -> Result<(), String> {
+    let kg = load_kg(args.required("kg")?)?;
+    let class = args.required("target-class")?;
+    let out = args.required("out")?;
+    let method = args.get_or("method", "sparql");
+    let seed = args.parse_or("seed", 7u64)?;
+    let cid = kg
+        .find_class(class)
+        .ok_or_else(|| format!("class {class:?} not found"))?;
+    let targets = kg.nodes_of_class(cid);
+    let task = ExtractionTask::node_classification("cli", class, targets);
+
+    let result: ExtractionResult = match method {
+        "sparql" => {
+            let pattern = pattern_by_name(args.get_or("pattern", "d1h1"))?;
+            let store = RdfStore::new(&kg);
+            extract_sparql(&store, &task, &pattern, &FetchConfig::default())
+                .map_err(|e| e.to_string())?
+        }
+        "brw" => {
+            let g = HeteroGraph::build(&kg);
+            let cfg = WalkConfig {
+                roots: args.parse_or("roots", 2000usize)?,
+                walk_length: args.parse_or("walk-length", 3usize)?,
+            };
+            extract_brw(&kg, &g, &task, &cfg, seed)
+        }
+        "ibs" => {
+            let g = HeteroGraph::build(&kg);
+            let cfg = IbsConfig {
+                k: args.parse_or("top-k", 16usize)?,
+                threads: args.parse_or("threads", 4usize)?,
+                ..Default::default()
+            };
+            extract_ibs(&kg, &g, &task, &cfg)
+        }
+        "metapath" => {
+            let g = HeteroGraph::build(&kg);
+            let cfg = MetapathConfig {
+                max_len: args.parse_or("max-len", 2usize)?,
+                max_paths: args.parse_or("max-paths", 8usize)?,
+            };
+            extract_metapath(&kg, &g, &task, &cfg)
+        }
+        other => {
+            return Err(format!(
+                "unknown method {other:?} (expected sparql|brw|ibs|metapath)"
+            ))
+        }
+    };
+
+    println!("{}", QualityRow::header());
+    println!("{}", QualityRow::from_extraction(&result).format_row());
+    println!(
+        "extracted {} triples / {} nodes in {:.3}s ({:.1}% of the input)",
+        result.report.triples,
+        result.subgraph.kg.num_nodes(),
+        result.report.seconds,
+        100.0 * result.report.triples as f64 / kg.num_triples().max(1) as f64
+    );
+    save_kg(&result.subgraph.kg, out)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn print_report(label: &str, r: &TrainReport) {
+    println!(
+        "{label:<8} {:<12} metric {:.4} | train {:.2}s | infer {:.3}s | {} params",
+        r.method, r.metric, r.training_s, r.inference_s, r.param_count
+    );
+}
+
+/// `kgtosa train` / `kgtosa compare` (with `compare = true` both FG and
+/// the KG-TOSA subgraph are trained).
+pub fn train(args: &Args, compare: bool) -> Result<(), String> {
+    let dataset_name = args.required("dataset")?;
+    let task_name = args.required("task")?;
+    let method = args.get_or("method", "graphsaint");
+    let scale = args.parse_or("scale", 0.1)?;
+    let seed = args.parse_or("seed", 7u64)?;
+    let cfg = TrainConfig {
+        epochs: args.parse_or("epochs", 15usize)?,
+        dim: args.parse_or("dim", 16usize)?,
+        lr: args.parse_or("lr", 0.02f32)?,
+        seed,
+        ..Default::default()
+    };
+    let d = dataset_by_name(dataset_name, scale, seed)?;
+
+    // NC task?
+    if let Some(task) = d.nc.iter().find(|t| t.name == task_name) {
+        let run_nc = |kg: &KnowledgeGraph,
+                      labels: &[u32],
+                      train: &[Vid],
+                      valid: &[Vid],
+                      test: &[Vid]|
+         -> Result<TrainReport, String> {
+            let graph = HeteroGraph::build(kg);
+            let data = NcDataset {
+                kg,
+                graph: &graph,
+                labels,
+                num_labels: task.num_labels,
+                train,
+                valid,
+                test,
+            };
+            Ok(match method {
+                "rgcn" => train_rgcn_nc(&data, &cfg),
+                "graphsaint" => train_graphsaint_nc(&data, &cfg, SaintSampler::Uniform),
+                "graphsaint-brw" => train_graphsaint_nc(&data, &cfg, SaintSampler::Biased),
+                "shadowsaint" => train_shadowsaint_nc(&data, &cfg),
+                "sehgnn" => train_sehgnn_nc(&data, &cfg),
+                other => return Err(format!("{other:?} is not an NC method")),
+            })
+        };
+        if compare || !args.options.contains_key("tosg") {
+            let r = run_nc(&d.gen.kg, &task.labels, &task.train, &task.valid, &task.test)?;
+            print_report("FG", &r);
+        }
+        if compare || args.options.contains_key("tosg") {
+            let pattern = pattern_by_name(args.get_or("tosg", "d1h1"))?;
+            let store = RdfStore::new(&d.gen.kg);
+            let ext = ExtractionTask::node_classification(
+                &task.name,
+                &task.target_class,
+                task.targets(),
+            );
+            let tosg = extract_sparql(&store, &ext, &pattern, &FetchConfig::default())
+                .map_err(|e| e.to_string())?;
+            let sub = &tosg.subgraph;
+            let mut labels = vec![u32::MAX; sub.kg.num_nodes()];
+            for v in 0..sub.kg.num_nodes() as u32 {
+                labels[v as usize] = task.labels[sub.map_up(Vid(v)).idx()];
+            }
+            let map = |ns: &[Vid]| -> Vec<Vid> {
+                ns.iter().filter_map(|&v| sub.map_down(v)).collect()
+            };
+            let r = run_nc(
+                &sub.kg,
+                &labels,
+                &map(&task.train),
+                &map(&task.valid),
+                &map(&task.test),
+            )?;
+            print_report(&format!("KG'({})", pattern.label()), &r);
+        }
+        return Ok(());
+    }
+
+    // LP task?
+    if let Some(task) = d.lp.iter().find(|t| t.name == task_name) {
+        let run_lp = |kg: &KnowledgeGraph,
+                      train: &[kgtosa_kg::Triple],
+                      valid: &[kgtosa_kg::Triple],
+                      test: &[kgtosa_kg::Triple]|
+         -> Result<TrainReport, String> {
+            let graph = HeteroGraph::build(kg);
+            let data = LpDataset { kg, graph: &graph, train, valid, test };
+            Ok(match method {
+                "rgcn" | "rgcn-lp" => train_rgcn_lp(&data, &cfg),
+                "morse" => train_morse_lp(&data, &cfg),
+                "lhgnn" => train_lhgnn_lp(&data, &cfg),
+                other => return Err(format!("{other:?} is not an LP method")),
+            })
+        };
+        if compare || !args.options.contains_key("tosg") {
+            let r = run_lp(&d.gen.kg, &task.train, &task.valid, &task.test)?;
+            print_report("FG", &r);
+        }
+        if compare || args.options.contains_key("tosg") {
+            let pattern = pattern_by_name(args.get_or("tosg", "d2h1"))?;
+            let store = RdfStore::new(&d.gen.kg);
+            let ext = ExtractionTask::link_prediction(
+                &task.name,
+                vec![task.src_class.clone(), task.dst_class.clone()],
+                task.target_nodes(&d.gen),
+                &task.predicate,
+            );
+            let tosg = extract_sparql(&store, &ext, &pattern, &FetchConfig::default())
+                .map_err(|e| e.to_string())?;
+            let sub = &tosg.subgraph;
+            let remap = |ts: &[kgtosa_kg::Triple]| -> Vec<kgtosa_kg::Triple> {
+                ts.iter()
+                    .filter_map(|t| {
+                        Some(kgtosa_kg::Triple::new(
+                            sub.map_down(t.s)?,
+                            sub.kg.find_relation(d.gen.kg.relation_term(t.p))?,
+                            sub.map_down(t.o)?,
+                        ))
+                    })
+                    .collect()
+            };
+            let r = run_lp(&sub.kg, &remap(&task.train), &remap(&task.valid), &remap(&task.test))?;
+            print_report(&format!("KG'({})", pattern.label()), &r);
+        }
+        return Ok(());
+    }
+
+    let available: Vec<String> = d
+        .nc
+        .iter()
+        .map(|t| t.name.clone())
+        .chain(d.lp.iter().map(|t| t.name.clone()))
+        .collect();
+    Err(format!(
+        "task {task_name:?} not found in dataset {dataset_name:?}; available: {available:?}"
+    ))
+}

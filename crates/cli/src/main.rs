@@ -1,0 +1,72 @@
+//! `kgtosa` — the command-line interface of the KG-TOSA reproduction.
+//!
+//! ```text
+//! kgtosa generate --dataset mag --scale 0.1 --out mag.nt
+//! kgtosa stats    --kg mag.nt [--target-class Paper]
+//! kgtosa query    --kg mag.nt --sparql 'SELECT ?s WHERE { ?s a <Paper> } LIMIT 5'
+//! kgtosa extract  --kg mag.nt --target-class Paper --method sparql --pattern d1h1 --out tosg.nt
+//! kgtosa train    --dataset mag --task PV/MAG --method graphsaint [--tosg d1h1]
+//! kgtosa compare  --dataset dblp --task PV/DBLP --method rgcn
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+#[global_allocator]
+static ALLOC: kgtosa_memtrack::TrackingAllocator = kgtosa_memtrack::TrackingAllocator;
+
+const USAGE: &str = "\
+kgtosa — task-oriented subgraph extraction for HGNN training (ICDE'24 reproduction)
+
+USAGE: kgtosa <command> [--options]
+
+COMMANDS:
+  generate   Generate a benchmark KG and write it out
+               --dataset mag|yago30|dblp|wikikg2|yago3-10  --out FILE
+               [--scale 0.1] [--seed 7]
+               (FILE ending in .kgb writes the compact binary snapshot
+                format; anything else writes N-Triples)
+  stats      Print statistics of an N-Triples KG
+               --kg FILE [--target-class CLASS]
+  query      Run a SPARQL query against an N-Triples KG
+               --kg FILE --sparql QUERY [--limit N] [--explain]
+  extract    Extract a task-oriented subgraph
+               --kg FILE --target-class CLASS --out FILE
+               [--method sparql|brw|ibs|metapath] [--pattern d1h1|d2h1|d1h2|d2h2]
+               [--walk-length 3] [--roots 2000] [--top-k 16] [--seed 7]
+  train      Train a GNN method on a generated benchmark task
+               --dataset NAME --task NAME --method rgcn|graphsaint|shadowsaint|sehgnn|rgcn-lp|morse|lhgnn
+               [--tosg d1h1] [--scale 0.1] [--epochs 15] [--dim 16] [--seed 7]
+  compare    Train on FG and on the KG-TOSA subgraph, print both
+               (same options as train)
+  help       Show this message
+";
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "stats" => commands::stats(&args),
+        "query" => commands::query(&args),
+        "extract" => commands::extract(&args),
+        "train" => commands::train(&args, false),
+        "compare" => commands::train(&args, true),
+        "help" | "" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end CLI tests driving the actual `kgtosa` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn kgtosa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kgtosa"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kgtosa-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn generate_stats_extract_query_pipeline() {
+    let kg_path = tmp("pipeline.nt");
+    let tosg_path = tmp("pipeline-tosg.nt");
+
+    // generate
+    let out = kgtosa()
+        .args([
+            "generate", "--dataset", "yago3-10", "--scale", "0.05",
+            "--out", kg_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("node types"), "{stdout}");
+
+    // stats
+    let out = kgtosa()
+        .args(["stats", "--kg", kg_path.to_str().unwrap(), "--target-class", "Person"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("target ratio"), "{stdout}");
+
+    // query
+    let out = kgtosa()
+        .args([
+            "query", "--kg", kg_path.to_str().unwrap(),
+            "--sparql", "SELECT (COUNT(*) AS ?c) WHERE { ?s a <Person> }",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // extract
+    let out = kgtosa()
+        .args([
+            "extract", "--kg", kg_path.to_str().unwrap(),
+            "--target-class", "Person", "--method", "sparql",
+            "--pattern", "d2h1", "--out", tosg_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("extracted"), "{stdout}");
+    assert!(tosg_path.exists());
+
+    // the extracted file is loadable again
+    let out = kgtosa()
+        .args(["stats", "--kg", tosg_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn snapshot_format_roundtrips_via_cli() {
+    let kgb = tmp("snap.kgb");
+    let out = kgtosa()
+        .args([
+            "generate", "--dataset", "yago3-10", "--scale", "0.05",
+            "--out", kgb.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = kgtosa()
+        .args(["stats", "--kg", kgb.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("triples"), "{stdout}");
+}
+
+#[test]
+fn train_command_runs() {
+    let out = kgtosa()
+        .args([
+            "train", "--dataset", "dblp", "--task", "PV/DBLP",
+            "--method", "graphsaint", "--scale", "0.03", "--epochs", "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("metric"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = kgtosa().args(["bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn missing_options_fail_cleanly() {
+    let out = kgtosa().args(["extract"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing required option"), "{stderr}");
+}

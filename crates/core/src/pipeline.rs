@@ -1,0 +1,122 @@
+//! The end-to-end KG-TOSA workflow of Figure 4:
+//!
+//! ```text
+//! KG ──extract──▶ KG' ──transform──▶ adjacency ──▶ HGNN training
+//! ```
+//!
+//! Extraction is optional (the FG baselines skip it); transformation — the
+//! RDF-triples-to-adjacency-matrices step every GNN pipeline must pay — and
+//! training are always timed. The [`CostBreakdown`] mirrors the rows of
+//! Table IV.
+
+use std::time::Instant;
+
+use kgtosa_kg::{HeteroGraph, KnowledgeGraph, Vid};
+
+use crate::extract::ExtractionResult;
+
+/// Wall-clock cost of each pipeline stage, in seconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostBreakdown {
+    /// TOSG extraction (0 for full-graph runs).
+    pub extraction_s: f64,
+    /// Triples → adjacency transformation.
+    pub transformation_s: f64,
+    /// Model training.
+    pub training_s: f64,
+}
+
+impl CostBreakdown {
+    /// Total pipeline time.
+    pub fn total_s(&self) -> f64 {
+        self.extraction_s + self.transformation_s + self.training_s
+    }
+}
+
+/// Timed transformation of a KG into its adjacency views.
+pub fn transform(kg: &KnowledgeGraph) -> (HeteroGraph, f64) {
+    let start = Instant::now();
+    let graph = HeteroGraph::build(kg);
+    (graph, start.elapsed().as_secs_f64())
+}
+
+/// Runs the traditional full-graph pipeline: transform `kg`, then invoke
+/// `train(kg, graph, targets)`.
+pub fn run_full_graph<R>(
+    kg: &KnowledgeGraph,
+    targets: &[Vid],
+    train: impl FnOnce(&KnowledgeGraph, &HeteroGraph, &[Vid]) -> R,
+) -> (R, CostBreakdown) {
+    let (graph, transformation_s) = transform(kg);
+    let start = Instant::now();
+    let out = train(kg, &graph, targets);
+    (
+        out,
+        CostBreakdown {
+            extraction_s: 0.0,
+            transformation_s,
+            training_s: start.elapsed().as_secs_f64(),
+        },
+    )
+}
+
+/// Runs the KG-TOSA pipeline on an already-extracted TOSG: transform `KG'`,
+/// then train on it. Extraction time is carried over from the extractor's
+/// report.
+pub fn run_on_tosg<R>(
+    extraction: &ExtractionResult,
+    train: impl FnOnce(&KnowledgeGraph, &HeteroGraph, &[Vid]) -> R,
+) -> (R, CostBreakdown) {
+    let kg = &extraction.subgraph.kg;
+    let (graph, transformation_s) = transform(kg);
+    let start = Instant::now();
+    let out = train(kg, &graph, &extraction.targets);
+    (
+        out,
+        CostBreakdown {
+            extraction_s: extraction.report.seconds,
+            transformation_s,
+            training_s: start.elapsed().as_secs_f64(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_brw;
+    use crate::pattern::ExtractionTask;
+    use kgtosa_sampler::WalkConfig;
+
+    fn kg() -> (KnowledgeGraph, ExtractionTask) {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_terms("p0", "Paper", "cites", "p1", "Paper");
+        kg.add_triple_terms("p1", "Paper", "cites", "p2", "Paper");
+        let targets = kg.nodes_of_class(kg.find_class("Paper").unwrap());
+        let task = ExtractionTask::node_classification("t", "Paper", targets);
+        (kg, task)
+    }
+
+    #[test]
+    fn full_graph_pipeline_times_stages() {
+        let (kg, task) = kg();
+        let (result, cost) = run_full_graph(&kg, &task.targets, |kg, g, t| {
+            assert_eq!(g.num_nodes(), kg.num_nodes());
+            t.len()
+        });
+        assert_eq!(result, 3);
+        assert_eq!(cost.extraction_s, 0.0);
+        assert!(cost.transformation_s >= 0.0);
+        assert!(cost.total_s() >= cost.training_s);
+    }
+
+    #[test]
+    fn tosg_pipeline_carries_extraction_cost() {
+        let (kg, task) = kg();
+        let g = HeteroGraph::build(&kg);
+        let extraction = extract_brw(&kg, &g, &task, &WalkConfig::default(), 0);
+        let (nodes, cost) = run_on_tosg(&extraction, |kg, _, _| kg.num_nodes());
+        assert!(nodes > 0);
+        assert_eq!(cost.extraction_s, extraction.report.seconds);
+    }
+}

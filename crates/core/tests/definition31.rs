@@ -1,0 +1,151 @@
+//! Property tests for Definition 3.1: every extraction method must produce
+//! subgraphs where *every non-target vertex is reachable from a target* —
+//! the reachability half of the TOSG definition — and the SPARQL method
+//! must agree with a direct reimplementation of the graph pattern.
+
+use proptest::prelude::*;
+
+use kgtosa_core::{
+    extract_brw, extract_ibs, extract_sparql, ExtractionTask, GraphPattern,
+};
+use kgtosa_kg::{quality, FxHashSet, HeteroGraph, KnowledgeGraph, Vid};
+use kgtosa_rdf::{FetchConfig, RdfStore};
+use kgtosa_sampler::{IbsConfig, WalkConfig};
+
+/// Random KG with a designated target class `T` guaranteed non-empty.
+fn arb_task_kg() -> impl Strategy<Value = (KnowledgeGraph, ExtractionTask)> {
+    (
+        3usize..25,
+        proptest::collection::vec((0usize..25, 0usize..4, 0usize..25), 1..80),
+    )
+        .prop_map(|(n, edges)| {
+            let mut kg = KnowledgeGraph::new();
+            for v in 0..n {
+                let class = if v % 4 == 0 { "T".to_string() } else { format!("C{}", v % 3) };
+                kg.add_node(&format!("n{v}"), &class);
+            }
+            for r in 0..4 {
+                kg.add_relation(&format!("r{r}"));
+            }
+            for (s, p, o) in edges {
+                let (s, o) = (s % n, o % n);
+                kg.add_triple(
+                    Vid(s as u32),
+                    kg.find_relation(&format!("r{p}")).unwrap(),
+                    Vid(o as u32),
+                );
+            }
+            let targets = kg.nodes_of_class(kg.find_class("T").unwrap());
+            let task = ExtractionTask::node_classification("prop", "T", targets);
+            (kg, task)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BRW subgraphs: zero target-disconnected vertices (Table III shows 0
+    /// for all three methods).
+    #[test]
+    fn brw_satisfies_reachability((kg, task) in arb_task_kg(), seed in 0u64..100) {
+        let g = HeteroGraph::build(&kg);
+        let res = extract_brw(&kg, &g, &task, &WalkConfig { roots: 8, walk_length: 3 }, seed);
+        if res.targets.is_empty() { return Ok(()); }
+        let q = quality(&res.subgraph.kg, &res.targets);
+        prop_assert_eq!(q.target_disconnected_pct, 0.0);
+    }
+
+    /// IBS subgraphs: same reachability guarantee.
+    #[test]
+    fn ibs_satisfies_reachability((kg, task) in arb_task_kg()) {
+        let g = HeteroGraph::build(&kg);
+        let res = extract_ibs(&kg, &g, &task, &IbsConfig { k: 4, threads: 2, ..Default::default() });
+        let q = quality(&res.subgraph.kg, &res.targets);
+        prop_assert_eq!(q.target_disconnected_pct, 0.0);
+    }
+
+    /// SPARQL subgraphs: reachability holds for every pattern variant.
+    #[test]
+    fn sparql_satisfies_reachability((kg, task) in arb_task_kg()) {
+        let store = RdfStore::new(&kg);
+        for pattern in GraphPattern::VARIANTS {
+            let res = extract_sparql(&store, &task, &pattern, &FetchConfig {
+                batch_size: 7, threads: 2,
+            }).unwrap();
+            let q = quality(&res.subgraph.kg, &res.targets);
+            prop_assert_eq!(q.target_disconnected_pct, 0.0, "pattern {}", pattern.label());
+            // All targets survive: the extractor pins them explicitly.
+            prop_assert_eq!(res.targets.len(), task.targets.len());
+        }
+    }
+
+    /// The SPARQL d1h1 extraction equals a direct reimplementation of the
+    /// pattern: exactly the triples whose subject is a target.
+    #[test]
+    fn sparql_d1h1_matches_direct_expansion((kg, task) in arb_task_kg()) {
+        let store = RdfStore::new(&kg);
+        let res = extract_sparql(&store, &task, &GraphPattern::D1H1, &FetchConfig::default()).unwrap();
+        let target_set: FxHashSet<Vid> = task.targets.iter().copied().collect();
+        let mut expect: Vec<[u32; 3]> = kg
+            .triples()
+            .iter()
+            .filter(|t| target_set.contains(&t.s))
+            .map(|t| t.raw())
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        // Map subgraph triples back to parent ids.
+        let sub = &res.subgraph;
+        let mut got: Vec<[u32; 3]> = sub.kg.triples().iter().map(|t| {
+            let s = sub.map_up(t.s);
+            let o = sub.map_up(t.o);
+            let p = kg.find_relation(sub.kg.relation_term(t.p)).unwrap();
+            [s.raw(), p.raw(), o.raw()]
+        }).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The SPARQL d2h1 extraction equals: triples with a target endpoint.
+    #[test]
+    fn sparql_d2h1_matches_direct_expansion((kg, task) in arb_task_kg()) {
+        let store = RdfStore::new(&kg);
+        let res = extract_sparql(&store, &task, &GraphPattern::D2H1, &FetchConfig::default()).unwrap();
+        let target_set: FxHashSet<Vid> = task.targets.iter().copied().collect();
+        let mut expect: Vec<[u32; 3]> = kg
+            .triples()
+            .iter()
+            .filter(|t| target_set.contains(&t.s) || target_set.contains(&t.o))
+            .map(|t| t.raw())
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        let sub = &res.subgraph;
+        let mut got: Vec<[u32; 3]> = sub.kg.triples().iter().map(|t| {
+            let s = sub.map_up(t.s);
+            let o = sub.map_up(t.o);
+            let p = kg.find_relation(sub.kg.relation_term(t.p)).unwrap();
+            [s.raw(), p.raw(), o.raw()]
+        }).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// KG' is always a subgraph: nodes, triples, classes, relations all
+    /// bounded by the parent, for every method.
+    #[test]
+    fn extractions_are_subgraphs((kg, task) in arb_task_kg(), seed in 0u64..50) {
+        let g = HeteroGraph::build(&kg);
+        let store = RdfStore::new(&kg);
+        let results = vec![
+            extract_brw(&kg, &g, &task, &WalkConfig::default(), seed),
+            extract_ibs(&kg, &g, &task, &IbsConfig { k: 3, threads: 1, ..Default::default() }),
+            extract_sparql(&store, &task, &GraphPattern::D2H2, &FetchConfig::default()).unwrap(),
+        ];
+        for res in results {
+            prop_assert!(res.subgraph.kg.num_nodes() <= kg.num_nodes());
+            prop_assert!(res.subgraph.kg.num_triples() <= kg.num_triples());
+            prop_assert!(kgtosa_kg::live_relations(&res.subgraph.kg) <= kgtosa_kg::live_relations(&kg));
+        }
+    }
+}

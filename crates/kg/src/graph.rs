@@ -1,0 +1,374 @@
+//! Compressed sparse-row (CSR) adjacency views over a knowledge graph.
+//!
+//! GNN training and sampling need constant-time neighbourhood access, which
+//! the flat triple list cannot provide. [`HeteroGraph`] materializes:
+//!
+//! * per-relation forward and reverse CSR (for RGCN-style message passing,
+//!   one adjacency per relation and direction),
+//! * a merged directed CSR labelled with relation ids, and
+//! * a merged **undirected** CSR used by random walks, PPR and BFS.
+//!
+//! All structures use `u32` vertex ids and boxed slices to minimize memory,
+//! matching the "transformation to adjacency matrices" step in the paper's
+//! Figure 4 pipeline.
+
+use crate::ids::{Cid, Rid, Vid};
+use crate::triples::{KnowledgeGraph, Triple};
+
+/// A compressed sparse-row adjacency structure.
+///
+/// `offsets` has `n + 1` entries; the neighbours of vertex `v` are
+/// `targets[offsets[v] .. offsets[v + 1]]`.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    offsets: Box<[u32]>,
+    targets: Box<[u32]>,
+}
+
+impl Csr {
+    /// Builds a CSR from `(src, dst)` pairs over `n` vertices using two-pass
+    /// counting sort; `O(n + m)` time, no per-edge hashing.
+    pub fn from_edges(n: usize, edges: impl Iterator<Item = (u32, u32)> + Clone) -> Self {
+        let mut counts = vec![0u32; n + 1];
+        let mut m = 0usize;
+        for (s, _) in edges.clone() {
+            counts[s as usize + 1] += 1;
+            m += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone().into_boxed_slice();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; m].into_boxed_slice();
+        for (s, d) in edges {
+            let slot = cursor[s as usize];
+            targets[slot as usize] = d;
+            cursor[s as usize] = slot + 1;
+        }
+        Self { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of stored edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: Vid) -> usize {
+        (self.offsets[v.idx() + 1] - self.offsets[v.idx()]) as usize
+    }
+
+    /// Neighbour slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Vid) -> &[u32] {
+        let lo = self.offsets[v.idx()] as usize;
+        let hi = self.offsets[v.idx() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// The half-open range into the edge arrays for `v` (used to pair
+    /// neighbours with parallel per-edge attributes).
+    #[inline]
+    pub fn edge_range(&self, v: Vid) -> std::ops::Range<usize> {
+        self.offsets[v.idx()] as usize..self.offsets[v.idx() + 1] as usize
+    }
+
+    /// Raw target array (parallel to per-edge attribute arrays).
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+}
+
+/// Forward (`out`) and reverse (`inc`) adjacency for one relation.
+#[derive(Debug, Clone)]
+pub struct RelAdj {
+    /// `s -> o` edges of this relation.
+    pub out: Csr,
+    /// `o -> s` edges of this relation (reverse direction).
+    pub inc: Csr,
+}
+
+/// A merged adjacency over all relations with per-edge relation labels.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledCsr {
+    csr: Csr,
+    rels: Box<[u32]>,
+}
+
+impl LabeledCsr {
+    fn from_edges(n: usize, edges: &[(u32, u32, u32)]) -> Self {
+        // Counting sort keyed by source, carrying (target, rel).
+        let mut counts = vec![0u32; n + 1];
+        for &(s, _, _) in edges {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone().into_boxed_slice();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; edges.len()].into_boxed_slice();
+        let mut rels = vec![0u32; edges.len()].into_boxed_slice();
+        for &(s, d, r) in edges {
+            let slot = cursor[s as usize] as usize;
+            targets[slot] = d;
+            rels[slot] = r;
+            cursor[s as usize] += 1;
+        }
+        Self {
+            csr: Csr { offsets, targets },
+            rels,
+        }
+    }
+
+    /// Neighbour vertex ids of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Vid) -> &[u32] {
+        self.csr.neighbors(v)
+    }
+
+    /// Relation labels parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn rels(&self, v: Vid) -> &[u32] {
+        let range = self.csr.edge_range(v);
+        &self.rels[range]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: Vid) -> usize {
+        self.csr.degree(v)
+    }
+
+    /// Number of edges stored.
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// Underlying unlabeled CSR.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+}
+
+/// All adjacency views required for training and sampling.
+#[derive(Debug, Clone)]
+pub struct HeteroGraph {
+    n: usize,
+    node_class: Vec<Cid>,
+    num_classes: usize,
+    rels: Vec<RelAdj>,
+    merged_out: LabeledCsr,
+    undirected: LabeledCsr,
+}
+
+impl HeteroGraph {
+    /// Builds every view from a knowledge graph. `O(|V| + |R|·|V| + |T|)`.
+    pub fn build(kg: &KnowledgeGraph) -> Self {
+        Self::from_triples(
+            kg.num_nodes(),
+            kg.num_relations(),
+            kg.num_classes(),
+            kg.node_classes().to_vec(),
+            kg.triples(),
+        )
+    }
+
+    /// Builds the views from raw parts (used by subgraph re-indexing, which
+    /// already has remapped triples).
+    pub fn from_triples(
+        n: usize,
+        num_relations: usize,
+        num_classes: usize,
+        node_class: Vec<Cid>,
+        triples: &[Triple],
+    ) -> Self {
+        assert_eq!(node_class.len(), n, "one class per vertex required");
+        // Partition edges by relation once, then build per-relation CSRs.
+        let mut by_rel: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_relations];
+        let mut merged: Vec<(u32, u32, u32)> = Vec::with_capacity(triples.len());
+        let mut undirected: Vec<(u32, u32, u32)> = Vec::with_capacity(triples.len() * 2);
+        for t in triples {
+            by_rel[t.p.idx()].push((t.s.0, t.o.0));
+            merged.push((t.s.0, t.o.0, t.p.0));
+            undirected.push((t.s.0, t.o.0, t.p.0));
+            undirected.push((t.o.0, t.s.0, t.p.0));
+        }
+        let rels = by_rel
+            .into_iter()
+            .map(|edges| RelAdj {
+                out: Csr::from_edges(n, edges.iter().copied()),
+                inc: Csr::from_edges(n, edges.iter().map(|&(s, o)| (o, s))),
+            })
+            .collect();
+        Self {
+            n,
+            node_class,
+            num_classes,
+            rels,
+            merged_out: LabeledCsr::from_edges(n, &merged),
+            undirected: LabeledCsr::from_edges(n, &undirected),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of relations.
+    #[inline]
+    pub fn num_relations(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Number of classes in the id space (including unused ids).
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of directed edges (= triples).
+    pub fn num_edges(&self) -> usize {
+        self.merged_out.num_edges()
+    }
+
+    /// Class of a vertex.
+    #[inline]
+    pub fn class_of(&self, v: Vid) -> Cid {
+        self.node_class[v.idx()]
+    }
+
+    /// All vertex classes.
+    pub fn node_classes(&self) -> &[Cid] {
+        &self.node_class
+    }
+
+    /// Per-relation adjacency.
+    #[inline]
+    pub fn relation(&self, r: Rid) -> &RelAdj {
+        &self.rels[r.idx()]
+    }
+
+    /// Merged directed adjacency with relation labels.
+    pub fn merged_out(&self) -> &LabeledCsr {
+        &self.merged_out
+    }
+
+    /// Merged undirected adjacency with relation labels (each triple appears
+    /// in both directions). Used by walks, PPR and distance computations.
+    pub fn undirected(&self) -> &LabeledCsr {
+        &self.undirected
+    }
+
+    /// Total degree (in + out) of a vertex.
+    #[inline]
+    pub fn total_degree(&self, v: Vid) -> usize {
+        self.undirected.degree(v)
+    }
+
+    /// Approximate heap bytes of all adjacency arrays, reported as the
+    /// "adjacency matrix" footprint in experiments.
+    pub fn heap_bytes(&self) -> usize {
+        let csr_bytes = |c: &Csr| (c.offsets.len() + c.targets.len()) * 4;
+        let labeled = |l: &LabeledCsr| csr_bytes(&l.csr) + l.rels.len() * 4;
+        self.rels
+            .iter()
+            .map(|r| csr_bytes(&r.out) + csr_bytes(&r.inc))
+            .sum::<usize>()
+            + labeled(&self.merged_out)
+            + labeled(&self.undirected)
+            + self.node_class.len() * std::mem::size_of::<Cid>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        // a -w-> p1, a -w-> p2, p1 -in-> v, p2 -in-> v
+        kg.add_triple_terms("a", "Author", "writes", "p1", "Paper");
+        kg.add_triple_terms("a", "Author", "writes", "p2", "Paper");
+        kg.add_triple_terms("p1", "Paper", "publishedIn", "v", "Venue");
+        kg.add_triple_terms("p2", "Paper", "publishedIn", "v", "Venue");
+        kg
+    }
+
+    #[test]
+    fn csr_from_edges_counts_degrees() {
+        let edges = [(0u32, 1u32), (0, 2), (2, 1)];
+        let csr = Csr::from_edges(3, edges.iter().copied());
+        assert_eq!(csr.num_nodes(), 3);
+        assert_eq!(csr.num_edges(), 3);
+        assert_eq!(csr.degree(Vid(0)), 2);
+        assert_eq!(csr.degree(Vid(1)), 0);
+        let mut n0 = csr.neighbors(Vid(0)).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+    }
+
+    #[test]
+    fn per_relation_views_split_edges() {
+        let kg = sample_kg();
+        let g = HeteroGraph::build(&kg);
+        let writes = kg.find_relation("writes").unwrap();
+        let pub_in = kg.find_relation("publishedIn").unwrap();
+        let a = kg.find_node("a").unwrap();
+        let v = kg.find_node("v").unwrap();
+        assert_eq!(g.relation(writes).out.degree(a), 2);
+        assert_eq!(g.relation(writes).inc.degree(a), 0);
+        assert_eq!(g.relation(pub_in).inc.degree(v), 2);
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let kg = sample_kg();
+        let g = HeteroGraph::build(&kg);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.undirected().num_edges(), 8);
+        let v = kg.find_node("v").unwrap();
+        assert_eq!(g.total_degree(v), 2);
+    }
+
+    #[test]
+    fn labels_align_with_neighbors() {
+        let kg = sample_kg();
+        let g = HeteroGraph::build(&kg);
+        let a = kg.find_node("a").unwrap();
+        let writes = kg.find_relation("writes").unwrap();
+        let nbrs = g.merged_out().neighbors(a);
+        let rels = g.merged_out().rels(a);
+        assert_eq!(nbrs.len(), 2);
+        assert!(rels.iter().all(|&r| r == writes.0));
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let mut kg = sample_kg();
+        let lonely = kg.add_node("lonely", "Author");
+        let g = HeteroGraph::build(&kg);
+        assert_eq!(g.total_degree(lonely), 0);
+    }
+
+    #[test]
+    fn degree_sum_equals_edge_count() {
+        let kg = sample_kg();
+        let g = HeteroGraph::build(&kg);
+        let sum: usize = (0..g.num_nodes())
+            .map(|i| g.merged_out().degree(Vid(i as u32)))
+            .sum();
+        assert_eq!(sum, g.num_edges());
+    }
+}

@@ -1,0 +1,107 @@
+//! Strongly-typed integer identifiers for vertices, relations and classes.
+//!
+//! All graph algorithms in this workspace operate on dense `u32` identifiers
+//! produced by the [`crate::dict::Dictionary`]. Newtype wrappers keep the
+//! three id spaces (vertex / relation / class) from being mixed up at compile
+//! time while compiling down to bare integers.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        #[repr(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the id as a `usize` for indexing.
+            #[inline]
+            pub const fn idx(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A vertex (entity or literal) identifier.
+    Vid
+);
+id_type!(
+    /// A relation (predicate / edge type) identifier.
+    Rid
+);
+id_type!(
+    /// A class (node type) identifier.
+    Cid
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let v = Vid::new(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.idx(), 42usize);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(Vid::from(42u32), v);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Rid::new(1) < Rid::new(2));
+        assert_eq!(Cid::new(7), Cid::new(7));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", Vid::new(3)), "Vid(3)");
+        assert_eq!(format!("{}", Cid::new(9)), "9");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Vid::default().raw(), 0);
+    }
+}

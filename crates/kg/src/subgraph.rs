@@ -1,0 +1,333 @@
+//! Vertex sets and induced-subgraph extraction.
+//!
+//! Every TOSG extraction method in the paper ends with
+//! `extractSubgraph(V_s, KG)`: take the sampled vertex set and keep all
+//! triples whose endpoints both fall inside it (Algorithm 1 line 7,
+//! Algorithm 2 line 5). [`NodeSet`] provides O(1) membership over dense
+//! vertex ids and [`induced_subgraph`] performs the extraction with compact
+//! re-indexing so downstream training sees a small, dense id space.
+
+use crate::ids::Vid;
+use crate::triples::{KnowledgeGraph, Triple};
+
+/// A fixed-capacity bitset over vertex ids.
+#[derive(Debug, Clone)]
+pub struct NodeSet {
+    bits: Vec<u64>,
+    len: usize,
+    capacity: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set able to hold ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            bits: vec![0u64; n.div_ceil(64)],
+            len: 0,
+            capacity: n,
+        }
+    }
+
+    /// Builds a set from an iterator of vertices.
+    pub fn from_iter(n: usize, vs: impl IntoIterator<Item = Vid>) -> Self {
+        let mut set = Self::new(n);
+        for v in vs {
+            set.insert(v);
+        }
+        set
+    }
+
+    /// Inserts `v`; returns `true` if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, v: Vid) -> bool {
+        let (word, bit) = (v.idx() / 64, v.idx() % 64);
+        let mask = 1u64 << bit;
+        let fresh = self.bits[word] & mask == 0;
+        self.bits[word] |= mask;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: Vid) -> bool {
+        let (word, bit) = (v.idx() / 64, v.idx() % 64);
+        self.bits
+            .get(word)
+            .is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum id capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = Vid> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = (wi * 64) as u32;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// In-place union with another set of the same capacity.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let mut len = 0usize;
+        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = Vid;
+
+    #[inline]
+    fn next(&mut self) -> Option<Vid> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(Vid(self.base + tz))
+    }
+}
+
+/// The result of extracting and compacting an induced subgraph.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The compacted subgraph (`KG'` in the paper). Relation and class id
+    /// spaces are re-interned so `|R'|`, `|C'|` reflect only what survives.
+    pub kg: KnowledgeGraph,
+    /// For each new vertex id, its id in the parent graph.
+    pub to_parent: Vec<Vid>,
+    /// For each parent vertex, its new id (or `None` if dropped).
+    pub from_parent: Vec<Option<Vid>>,
+}
+
+impl InducedSubgraph {
+    /// Maps a parent vertex into the subgraph.
+    pub fn map_down(&self, parent: Vid) -> Option<Vid> {
+        self.from_parent.get(parent.idx()).copied().flatten()
+    }
+
+    /// Maps a subgraph vertex back to the parent graph.
+    pub fn map_up(&self, sub: Vid) -> Vid {
+        self.to_parent[sub.idx()]
+    }
+}
+
+/// Extracts the subgraph of `kg` induced by `keep`: all kept vertices plus
+/// every triple with both endpoints kept. Terms are preserved; ids are
+/// compacted.
+pub fn induced_subgraph(kg: &KnowledgeGraph, keep: &NodeSet) -> InducedSubgraph {
+    assert!(
+        keep.capacity() >= kg.num_nodes(),
+        "node set too small for graph"
+    );
+    let mut sub = KnowledgeGraph::with_capacity(keep.len(), kg.num_triples() / 4);
+    let mut from_parent: Vec<Option<Vid>> = vec![None; kg.num_nodes()];
+    let mut to_parent: Vec<Vid> = Vec::with_capacity(keep.len());
+    for v in keep.iter() {
+        let new_id = sub.add_node(kg.node_term(v), kg.class_term(kg.class_of(v)));
+        from_parent[v.idx()] = Some(new_id);
+        to_parent.push(v);
+    }
+    for t in kg.triples() {
+        if let (Some(ns), Some(no)) = (from_parent[t.s.idx()], from_parent[t.o.idx()]) {
+            let np = sub.add_relation(kg.relation_term(t.p));
+            sub.add_triple(ns, np, no);
+        }
+    }
+    InducedSubgraph {
+        kg: sub,
+        to_parent,
+        from_parent,
+    }
+}
+
+/// Builds a compacted subgraph directly from a set of parent triples (used
+/// by the SPARQL extraction path, whose output is a triple stream rather
+/// than a vertex set).
+pub fn subgraph_from_triples(kg: &KnowledgeGraph, triples: &[Triple]) -> InducedSubgraph {
+    subgraph_from_triples_and_nodes(kg, triples, &[])
+}
+
+/// Like [`subgraph_from_triples`] but additionally retains `extra_nodes`
+/// even when no fetched triple touches them (e.g. isolated target vertices,
+/// which must stay visible to the training task).
+pub fn subgraph_from_triples_and_nodes(
+    kg: &KnowledgeGraph,
+    triples: &[Triple],
+    extra_nodes: &[Vid],
+) -> InducedSubgraph {
+    let mut keep = NodeSet::new(kg.num_nodes());
+    for t in triples {
+        keep.insert(t.s);
+        keep.insert(t.o);
+    }
+    for &v in extra_nodes {
+        keep.insert(v);
+    }
+    let mut sub = KnowledgeGraph::with_capacity(keep.len(), triples.len());
+    let mut from_parent: Vec<Option<Vid>> = vec![None; kg.num_nodes()];
+    let mut to_parent: Vec<Vid> = Vec::with_capacity(keep.len());
+    for v in keep.iter() {
+        let new_id = sub.add_node(kg.node_term(v), kg.class_term(kg.class_of(v)));
+        from_parent[v.idx()] = Some(new_id);
+        to_parent.push(v);
+    }
+    let mut sorted: Vec<Triple> = triples.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for t in &sorted {
+        let ns = from_parent[t.s.idx()].expect("endpoint collected above");
+        let no = from_parent[t.o.idx()].expect("endpoint collected above");
+        let np = sub.add_relation(kg.relation_term(t.p));
+        sub.add_triple(ns, np, no);
+    }
+    InducedSubgraph {
+        kg: sub,
+        to_parent,
+        from_parent,
+    }
+}
+
+/// Remaps a set of parent-graph target vertices into subgraph ids, dropping
+/// any that were not retained.
+pub fn map_targets(sub: &InducedSubgraph, targets: &[Vid]) -> Vec<Vid> {
+    targets.iter().filter_map(|&v| sub.map_down(v)).collect()
+}
+
+/// Classes referenced by at least one vertex of `kg` (i.e. `|C'|` counting
+/// only live classes, as reported in Table III).
+pub fn live_classes(kg: &KnowledgeGraph) -> usize {
+    let mut seen = vec![false; kg.num_classes()];
+    for &c in kg.node_classes() {
+        seen[c.idx()] = true;
+    }
+    seen.iter().filter(|&&b| b).count()
+}
+
+/// Relations referenced by at least one triple of `kg` (`|R'|`).
+pub fn live_relations(kg: &KnowledgeGraph) -> usize {
+    let mut seen = vec![false; kg.num_relations()];
+    for t in kg.triples() {
+        seen[t.p.idx()] = true;
+    }
+    seen.iter().filter(|&&b| b).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_kg() -> KnowledgeGraph {
+        // a -r-> b -r-> c -s-> d
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_terms("a", "A", "r", "b", "B");
+        kg.add_triple_terms("b", "B", "r", "c", "C");
+        kg.add_triple_terms("c", "C", "s", "d", "D");
+        kg
+    }
+
+    #[test]
+    fn nodeset_insert_contains_len() {
+        let mut s = NodeSet::new(130);
+        assert!(s.insert(Vid(0)));
+        assert!(s.insert(Vid(129)));
+        assert!(!s.insert(Vid(0)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Vid(129)));
+        assert!(!s.contains(Vid(64)));
+    }
+
+    #[test]
+    fn nodeset_iter_ascending() {
+        let s = NodeSet::from_iter(200, [Vid(5), Vid(64), Vid(199), Vid(5)]);
+        let got: Vec<u32> = s.iter().map(|v| v.raw()).collect();
+        assert_eq!(got, vec![5, 64, 199]);
+    }
+
+    #[test]
+    fn nodeset_union() {
+        let mut a = NodeSet::from_iter(100, [Vid(1), Vid(2)]);
+        let b = NodeSet::from_iter(100, [Vid(2), Vid(3)]);
+        a.union_with(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(Vid(3)));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_triples_only() {
+        let kg = chain_kg();
+        let keep = NodeSet::from_iter(
+            kg.num_nodes(),
+            ["a", "b", "c"].iter().map(|t| kg.find_node(t).unwrap()),
+        );
+        let sub = induced_subgraph(&kg, &keep);
+        assert_eq!(sub.kg.num_nodes(), 3);
+        // a->b and b->c survive; c->d is cut.
+        assert_eq!(sub.kg.num_triples(), 2);
+        assert_eq!(live_relations(&sub.kg), 1);
+    }
+
+    #[test]
+    fn mapping_roundtrips() {
+        let kg = chain_kg();
+        let b = kg.find_node("b").unwrap();
+        let keep = NodeSet::from_iter(kg.num_nodes(), [b]);
+        let sub = induced_subgraph(&kg, &keep);
+        let down = sub.map_down(b).unwrap();
+        assert_eq!(sub.map_up(down), b);
+        assert_eq!(sub.kg.node_term(down), "b");
+        let a = kg.find_node("a").unwrap();
+        assert_eq!(sub.map_down(a), None);
+    }
+
+    #[test]
+    fn subgraph_from_triples_dedups() {
+        let kg = chain_kg();
+        let t = kg.triples()[0];
+        let sub = subgraph_from_triples(&kg, &[t, t, kg.triples()[1]]);
+        assert_eq!(sub.kg.num_triples(), 2);
+        assert_eq!(sub.kg.num_nodes(), 3);
+    }
+
+    #[test]
+    fn live_counts_ignore_dead_ids() {
+        let kg = chain_kg();
+        assert_eq!(live_classes(&kg), 4);
+        assert_eq!(live_relations(&kg), 2);
+    }
+
+    #[test]
+    fn map_targets_filters_dropped() {
+        let kg = chain_kg();
+        let a = kg.find_node("a").unwrap();
+        let d = kg.find_node("d").unwrap();
+        let keep = NodeSet::from_iter(kg.num_nodes(), [a]);
+        let sub = induced_subgraph(&kg, &keep);
+        let mapped = map_targets(&sub, &[a, d]);
+        assert_eq!(mapped.len(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the KG data-model invariants.
+
+use proptest::prelude::*;
+
+use kgtosa_kg::{
+    distances_to_targets, induced_subgraph, neighbor_type_entropy, Dictionary, HeteroGraph,
+    KnowledgeGraph, NodeSet, Vid,
+};
+
+/// Strategy: a random small KG as raw (s_class, p, o_class) edge templates
+/// over bounded id spaces, plus node counts.
+fn arb_kg() -> impl Strategy<Value = KnowledgeGraph> {
+    (2usize..40, 1usize..5, 1usize..6).prop_flat_map(|(n, num_rel, num_cls)| {
+        let edges = proptest::collection::vec((0..n, 0..num_rel, 0..n), 0..120);
+        edges.prop_map(move |edges| {
+            let mut kg = KnowledgeGraph::with_capacity(n, edges.len());
+            for v in 0..n {
+                kg.add_node(&format!("n{v}"), &format!("C{}", v % num_cls));
+            }
+            for r in 0..num_rel {
+                kg.add_relation(&format!("r{r}"));
+            }
+            for (s, p, o) in edges {
+                kg.add_triple(
+                    Vid(s as u32),
+                    kg.find_relation(&format!("r{p}")).unwrap(),
+                    Vid(o as u32),
+                );
+            }
+            kg
+        })
+    })
+}
+
+proptest! {
+    /// Interning any sequence of strings is a bijection onto 0..len.
+    #[test]
+    fn dictionary_bijection(terms in proptest::collection::vec("[a-z]{1,12}", 1..100)) {
+        let mut d = Dictionary::new();
+        let ids: Vec<u32> = terms.iter().map(|t| d.intern(t)).collect();
+        // resolve(intern(t)) == t
+        for (term, &id) in terms.iter().zip(&ids) {
+            prop_assert_eq!(d.resolve(id), term.as_str());
+        }
+        // ids are dense
+        let mut unique: Vec<u32> = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), d.len());
+        prop_assert_eq!(*unique.last().unwrap() as usize, d.len() - 1);
+    }
+
+    /// Sum of per-vertex merged out-degrees equals the triple count, and the
+    /// undirected view stores exactly twice the triples.
+    #[test]
+    fn csr_degree_sums(kg in arb_kg()) {
+        let g = HeteroGraph::build(&kg);
+        let out_sum: usize = (0..g.num_nodes())
+            .map(|v| g.merged_out().degree(Vid(v as u32)))
+            .sum();
+        prop_assert_eq!(out_sum, kg.num_triples());
+        prop_assert_eq!(g.undirected().num_edges(), kg.num_triples() * 2);
+    }
+
+    /// Per-relation CSRs partition the triple set.
+    #[test]
+    fn relation_partition(kg in arb_kg()) {
+        let g = HeteroGraph::build(&kg);
+        let rel_sum: usize = (0..g.num_relations())
+            .map(|r| g.relation(kgtosa_kg::Rid(r as u32)).out.num_edges())
+            .sum();
+        prop_assert_eq!(rel_sum, kg.num_triples());
+    }
+
+    /// An induced subgraph never invents vertices, triples, classes or
+    /// relations, and every kept triple's endpoints are kept vertices.
+    #[test]
+    fn induced_subgraph_is_subset(kg in arb_kg(), mask in proptest::collection::vec(any::<bool>(), 40)) {
+        let keep = NodeSet::from_iter(
+            kg.num_nodes(),
+            (0..kg.num_nodes()).filter(|&v| mask[v % mask.len()]).map(|v| Vid(v as u32)),
+        );
+        let sub = induced_subgraph(&kg, &keep);
+        prop_assert_eq!(sub.kg.num_nodes(), keep.len());
+        prop_assert!(sub.kg.num_triples() <= kg.num_triples());
+        // Round-trip: every subgraph triple exists in the parent.
+        for t in sub.kg.triples() {
+            let ps = sub.map_up(t.s);
+            let po = sub.map_up(t.o);
+            let rel = kg.find_relation(sub.kg.relation_term(t.p)).unwrap();
+            prop_assert!(kg.triples().iter().any(|pt| pt.s == ps && pt.o == po && pt.p == rel));
+        }
+    }
+
+    /// BFS distances satisfy the triangle property along edges: for every
+    /// undirected edge (u,v), |d(u) - d(v)| <= 1 when both are reachable.
+    #[test]
+    fn bfs_distance_lipschitz(kg in arb_kg()) {
+        if kg.num_nodes() == 0 { return Ok(()); }
+        let g = HeteroGraph::build(&kg);
+        let targets = vec![Vid(0)];
+        let d = distances_to_targets(&g, &targets);
+        for t in kg.triples() {
+            let (du, dv) = (d[t.s.idx()], d[t.o.idx()]);
+            if du != u32::MAX && dv != u32::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                // One endpoint reachable implies the other is too.
+                prop_assert_eq!(du, dv);
+            }
+        }
+    }
+
+    /// Entropy is non-negative and bounded by log2(#distinct buckets).
+    #[test]
+    fn entropy_bounds(kg in arb_kg()) {
+        let g = HeteroGraph::build(&kg);
+        let h = neighbor_type_entropy(&g);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= ((g.num_nodes().max(1)) as f64).log2() + 1e-12);
+    }
+
+    /// NodeSet iteration yields ascending unique ids matching membership.
+    #[test]
+    fn nodeset_iter_consistent(ids in proptest::collection::vec(0u32..500, 0..200)) {
+        let set = NodeSet::from_iter(500, ids.iter().map(|&i| Vid(i)));
+        let collected: Vec<u32> = set.iter().map(|v| v.raw()).collect();
+        let mut expect: Vec<u32> = ids.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(collected, expect);
+        prop_assert_eq!(set.len(), set.iter().count());
+    }
+}

@@ -1,0 +1,190 @@
+//! Shared dataset views, training configuration and reports for the six
+//! HGNN methods.
+
+use kgtosa_kg::{HeteroGraph, KnowledgeGraph, Triple, Vid};
+use kgtosa_tensor::Matrix;
+use serde::Serialize;
+
+/// A node-classification dataset over a (sub)graph.
+///
+/// `labels[v]` is the class index of vertex `v` or
+/// [`kgtosa_tensor::IGNORE_LABEL`] for non-target vertices. Splits hold
+/// target vertex ids.
+pub struct NcDataset<'a> {
+    /// The knowledge graph being trained on (FG or KG').
+    pub kg: &'a KnowledgeGraph,
+    /// Its adjacency views.
+    pub graph: &'a HeteroGraph,
+    /// Per-vertex labels.
+    pub labels: &'a [u32],
+    /// Number of label classes.
+    pub num_labels: usize,
+    /// Training target vertices.
+    pub train: &'a [Vid],
+    /// Validation target vertices.
+    pub valid: &'a [Vid],
+    /// Test target vertices.
+    pub test: &'a [Vid],
+}
+
+/// A link-prediction dataset: triples of one task predicate split by time
+/// or randomly (Table II).
+pub struct LpDataset<'a> {
+    /// The knowledge graph being trained on (FG or KG').
+    pub kg: &'a KnowledgeGraph,
+    /// Its adjacency views.
+    pub graph: &'a HeteroGraph,
+    /// Training triples of the task predicate.
+    pub train: &'a [Triple],
+    /// Validation triples.
+    pub valid: &'a [Triple],
+    /// Test triples.
+    pub test: &'a [Triple],
+}
+
+/// Hyperparameters shared by all trainers.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Embedding / hidden dimension (the paper uses 128; scaled runs use
+    /// less).
+    pub dim: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed (weights, sampling, negatives).
+    pub seed: u64,
+    /// Mini-batch size where the method uses batches.
+    pub batch_size: usize,
+    /// Negative samples per positive (LP methods).
+    pub negatives: usize,
+    /// TransE margin (MorsE).
+    pub margin: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            dim: 32,
+            lr: 1e-2,
+            seed: 7,
+            batch_size: 256,
+            negatives: 4,
+            margin: 1.0,
+        }
+    }
+}
+
+/// One point of a convergence trace (Figure 9): elapsed wall-clock seconds
+/// and the validation metric at that moment.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TracePoint {
+    /// Epoch index (1-based).
+    pub epoch: usize,
+    /// Seconds since training started.
+    pub elapsed_s: f64,
+    /// Validation metric (accuracy or Hits@10).
+    pub metric: f64,
+}
+
+/// The outcome of one training run, covering every quantity the paper
+/// reports per method (Figures 1, 6, 7; Table IV).
+#[derive(Debug, Clone, Serialize)]
+pub struct TrainReport {
+    /// Method label (e.g. `RGCN`, `GraphSAINT`).
+    pub method: String,
+    /// Epochs run.
+    pub epochs: usize,
+    /// Training wall-clock seconds.
+    pub training_s: f64,
+    /// Test-set inference wall-clock seconds.
+    pub inference_s: f64,
+    /// Trainable parameter count (model size).
+    pub param_count: usize,
+    /// Final test metric (accuracy for NC, Hits@10 for LP).
+    pub metric: f64,
+    /// Convergence trace on the validation split.
+    pub trace: Vec<TracePoint>,
+}
+
+/// Softmax cross-entropy with per-row weights (GraphSAINT's loss
+/// normalization). Rows with weight 0 or ignored labels contribute nothing.
+pub fn weighted_cross_entropy(
+    logits: &Matrix,
+    labels: &[u32],
+    weights: &[f32],
+) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len());
+    assert_eq!(logits.rows(), weights.len());
+    let probs = kgtosa_tensor::softmax_rows(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f64;
+    let mut weight_sum = 0.0f64;
+    for (r, (&label, &w)) in labels.iter().zip(weights).enumerate() {
+        if label == kgtosa_tensor::IGNORE_LABEL || w == 0.0 {
+            grad.row_mut(r).fill(0.0);
+            continue;
+        }
+        weight_sum += w as f64;
+        let p = probs.get(r, label as usize).max(1e-12);
+        loss -= w as f64 * (p as f64).ln();
+        let g = grad.row_mut(r);
+        g[label as usize] -= 1.0;
+        for v in g.iter_mut() {
+            *v *= w;
+        }
+    }
+    let denom = weight_sum.max(1.0);
+    grad.scale(1.0 / denom as f32);
+    ((loss / denom) as f32, grad)
+}
+
+/// Builds the per-vertex label array restricted to the given labeled set
+/// (everything else ignored).
+pub fn restrict_labels(labels: &[u32], keep: &[Vid], n: usize) -> Vec<u32> {
+    let mut out = vec![kgtosa_tensor::IGNORE_LABEL; n];
+    for &v in keep {
+        out[v.idx()] = labels[v.idx()];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgtosa_tensor::IGNORE_LABEL;
+
+    #[test]
+    fn weighted_ce_matches_unweighted_when_uniform() {
+        let logits = Matrix::from_vec(2, 3, vec![1., 2., 3., 0., 0., 0.]);
+        let labels = [2u32, 0u32];
+        let (lw, gw) = weighted_cross_entropy(&logits, &labels, &[1.0, 1.0]);
+        let (lu, gu) = kgtosa_tensor::softmax_cross_entropy(&logits, &labels);
+        assert!((lw - lu).abs() < 1e-6);
+        for (a, b) in gw.data().iter().zip(gu.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_weight_rows_are_silent() {
+        let logits = Matrix::from_vec(2, 2, vec![5., -5., 0., 0.]);
+        let (_, g) = weighted_cross_entropy(&logits, &[0, 1], &[0.0, 1.0]);
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+        assert!(g.row(1)[1] < 0.0);
+    }
+
+    #[test]
+    fn restrict_labels_masks_rest() {
+        let labels = vec![1, 2, 3];
+        let out = restrict_labels(&labels, &[Vid(1)], 3);
+        assert_eq!(out, vec![IGNORE_LABEL, 2, IGNORE_LABEL]);
+    }
+
+    #[test]
+    fn config_defaults_sane() {
+        let c = TrainConfig::default();
+        assert!(c.epochs > 0 && c.dim > 0 && c.lr > 0.0);
+    }
+}

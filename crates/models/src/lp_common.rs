@@ -1,0 +1,224 @@
+//! Shared link-prediction machinery: negative sampling and full-entity
+//! ranking evaluation (Hits@10, the paper's LP metric).
+
+use kgtosa_kg::Triple;
+use kgtosa_nn::{rank_of, ranking_metrics, RankingMetrics};
+use kgtosa_tensor::Matrix;
+use rand::Rng;
+
+/// Decoder used for ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoder {
+    /// `score = Σ h·r·t` (higher is better).
+    DistMult,
+    /// `score = −‖h + r − t‖₁` (higher is better).
+    TransE,
+}
+
+impl Decoder {
+    /// Scores one triple from embedding rows.
+    pub fn score(self, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        match self {
+            Decoder::DistMult => kgtosa_nn::distmult_score(h, r, t),
+            Decoder::TransE => -kgtosa_nn::transe_distance(h, r, t),
+        }
+    }
+}
+
+/// Draws a corrupted entity id different from the true one.
+pub fn corrupt_entity(rng: &mut impl Rng, n: usize, avoid: u32) -> u32 {
+    debug_assert!(n > 1, "cannot corrupt with a single entity");
+    loop {
+        let cand = rng.gen_range(0..n) as u32;
+        if cand != avoid {
+            return cand;
+        }
+    }
+}
+
+/// Which corruption side(s) to rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankSide {
+    /// Replace the object: predict `⟨v_t, p, ?⟩` — the paper's
+    /// missing-entity task with the subject as target vertex.
+    Tail,
+    /// Replace the subject: predict `⟨?, p, v_t⟩`.
+    Head,
+    /// Rank both sides (classic KG-completion protocol).
+    Both,
+}
+
+/// Ranks every evaluation triple against all entities (raw / unfiltered
+/// setting) and aggregates the metrics.
+pub fn evaluate_ranking_sided(
+    entities: &Matrix,
+    relations: &Matrix,
+    triples: &[Triple],
+    decoder: Decoder,
+    side: RankSide,
+) -> RankingMetrics {
+    let n = entities.rows();
+    let mut ranks: Vec<f64> = Vec::with_capacity(triples.len() * 2);
+    for t in triples {
+        let h = entities.row(t.s.idx());
+        let r = relations.row(t.p.idx());
+        let tt = entities.row(t.o.idx());
+        let true_score = decoder.score(h, r, tt);
+        if side != RankSide::Head {
+            // Tail corruption.
+            let mut scores = Vec::with_capacity(n - 1);
+            for e in 0..n {
+                if e == t.o.idx() {
+                    continue;
+                }
+                scores.push(decoder.score(h, r, entities.row(e)));
+            }
+            ranks.push(rank_of(true_score, &scores));
+        }
+        if side != RankSide::Tail {
+            // Head corruption.
+            let mut scores = Vec::with_capacity(n - 1);
+            for e in 0..n {
+                if e == t.s.idx() {
+                    continue;
+                }
+                scores.push(decoder.score(entities.row(e), r, tt));
+            }
+            ranks.push(rank_of(true_score, &scores));
+        }
+    }
+    ranking_metrics(&ranks)
+}
+
+/// Tail-side ranking — the protocol used by the trainers here, matching
+/// the paper's per-predicate missing-entity tasks (predict the affiliation
+/// of an author, the occupation of a person, the citizenship of a person:
+/// all object-side predictions).
+pub fn evaluate_ranking(
+    entities: &Matrix,
+    relations: &Matrix,
+    triples: &[Triple],
+    decoder: Decoder,
+) -> RankingMetrics {
+    evaluate_ranking_sided(entities, relations, triples, decoder, RankSide::Tail)
+}
+
+/// **Filtered** tail-side ranking (the standard KG-completion protocol):
+/// candidates that form a *known true* triple — any `(s, p, e)` present in
+/// `known` — are excluded from the ranking, so a model is not penalized
+/// for ranking another correct answer above the test answer.
+pub fn evaluate_ranking_filtered(
+    entities: &Matrix,
+    relations: &Matrix,
+    triples: &[Triple],
+    known: &[Triple],
+    decoder: Decoder,
+) -> RankingMetrics {
+    use kgtosa_kg::FxHashSet;
+    let known_set: FxHashSet<(u32, u32, u32)> = known
+        .iter()
+        .chain(triples)
+        .map(|t| (t.s.raw(), t.p.raw(), t.o.raw()))
+        .collect();
+    let n = entities.rows();
+    let mut ranks: Vec<f64> = Vec::with_capacity(triples.len());
+    for t in triples {
+        let h = entities.row(t.s.idx());
+        let r = relations.row(t.p.idx());
+        let tt = entities.row(t.o.idx());
+        let true_score = decoder.score(h, r, tt);
+        let mut scores = Vec::with_capacity(n - 1);
+        for e in 0..n {
+            if e == t.o.idx() || known_set.contains(&(t.s.raw(), t.p.raw(), e as u32)) {
+                continue;
+            }
+            scores.push(decoder.score(h, r, entities.row(e)));
+        }
+        ranks.push(rank_of(true_score, &scores));
+    }
+    ranking_metrics(&ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgtosa_kg::{Rid, Vid};
+
+    #[test]
+    fn corrupt_avoids_true() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        for _ in 0..20 {
+            assert_ne!(corrupt_entity(&mut rng, 5, 2), 2);
+        }
+    }
+
+    #[test]
+    fn perfect_embeddings_rank_first() {
+        // 4 entities on a line; relation = +1 shift; TransE exact.
+        let entities = Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+        let relations = Matrix::from_vec(1, 1, vec![1.0]);
+        let triples = vec![
+            Triple::new(Vid(0), Rid(0), Vid(1)),
+            Triple::new(Vid(1), Rid(0), Vid(2)),
+        ];
+        let m = evaluate_ranking(&entities, &relations, &triples, Decoder::TransE);
+        assert_eq!(m.hits_at_1, 1.0);
+        assert_eq!(m.hits_at_10, 1.0);
+        assert_eq!(m.mrr, 1.0);
+    }
+
+    #[test]
+    fn decoder_scores_agree_with_nn() {
+        let h = [0.2f32, -0.4];
+        let r = [0.1, 0.3];
+        let t = [0.5, 0.0];
+        assert_eq!(
+            Decoder::DistMult.score(&h, &r, &t),
+            kgtosa_nn::distmult_score(&h, &r, &t)
+        );
+        assert_eq!(
+            Decoder::TransE.score(&h, &r, &t),
+            -kgtosa_nn::transe_distance(&h, &r, &t)
+        );
+    }
+
+    #[test]
+    fn filtered_ranking_excludes_known_answers() {
+        // Entities on a line, TransE with r = +1. Test triple 0 -> 1; a
+        // *known* triple 0 -> 1' where entity 3 is also at position 1.0:
+        // unfiltered, entity 3 ties the true answer; filtered, it is
+        // excluded and the true answer ranks clean first.
+        let entities = Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 1.0]);
+        let relations = Matrix::from_vec(1, 1, vec![1.0]);
+        let test = vec![Triple::new(Vid(0), Rid(0), Vid(1))];
+        let known = vec![Triple::new(Vid(0), Rid(0), Vid(3))];
+        let raw = evaluate_ranking(&entities, &relations, &test, Decoder::TransE);
+        assert_eq!(raw.mean_rank, 1.5, "tie splits the rank without filtering");
+        let filtered =
+            evaluate_ranking_filtered(&entities, &relations, &test, &known, Decoder::TransE);
+        assert_eq!(filtered.mean_rank, 1.0);
+        assert_eq!(filtered.hits_at_1, 1.0);
+    }
+
+    #[test]
+    fn filtered_equals_raw_when_no_overlap() {
+        let entities = Matrix::from_vec(3, 1, vec![0.0, 1.0, 5.0]);
+        let relations = Matrix::from_vec(1, 1, vec![1.0]);
+        let test = vec![Triple::new(Vid(0), Rid(0), Vid(1))];
+        let raw = evaluate_ranking(&entities, &relations, &test, Decoder::TransE);
+        let filtered =
+            evaluate_ranking_filtered(&entities, &relations, &test, &[], Decoder::TransE);
+        assert_eq!(raw, filtered);
+    }
+
+    #[test]
+    fn random_embeddings_rank_midfield() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let entities = kgtosa_tensor::xavier_uniform(50, 4, &mut rng);
+        let relations = kgtosa_tensor::xavier_uniform(2, 4, &mut rng);
+        let triples = vec![Triple::new(Vid(0), Rid(0), Vid(1))];
+        let m = evaluate_ranking(&entities, &relations, &triples, Decoder::DistMult);
+        assert!(m.mean_rank > 1.0 && m.mean_rank < 50.0);
+    }
+}

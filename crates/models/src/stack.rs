@@ -1,0 +1,217 @@
+//! A reusable two-layer RGCN network (embedding → conv → conv → logits)
+//! with its optimizer state — the encoder shared by the RGCN, GraphSAINT
+//! and ShaDowSAINT trainers.
+
+use kgtosa_kg::HeteroGraph;
+use kgtosa_nn::{RgcnCache, RgcnGrads, RgcnLayer};
+use kgtosa_tensor::{xavier_uniform, Adam, AdamConfig, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Optimizer state for one [`RgcnLayer`].
+pub struct RgcnLayerOpt {
+    w_fwd: Vec<Adam>,
+    w_rev: Vec<Adam>,
+    w_self: Adam,
+    b: Adam,
+}
+
+impl RgcnLayerOpt {
+    /// Creates state matching a layer's shape.
+    pub fn new(layer: &RgcnLayer, cfg: AdamConfig) -> Self {
+        Self {
+            w_fwd: layer
+                .w_fwd
+                .iter()
+                .map(|w| Adam::new(w.param_count(), cfg))
+                .collect(),
+            w_rev: layer
+                .w_rev
+                .iter()
+                .map(|w| Adam::new(w.param_count(), cfg))
+                .collect(),
+            w_self: Adam::new(layer.w_self.param_count(), cfg),
+            b: Adam::new(layer.b.len(), cfg),
+        }
+    }
+
+    /// Applies one Adam step for every parameter of the layer.
+    pub fn step(&mut self, layer: &mut RgcnLayer, grads: &RgcnGrads) {
+        for ((w, g), opt) in layer
+            .w_fwd
+            .iter_mut()
+            .zip(&grads.w_fwd)
+            .zip(&mut self.w_fwd)
+        {
+            opt.step(w, g);
+        }
+        for ((w, g), opt) in layer
+            .w_rev
+            .iter_mut()
+            .zip(&grads.w_rev)
+            .zip(&mut self.w_rev)
+        {
+            opt.step(w, g);
+        }
+        self.w_self.step(&mut layer.w_self, &grads.w_self);
+        self.b.step_slice(&mut layer.b, &grads.b);
+    }
+}
+
+/// A two-layer RGCN classifier head over externally-supplied node features.
+pub struct RgcnStack {
+    /// Hidden layer (ReLU).
+    pub layer1: RgcnLayer,
+    /// Output layer (identity, emits logits).
+    pub layer2: RgcnLayer,
+    opt1: RgcnLayerOpt,
+    opt2: RgcnLayerOpt,
+}
+
+/// Forward caches needed for backprop through the stack.
+pub struct StackCache {
+    h1: Matrix,
+    c1: RgcnCache,
+    c2: RgcnCache,
+}
+
+impl StackCache {
+    /// Hidden activation after layer 1.
+    pub(crate) fn h1(&self) -> &Matrix {
+        &self.h1
+    }
+
+    /// Layer-1 cache.
+    pub(crate) fn c1(&self) -> &RgcnCache {
+        &self.c1
+    }
+
+    /// Layer-2 cache.
+    pub(crate) fn c2(&self) -> &RgcnCache {
+        &self.c2
+    }
+}
+
+impl RgcnStack {
+    /// Builds the stack for `num_relations` edge types.
+    pub fn new(
+        num_relations: usize,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layer1 = RgcnLayer::new(num_relations, in_dim, hidden, true, &mut rng);
+        let layer2 = RgcnLayer::new(num_relations, hidden, out_dim, false, &mut rng);
+        let adam = AdamConfig { lr, ..Default::default() };
+        let opt1 = RgcnLayerOpt::new(&layer1, adam);
+        let opt2 = RgcnLayerOpt::new(&layer2, adam);
+        Self { layer1, layer2, opt1, opt2 }
+    }
+
+    /// Forward pass: features → logits.
+    pub fn forward(&self, g: &HeteroGraph, x: &Matrix) -> (Matrix, StackCache) {
+        let (h1, c1) = self.layer1.forward(g, x);
+        let (logits, c2) = self.layer2.forward(g, &h1);
+        (logits, StackCache { h1, c1, c2 })
+    }
+
+    /// Backward pass + optimizer step. Returns `∂L/∂x` (for embedding
+    /// updates upstream).
+    pub fn backward_step(
+        &mut self,
+        g: &HeteroGraph,
+        x: &Matrix,
+        cache: &StackCache,
+        grad_logits: Matrix,
+    ) -> Matrix {
+        let (grad_h1, g2) = self.layer2.backward(g, &cache.h1, &cache.c2, grad_logits);
+        let (grad_x, g1) = self.layer1.backward(g, x, &cache.c1, grad_h1);
+        self.opt2.step(&mut self.layer2, &g2);
+        self.opt1.step(&mut self.layer1, &g1);
+        grad_x
+    }
+
+    /// Applies externally-accumulated gradients (mini-batch trainers that
+    /// average gradients across many small graphs before stepping).
+    pub fn apply_grads(&mut self, g1: &RgcnGrads, g2: &RgcnGrads) {
+        self.opt1.step(&mut self.layer1, g1);
+        self.opt2.step(&mut self.layer2, g2);
+    }
+
+    /// Trainable parameters in the two conv layers.
+    pub fn param_count(&self) -> usize {
+        self.layer1.param_count() + self.layer2.param_count()
+    }
+}
+
+/// A learnable node-embedding table with dense Adam (full-batch methods).
+pub struct EmbeddingTable {
+    /// The table, one row per vertex.
+    pub weight: Matrix,
+    opt: Adam,
+}
+
+impl EmbeddingTable {
+    /// Xavier-initialized table (the paper initializes node embeddings
+    /// "randomly using Xavier weight").
+    pub fn new(n: usize, dim: usize, lr: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        Self {
+            weight: xavier_uniform(n, dim, &mut rng),
+            opt: Adam::new(n * dim, AdamConfig { lr, ..Default::default() }),
+        }
+    }
+
+    /// Dense Adam step over the whole table.
+    pub fn step(&mut self, grad: &Matrix) {
+        self.opt.step(&mut self.weight, grad);
+    }
+
+    /// Parameter count.
+    pub fn param_count(&self) -> usize {
+        self.weight.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgtosa_kg::KnowledgeGraph;
+    use kgtosa_tensor::softmax_cross_entropy;
+
+    /// The stack must be able to overfit a two-node toy task.
+    #[test]
+    fn stack_overfits_toy_task() {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_terms("a", "A", "r", "x", "X");
+        kg.add_triple_terms("b", "B", "s", "x", "X");
+        let g = HeteroGraph::build(&kg);
+        let labels = vec![0u32, kgtosa_tensor::IGNORE_LABEL, 1u32];
+        let mut embed = EmbeddingTable::new(g.num_nodes(), 8, 0.05, 1);
+        let mut stack = RgcnStack::new(g.num_relations(), 8, 8, 2, 0.05, 2);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..60 {
+            let (logits, cache) = stack.forward(&g, &embed.weight);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            let grad_x = stack.backward_step(&g, &embed.weight, &cache, grad);
+            embed.step(&grad_x);
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.1, "failed to overfit: loss {last_loss}");
+        let (logits, _) = stack.forward(&g, &embed.weight);
+        let preds = kgtosa_tensor::argmax_rows(&logits);
+        assert_eq!(preds[0], 0);
+        assert_eq!(preds[2], 1);
+    }
+
+    #[test]
+    fn param_count_positive() {
+        let stack = RgcnStack::new(3, 4, 8, 2, 0.01, 0);
+        assert!(stack.param_count() > 0);
+        let emb = EmbeddingTable::new(10, 4, 0.01, 0);
+        assert_eq!(emb.param_count(), 40);
+    }
+}

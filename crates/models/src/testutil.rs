@@ -1,0 +1,25 @@
+//! Shared fixtures for the model trainers' unit tests.
+#![cfg(test)]
+
+use kgtosa_kg::{KnowledgeGraph, Vid};
+use kgtosa_tensor::IGNORE_LABEL;
+
+/// A separable toy NC task: papers connect to exactly one of two venues and
+/// the venue determines the label. Returns `(kg, labels, paper_vertices)`.
+pub(crate) fn toy_nc() -> (KnowledgeGraph, Vec<u32>, Vec<Vid>) {
+    let mut kg = KnowledgeGraph::new();
+    for i in 0..20 {
+        let venue = if i % 2 == 0 { "v0" } else { "v1" };
+        kg.add_triple_terms(&format!("p{i}"), "Paper", "publishedIn", venue, "Venue");
+        // A second relation adds heterogeneity without changing the signal.
+        kg.add_triple_terms(&format!("a{}", i % 5), "Author", "writes", &format!("p{i}"), "Paper");
+    }
+    let papers = kg.nodes_of_class(kg.find_class("Paper").unwrap());
+    let mut labels = vec![IGNORE_LABEL; kg.num_nodes()];
+    for &p in &papers {
+        let term = kg.node_term(p);
+        let i: usize = term[1..].parse().unwrap();
+        labels[p.idx()] = (i % 2) as u32;
+    }
+    (kg, labels, papers)
+}

@@ -1,0 +1,44 @@
+//! Shared link-prediction fixture for trainer unit tests.
+#![cfg(test)]
+
+use kgtosa_kg::{KnowledgeGraph, Triple};
+
+/// A learnable toy LP task: authors work in departments, departments are
+/// part of organisations, and `affiliatedWith(author, org)` follows from
+/// the two-hop path. The last 6 affiliation triples are held out (not
+/// added as graph edges) for validation/test.
+///
+/// Returns `(kg, affiliation_triples)` where the first `len - 6` triples
+/// are training edges present in the graph.
+pub(crate) fn toy_lp() -> (KnowledgeGraph, Vec<Triple>) {
+    let mut kg = KnowledgeGraph::new();
+    let aff = kg.add_relation("affiliatedWith");
+    let mut triples = Vec::new();
+    for o in 0..3 {
+        let org = kg.add_node(&format!("org{o}"), "Org");
+        for d in 0..2 {
+            let dept = kg.add_node(&format!("dept{o}_{d}"), "Dept");
+            let part_of = kg.add_relation("partOf");
+            kg.add_triple(dept, part_of, org);
+            for a in 0..5 {
+                let author = kg.add_node(&format!("auth{o}_{d}_{a}"), "Author");
+                let works_in = kg.add_relation("worksIn");
+                kg.add_triple(author, works_in, dept);
+                triples.push(Triple::new(author, aff, org));
+            }
+        }
+    }
+    // Deterministic interleave so held-out triples span all orgs.
+    let held_out: Vec<Triple> = triples.iter().copied().skip(4).step_by(5).take(6).collect();
+    let train: Vec<Triple> = triples
+        .iter()
+        .copied()
+        .filter(|t| !held_out.contains(t))
+        .collect();
+    for t in &train {
+        kg.add_triple(t.s, t.p, t.o);
+    }
+    let mut ordered = train;
+    ordered.extend(held_out);
+    (kg, ordered)
+}

@@ -1,0 +1,125 @@
+//! Relation-aligned subgraph views.
+//!
+//! Mini-batch trainers (GraphSAINT, ShaDowSAINT) run the *same* per-relation
+//! weights on every sampled subgraph, so the subgraph's adjacency must keep
+//! the parent's relation and class id spaces — unlike
+//! [`kgtosa_kg::induced_subgraph`], which compacts them for standalone use.
+//! Only vertex ids are remapped (so activation matrices stay small).
+
+use kgtosa_kg::{HeteroGraph, KnowledgeGraph, NodeSet, Triple, Vid};
+
+/// A compact-vertex view of a subgraph that shares the parent's relation
+/// and class id spaces.
+pub struct SubgraphView {
+    /// Adjacency over compacted vertex ids.
+    pub graph: HeteroGraph,
+    /// For each view vertex, the parent vertex id (also the embedding row).
+    pub to_parent: Vec<Vid>,
+}
+
+impl SubgraphView {
+    /// Builds the view induced by `nodes`.
+    pub fn build(kg: &KnowledgeGraph, nodes: &NodeSet) -> Self {
+        let to_parent: Vec<Vid> = nodes.iter().collect();
+        let mut from_parent = vec![u32::MAX; kg.num_nodes()];
+        for (new, &old) in to_parent.iter().enumerate() {
+            from_parent[old.idx()] = new as u32;
+        }
+        let mut triples: Vec<Triple> = Vec::new();
+        for t in kg.triples() {
+            let (s, o) = (from_parent[t.s.idx()], from_parent[t.o.idx()]);
+            if s != u32::MAX && o != u32::MAX {
+                triples.push(Triple::new(Vid(s), t.p, Vid(o)));
+            }
+        }
+        let classes: Vec<_> = to_parent.iter().map(|&v| kg.class_of(v)).collect();
+        let graph = HeteroGraph::from_triples(
+            to_parent.len(),
+            kg.num_relations(),
+            kg.num_classes(),
+            classes,
+            &triples,
+        );
+        Self { graph, to_parent }
+    }
+
+    /// Builds the view for an ordered vertex list (e.g. an ego subgraph
+    /// whose root must stay at position 0).
+    pub fn build_ordered(kg: &KnowledgeGraph, nodes: &[Vid]) -> Self {
+        let mut from_parent = vec![u32::MAX; kg.num_nodes()];
+        for (new, &old) in nodes.iter().enumerate() {
+            from_parent[old.idx()] = new as u32;
+        }
+        let mut triples: Vec<Triple> = Vec::new();
+        for t in kg.triples() {
+            let (s, o) = (from_parent[t.s.idx()], from_parent[t.o.idx()]);
+            if s != u32::MAX && o != u32::MAX {
+                triples.push(Triple::new(Vid(s), t.p, Vid(o)));
+            }
+        }
+        let classes: Vec<_> = nodes.iter().map(|&v| kg.class_of(v)).collect();
+        let graph = HeteroGraph::from_triples(
+            nodes.len(),
+            kg.num_relations(),
+            kg.num_classes(),
+            classes,
+            &triples,
+        );
+        Self {
+            graph,
+            to_parent: nodes.to_vec(),
+        }
+    }
+
+    /// Parent embedding-row indices of all view vertices.
+    pub fn parent_rows(&self) -> Vec<u32> {
+        self.to_parent.iter().map(|v| v.raw()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_terms("a", "A", "r0", "b", "B");
+        kg.add_triple_terms("b", "B", "r1", "c", "C");
+        kg.add_triple_terms("c", "C", "r2", "d", "D");
+        kg
+    }
+
+    #[test]
+    fn keeps_relation_id_space() {
+        let kg = kg();
+        let keep = NodeSet::from_iter(
+            kg.num_nodes(),
+            [kg.find_node("c").unwrap(), kg.find_node("d").unwrap()],
+        );
+        let view = SubgraphView::build(&kg, &keep);
+        // Only r2's edge survives, but the relation space is still 3 wide.
+        assert_eq!(view.graph.num_relations(), 3);
+        assert_eq!(view.graph.num_edges(), 1);
+        let r2 = kg.find_relation("r2").unwrap();
+        assert_eq!(view.graph.relation(r2).out.num_edges(), 1);
+    }
+
+    #[test]
+    fn ordered_build_preserves_order() {
+        let kg = kg();
+        let b = kg.find_node("b").unwrap();
+        let a = kg.find_node("a").unwrap();
+        let view = SubgraphView::build_ordered(&kg, &[b, a]);
+        assert_eq!(view.to_parent, vec![b, a]);
+        assert_eq!(view.graph.num_edges(), 1); // a-r0-b survives
+        assert_eq!(view.parent_rows(), vec![b.raw(), a.raw()]);
+    }
+
+    #[test]
+    fn classes_follow_parent() {
+        let kg = kg();
+        let keep = NodeSet::from_iter(kg.num_nodes(), [kg.find_node("d").unwrap()]);
+        let view = SubgraphView::build(&kg, &keep);
+        assert_eq!(view.graph.class_of(Vid(0)), kg.class_of(kg.find_node("d").unwrap()));
+    }
+}

@@ -1,0 +1,164 @@
+//! Failure-injection / edge-case tests: trainers must behave sanely on
+//! degenerate inputs — empty splits, isolated targets, single-class tasks,
+//! and graphs with unused relation ids.
+
+use kgtosa_kg::{HeteroGraph, KnowledgeGraph, Triple, Vid};
+use kgtosa_models::{
+    train_graphsaint_nc, train_morse_lp, train_rgcn_lp, train_rgcn_nc, train_sehgnn_nc,
+    train_shadowsaint_nc, LpDataset, NcDataset, SaintSampler, TrainConfig,
+};
+use kgtosa_tensor::IGNORE_LABEL;
+
+fn toy() -> (KnowledgeGraph, Vec<u32>, Vec<Vid>) {
+    let mut kg = KnowledgeGraph::new();
+    for i in 0..12 {
+        let venue = if i % 2 == 0 { "v0" } else { "v1" };
+        kg.add_triple_terms(&format!("p{i}"), "Paper", "publishedIn", venue, "Venue");
+    }
+    // An isolated target: no edges at all.
+    kg.add_node("p_isolated", "Paper");
+    let papers = kg.nodes_of_class(kg.find_class("Paper").unwrap());
+    let mut labels = vec![IGNORE_LABEL; kg.num_nodes()];
+    for &p in &papers {
+        let term = kg.node_term(p);
+        labels[p.idx()] = if term == "p_isolated" {
+            0
+        } else {
+            (term[1..].parse::<usize>().unwrap() % 2) as u32
+        };
+    }
+    (kg, labels, papers)
+}
+
+fn quick_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        dim: 4,
+        lr: 0.05,
+        batch_size: 4,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn nc_trainers_survive_empty_validation_split() {
+    let (kg, labels, papers) = toy();
+    let graph = HeteroGraph::build(&kg);
+    let data = NcDataset {
+        kg: &kg,
+        graph: &graph,
+        labels: &labels,
+        num_labels: 2,
+        train: &papers,
+        valid: &[],
+        test: &papers[..2],
+    };
+    let cfg = quick_cfg();
+    for report in [
+        train_rgcn_nc(&data, &cfg),
+        train_graphsaint_nc(&data, &cfg, SaintSampler::Uniform),
+        train_shadowsaint_nc(&data, &cfg),
+        train_sehgnn_nc(&data, &cfg),
+    ] {
+        assert!((0.0..=1.0).contains(&report.metric), "{}", report.method);
+        // Empty valid split → all trace metrics are 0, but traces exist.
+        assert!(report.trace.iter().all(|p| p.metric == 0.0));
+    }
+}
+
+#[test]
+fn nc_trainers_handle_isolated_targets() {
+    let (kg, labels, papers) = toy();
+    let graph = HeteroGraph::build(&kg);
+    let isolated = kg.find_node("p_isolated").unwrap();
+    let data = NcDataset {
+        kg: &kg,
+        graph: &graph,
+        labels: &labels,
+        num_labels: 2,
+        train: &papers[..10],
+        valid: &[isolated],
+        test: &[isolated],
+    };
+    let cfg = quick_cfg();
+    // The isolated vertex has no neighbours; every method must still
+    // produce a prediction for it without panicking.
+    for report in [
+        train_rgcn_nc(&data, &cfg),
+        train_graphsaint_nc(&data, &cfg, SaintSampler::Uniform),
+        train_shadowsaint_nc(&data, &cfg),
+        train_sehgnn_nc(&data, &cfg),
+    ] {
+        assert!((0.0..=1.0).contains(&report.metric), "{}", report.method);
+    }
+}
+
+#[test]
+fn nc_single_class_task_reaches_full_accuracy() {
+    let (kg, _, papers) = toy();
+    let graph = HeteroGraph::build(&kg);
+    let labels = vec![0u32; kg.num_nodes()];
+    let data = NcDataset {
+        kg: &kg,
+        graph: &graph,
+        labels: &labels,
+        num_labels: 1,
+        train: &papers[..10],
+        valid: &papers[10..],
+        test: &papers[10..],
+    };
+    let report = train_rgcn_nc(&data, &quick_cfg());
+    assert_eq!(report.metric, 1.0);
+}
+
+#[test]
+fn lp_trainers_survive_empty_eval_splits() {
+    let mut kg = KnowledgeGraph::new();
+    let r = kg.add_relation("rel");
+    for i in 0..6 {
+        kg.add_triple_terms(&format!("a{i}"), "A", "rel", &format!("b{}", i % 2), "B");
+    }
+    let triples: Vec<Triple> = kg.triples().to_vec();
+    let graph = HeteroGraph::build(&kg);
+    let _ = r;
+    let data = LpDataset {
+        kg: &kg,
+        graph: &graph,
+        train: &triples,
+        valid: &[],
+        test: &[],
+    };
+    let cfg = quick_cfg();
+    for report in [train_rgcn_lp(&data, &cfg), train_morse_lp(&data, &cfg)] {
+        assert_eq!(report.metric, 0.0, "{}: empty test → metric 0", report.method);
+        assert!(report.training_s >= 0.0);
+    }
+}
+
+#[test]
+fn trainers_tolerate_unused_relation_ids() {
+    // A KG that interned relations which never appear in triples: the
+    // per-relation weight vectors must align with the id space anyway.
+    let mut kg = KnowledgeGraph::new();
+    kg.add_relation("phantom0");
+    kg.add_triple_terms("x", "T", "real", "y", "T");
+    kg.add_relation("phantom1");
+    let t = kg.find_node("x").unwrap();
+    let labels = {
+        let mut l = vec![IGNORE_LABEL; kg.num_nodes()];
+        l[t.idx()] = 0;
+        l
+    };
+    let graph = HeteroGraph::build(&kg);
+    let data = NcDataset {
+        kg: &kg,
+        graph: &graph,
+        labels: &labels,
+        num_labels: 1,
+        train: &[t],
+        valid: &[t],
+        test: &[t],
+    };
+    let report = train_rgcn_nc(&data, &quick_cfg());
+    assert_eq!(report.metric, 1.0);
+}

@@ -1,0 +1,29 @@
+//! # kgtosa-nn — neural layers with explicit backward passes
+//!
+//! The training substrate for the six HGNN methods in `kgtosa-models`:
+//!
+//! * [`linear::Linear`] — dense layer,
+//! * [`rgcn::RgcnLayer`] — the relational graph convolution of Eq. 1 in the
+//!   paper (per-relation weights over both edge directions, mean
+//!   normalization, self-loop), with memory-lean recompute-in-backward,
+//! * [`scoring`] — TransE / DistMult link-prediction decoders,
+//! * [`metrics`] — accuracy, Hits@K, MRR.
+//!
+//! There is deliberately no autograd tape: every layer's backward is written
+//! and finite-difference-tested by hand, which keeps the training loop
+//! allocation-predictable and the whole stack dependency-free.
+
+pub mod linear;
+pub mod metrics;
+pub mod rgcn;
+pub mod rgcn_basis;
+pub mod scoring;
+
+pub use linear::{Linear, LinearGrads};
+pub use metrics::{accuracy, rank_of, ranking_metrics, RankingMetrics};
+pub use rgcn::{mean_aggregate, RgcnCache, RgcnGrads, RgcnLayer};
+pub use rgcn_basis::{BasisCache, BasisGrads, RgcnBasisLayer};
+pub use scoring::{
+    bce_negative, bce_positive, distmult_grad, distmult_score, margin_loss, transe_distance,
+    transe_grad,
+};

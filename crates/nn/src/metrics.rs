@@ -1,0 +1,113 @@
+//! Evaluation metrics: accuracy for node classification, Hits@K / MRR for
+//! link prediction — the metrics of Table II.
+
+/// Fraction of positions where `pred == label`, skipping ignored labels.
+pub fn accuracy(preds: &[u32], labels: &[u32]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "length mismatch");
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (&p, &l) in preds.iter().zip(labels) {
+        if l == kgtosa_tensor::IGNORE_LABEL {
+            continue;
+        }
+        total += 1;
+        correct += (p == l) as usize;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// Rank of the true candidate among `scores` (1-based), where higher score
+/// is better. Ties are broken optimistically-neutral: candidates with a
+/// strictly greater score outrank; equal scores count half (standard
+/// "random-break" expectation used by KG-completion evals).
+pub fn rank_of(true_score: f32, scores: &[f32]) -> f64 {
+    let mut greater = 0usize;
+    let mut equal = 0usize;
+    for &s in scores {
+        if s > true_score {
+            greater += 1;
+        } else if s == true_score {
+            equal += 1;
+        }
+    }
+    1.0 + greater as f64 + equal as f64 / 2.0
+}
+
+/// Aggregated ranking metrics over a set of test queries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankingMetrics {
+    /// `Hits@1`.
+    pub hits_at_1: f64,
+    /// `Hits@3`.
+    pub hits_at_3: f64,
+    /// `Hits@10` — the paper's LP metric.
+    pub hits_at_10: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Mean rank.
+    pub mean_rank: f64,
+}
+
+/// Computes ranking metrics from a list of (1-based) ranks.
+pub fn ranking_metrics(ranks: &[f64]) -> RankingMetrics {
+    if ranks.is_empty() {
+        return RankingMetrics::default();
+    }
+    let n = ranks.len() as f64;
+    let hits = |k: f64| ranks.iter().filter(|&&r| r <= k).count() as f64 / n;
+    RankingMetrics {
+        hits_at_1: hits(1.0),
+        hits_at_3: hits(3.0),
+        hits_at_10: hits(10.0),
+        mrr: ranks.iter().map(|&r| 1.0 / r).sum::<f64>() / n,
+        mean_rank: ranks.iter().sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_skips_ignored() {
+        use kgtosa_tensor::IGNORE_LABEL;
+        assert_eq!(accuracy(&[1, 5], &[1, IGNORE_LABEL]), 1.0);
+    }
+
+    #[test]
+    fn rank_counts_strictly_greater() {
+        // true=0.5; scores contain the negatives only.
+        assert_eq!(rank_of(0.5, &[0.9, 0.1, 0.3]), 2.0);
+        assert_eq!(rank_of(1.0, &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn rank_ties_half() {
+        assert_eq!(rank_of(0.5, &[0.5, 0.5]), 2.0);
+    }
+
+    #[test]
+    fn ranking_metrics_aggregate() {
+        let m = ranking_metrics(&[1.0, 2.0, 11.0, 4.0]);
+        assert_eq!(m.hits_at_1, 0.25);
+        assert_eq!(m.hits_at_3, 0.5);
+        assert_eq!(m.hits_at_10, 0.75);
+        assert!((m.mrr - (1.0 + 0.5 + 1.0 / 11.0 + 0.25) / 4.0).abs() < 1e-12);
+        assert_eq!(m.mean_rank, 4.5);
+    }
+
+    #[test]
+    fn empty_ranks_all_zero() {
+        assert_eq!(ranking_metrics(&[]), RankingMetrics::default());
+    }
+}

@@ -1,0 +1,408 @@
+//! The relational graph convolution (RGCN) layer of Schlichtkrull et al.,
+//! Eq. 1 of the paper, with an explicit backward pass.
+//!
+//! Forward for node `i`:
+//!
+//! ```text
+//! h_i' = σ( Σ_r Σ_{j ∈ N_i^r} 1/c_{i,r} · W_r h_j  +  W_0 h_i + b )
+//! ```
+//!
+//! with `c_{i,r} = |N_i^r|` (mean normalization). Like the reference
+//! implementations, each relation contributes in both directions: a forward
+//! transform over incoming edges and a reverse transform over outgoing
+//! edges (equivalent to adding inverse relations). This makes the weight
+//! count — and therefore model size — proportional to `|R|`, which is
+//! exactly the effect KG-TOSA exploits by shrinking the relation set.
+//!
+//! To keep memory proportional to one activation matrix, per-relation
+//! aggregates are *recomputed* during backward instead of cached.
+
+use kgtosa_kg::{Csr, HeteroGraph, Rid, Vid};
+use kgtosa_tensor::{relu_backward, relu_inplace, xavier_uniform, Matrix};
+use rand::Rng;
+
+/// One RGCN convolution layer.
+#[derive(Debug, Clone)]
+pub struct RgcnLayer {
+    /// Per-relation transform over incoming edges.
+    pub w_fwd: Vec<Matrix>,
+    /// Per-relation transform over outgoing (inverse) edges.
+    pub w_rev: Vec<Matrix>,
+    /// Self-loop transform `W_0`.
+    pub w_self: Matrix,
+    /// Bias.
+    pub b: Vec<f32>,
+    /// Whether a ReLU follows the affine aggregation.
+    pub relu: bool,
+}
+
+/// Cache carried from forward to backward.
+#[derive(Debug)]
+pub struct RgcnCache {
+    relu_mask: Option<Vec<bool>>,
+}
+
+/// Parameter gradients of one layer.
+#[derive(Debug, Clone)]
+pub struct RgcnGrads {
+    /// Gradients of [`RgcnLayer::w_fwd`].
+    pub w_fwd: Vec<Matrix>,
+    /// Gradients of [`RgcnLayer::w_rev`].
+    pub w_rev: Vec<Matrix>,
+    /// Gradient of the self-loop weight.
+    pub w_self: Matrix,
+    /// Gradient of the bias.
+    pub b: Vec<f32>,
+}
+
+impl RgcnLayer {
+    /// Xavier-initialized layer for `num_relations` edge types.
+    pub fn new(
+        num_relations: usize,
+        in_dim: usize,
+        out_dim: usize,
+        relu: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            w_fwd: (0..num_relations)
+                .map(|_| xavier_uniform(in_dim, out_dim, rng))
+                .collect(),
+            w_rev: (0..num_relations)
+                .map(|_| xavier_uniform(in_dim, out_dim, rng))
+                .collect(),
+            w_self: xavier_uniform(in_dim, out_dim, rng),
+            b: vec![0.0; out_dim],
+            relu,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w_self.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w_self.cols()
+    }
+
+    /// Number of trainable parameters. Scales with `|R|`.
+    pub fn param_count(&self) -> usize {
+        self.w_fwd.iter().map(Matrix::param_count).sum::<usize>()
+            + self.w_rev.iter().map(Matrix::param_count).sum::<usize>()
+            + self.w_self.param_count()
+            + self.b.len()
+    }
+
+    /// Forward pass over the graph's per-relation adjacency.
+    pub fn forward(&self, g: &HeteroGraph, h: &Matrix) -> (Matrix, RgcnCache) {
+        assert_eq!(h.rows(), g.num_nodes(), "one feature row per node");
+        assert_eq!(h.cols(), self.in_dim(), "feature dim mismatch");
+        let mut out = h.matmul(&self.w_self);
+        let mut agg = Matrix::zeros(h.rows(), h.cols());
+        for r in 0..g.num_relations().min(self.w_fwd.len()) {
+            let adj = g.relation(Rid(r as u32));
+            // Incoming edges: N_i^r = { j : (j, r, i) ∈ T }.
+            if adj.inc.num_edges() > 0 {
+                mean_aggregate(&adj.inc, h, &mut agg);
+                add_matmul(&agg, &self.w_fwd[r], &mut out);
+            }
+            // Outgoing (inverse) edges.
+            if adj.out.num_edges() > 0 {
+                mean_aggregate(&adj.out, h, &mut agg);
+                add_matmul(&agg, &self.w_rev[r], &mut out);
+            }
+        }
+        for row in 0..out.rows() {
+            let r = out.row_mut(row);
+            for (v, &b) in r.iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        let relu_mask = self.relu.then(|| relu_inplace(&mut out));
+        (out, RgcnCache { relu_mask })
+    }
+
+    /// Backward pass. `h` is the forward input; `grad_out` is `∂L/∂output`.
+    /// Returns `∂L/∂h` and the parameter gradients.
+    pub fn backward(
+        &self,
+        g: &HeteroGraph,
+        h: &Matrix,
+        cache: &RgcnCache,
+        mut grad_out: Matrix,
+    ) -> (Matrix, RgcnGrads) {
+        if let Some(mask) = &cache.relu_mask {
+            relu_backward(&mut grad_out, mask);
+        }
+        let mut grad_b = vec![0.0f32; self.b.len()];
+        for r in 0..grad_out.rows() {
+            for (gb, &v) in grad_b.iter_mut().zip(grad_out.row(r)) {
+                *gb += v;
+            }
+        }
+        let mut grad_h = grad_out.matmul_t(&self.w_self);
+        let grad_w_self = h.t_matmul(&grad_out);
+        let mut grad_w_fwd = Vec::with_capacity(self.w_fwd.len());
+        let mut grad_w_rev = Vec::with_capacity(self.w_rev.len());
+        let mut agg = Matrix::zeros(h.rows(), h.cols());
+        let mut scratch = Matrix::zeros(h.rows(), h.cols());
+        for r in 0..self.w_fwd.len() {
+            let (gf, gr) = if r < g.num_relations() {
+                let adj = g.relation(Rid(r as u32));
+                let gf = direction_backward(
+                    &adj.inc,
+                    h,
+                    &self.w_fwd[r],
+                    &grad_out,
+                    &mut grad_h,
+                    &mut agg,
+                    &mut scratch,
+                );
+                let gr = direction_backward(
+                    &adj.out,
+                    h,
+                    &self.w_rev[r],
+                    &grad_out,
+                    &mut grad_h,
+                    &mut agg,
+                    &mut scratch,
+                );
+                (gf, gr)
+            } else {
+                (
+                    Matrix::zeros(self.in_dim(), self.out_dim()),
+                    Matrix::zeros(self.in_dim(), self.out_dim()),
+                )
+            };
+            grad_w_fwd.push(gf);
+            grad_w_rev.push(gr);
+        }
+        (
+            grad_h,
+            RgcnGrads {
+                w_fwd: grad_w_fwd,
+                w_rev: grad_w_rev,
+                w_self: grad_w_self,
+                b: grad_b,
+            },
+        )
+    }
+}
+
+/// `out[i] = mean_{j ∈ csr(i)} h[j]` (zero when `i` has no neighbours).
+///
+/// Public because SeHGNN's one-shot metapath pre-aggregation reuses it.
+pub fn mean_aggregate(csr: &Csr, h: &Matrix, out: &mut Matrix) {
+    out.fill_zero();
+    let d = h.cols();
+    for i in 0..csr.num_nodes() {
+        let nbrs = csr.neighbors(Vid(i as u32));
+        if nbrs.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / nbrs.len() as f32;
+        let out_row = out.row_mut(i);
+        for &j in nbrs {
+            let src = h.row(j as usize);
+            for k in 0..d {
+                out_row[k] += inv * src[k];
+            }
+        }
+    }
+}
+
+/// `out += a @ w`.
+fn add_matmul(a: &Matrix, w: &Matrix, out: &mut Matrix) {
+    // Equivalent to out.add_assign(&a.matmul(w)) without the temporary.
+    let n = w.cols();
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = &mut out.data_mut()[i * n..(i + 1) * n];
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let w_row = w.row(k);
+            for j in 0..n {
+                out_row[j] += av * w_row[j];
+            }
+        }
+    }
+}
+
+/// Backward through one direction of one relation:
+/// * `grad_W = aggᵀ · grad_out` (agg recomputed),
+/// * `grad_h += Âᵀ · (grad_out · Wᵀ)` scattered with mean weights.
+///
+/// Returns `grad_W`.
+fn direction_backward(
+    csr: &Csr,
+    h: &Matrix,
+    w: &Matrix,
+    grad_out: &Matrix,
+    grad_h: &mut Matrix,
+    agg: &mut Matrix,
+    scratch: &mut Matrix,
+) -> Matrix {
+    if csr.num_edges() == 0 {
+        return Matrix::zeros(w.rows(), w.cols());
+    }
+    mean_aggregate(csr, h, agg);
+    let grad_w = agg.t_matmul(grad_out);
+    // scratch = grad_out @ Wᵀ
+    *scratch = grad_out.matmul_t(w);
+    // Scatter: grad_h[j] += (1/|N_i|) * scratch[i] for each j ∈ N_i.
+    let d = h.cols();
+    for i in 0..csr.num_nodes() {
+        let nbrs = csr.neighbors(Vid(i as u32));
+        if nbrs.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / nbrs.len() as f32;
+        let src = scratch.row(i).to_vec();
+        for &j in nbrs {
+            let dst = grad_h.row_mut(j as usize);
+            for k in 0..d {
+                dst[k] += inv * src[k];
+            }
+        }
+    }
+    grad_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgtosa_kg::KnowledgeGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_graph() -> HeteroGraph {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_terms("a", "A", "r0", "b", "B");
+        kg.add_triple_terms("a", "A", "r0", "c", "B");
+        kg.add_triple_terms("b", "B", "r1", "c", "B");
+        HeteroGraph::build(&kg)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let g = tiny_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = RgcnLayer::new(g.num_relations(), 4, 3, true, &mut rng);
+        let h = xavier_uniform(g.num_nodes(), 4, &mut rng);
+        let (out, _) = layer.forward(&g, &h);
+        assert_eq!(out.shape(), (3, 3));
+    }
+
+    #[test]
+    fn mean_aggregate_is_mean() {
+        let g = tiny_graph();
+        // Node c (id 2) has incoming r0 from a: inc CSR of r0.
+        let h = Matrix::from_vec(3, 1, vec![10.0, 20.0, 30.0]);
+        let mut out = Matrix::zeros(3, 1);
+        mean_aggregate(&g.relation(Rid(0)).inc, &h, &mut out);
+        // b (1) ← a; c (2) ← a.
+        assert_eq!(out.get(1, 0), 10.0);
+        assert_eq!(out.get(2, 0), 10.0);
+        assert_eq!(out.get(0, 0), 0.0);
+        // Outgoing of r0: a → {b, c} mean = 25.
+        mean_aggregate(&g.relation(Rid(0)).out, &h, &mut out);
+        assert_eq!(out.get(0, 0), 25.0);
+    }
+
+    #[test]
+    fn param_count_scales_with_relations() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let small = RgcnLayer::new(2, 8, 8, false, &mut rng);
+        let large = RgcnLayer::new(10, 8, 8, false, &mut rng);
+        assert!(large.param_count() > small.param_count());
+        assert_eq!(
+            large.param_count(),
+            10 * 2 * 64 + 64 + 8 // relations*2 dirs*8*8 + self + bias
+        );
+    }
+
+    /// Full finite-difference check of every parameter and the input.
+    #[test]
+    fn backward_matches_finite_difference() {
+        let g = tiny_graph();
+        let mut rng = StdRng::seed_from_u64(9);
+        let layer = RgcnLayer::new(g.num_relations(), 3, 2, true, &mut rng);
+        let h = xavier_uniform(g.num_nodes(), 3, &mut rng);
+
+        let loss = |l: &RgcnLayer, h: &Matrix| -> f32 {
+            let (out, _) = l.forward(g_ref(), h);
+            out.data().iter().map(|&v| v * v).sum()
+        };
+        // A fresh graph per call (cheap) to avoid borrow gymnastics.
+        fn g_ref() -> &'static HeteroGraph {
+            use std::sync::OnceLock;
+            static G: OnceLock<HeteroGraph> = OnceLock::new();
+            G.get_or_init(tiny_graph)
+        }
+
+        let (out, cache) = layer.forward(g_ref(), &h);
+        let mut grad_out = out.clone();
+        grad_out.scale(2.0); // d(sum v²)/dv = 2v
+        let (grad_h, grads) = layer.backward(g_ref(), &h, &cache, grad_out);
+
+        let eps = 1e-2f32;
+        let check = |analytic: f32, num: f32, what: &str| {
+            let tol = 2e-2 * (1.0 + num.abs());
+            assert!(
+                (analytic - num).abs() < tol,
+                "{what}: analytic {analytic} vs numeric {num}"
+            );
+        };
+        // Input gradient.
+        for r in 0..h.rows() {
+            for c in 0..h.cols() {
+                let mut hp = h.clone();
+                hp.set(r, c, h.get(r, c) + eps);
+                let mut hm = h.clone();
+                hm.set(r, c, h.get(r, c) - eps);
+                let num = (loss(&layer, &hp) - loss(&layer, &hm)) / (2.0 * eps);
+                check(grad_h.get(r, c), num, "grad_h");
+            }
+        }
+        // Self-loop weight gradient.
+        for r in 0..layer.w_self.rows() {
+            for c in 0..layer.w_self.cols() {
+                let mut lp = layer.clone();
+                lp.w_self.set(r, c, layer.w_self.get(r, c) + eps);
+                let mut lm = layer.clone();
+                lm.w_self.set(r, c, layer.w_self.get(r, c) - eps);
+                let num = (loss(&lp, &h) - loss(&lm, &h)) / (2.0 * eps);
+                check(grads.w_self.get(r, c), num, "w_self");
+            }
+        }
+        // One relation weight each way.
+        for rel in 0..layer.w_fwd.len() {
+            let mut lp = layer.clone();
+            lp.w_fwd[rel].set(0, 0, layer.w_fwd[rel].get(0, 0) + eps);
+            let mut lm = layer.clone();
+            lm.w_fwd[rel].set(0, 0, layer.w_fwd[rel].get(0, 0) - eps);
+            let num = (loss(&lp, &h) - loss(&lm, &h)) / (2.0 * eps);
+            check(grads.w_fwd[rel].get(0, 0), num, "w_fwd");
+
+            let mut lp = layer.clone();
+            lp.w_rev[rel].set(1, 1, layer.w_rev[rel].get(1, 1) + eps);
+            let mut lm = layer.clone();
+            lm.w_rev[rel].set(1, 1, layer.w_rev[rel].get(1, 1) - eps);
+            let num = (loss(&lp, &h) - loss(&lm, &h)) / (2.0 * eps);
+            check(grads.w_rev[rel].get(1, 1), num, "w_rev");
+        }
+        // Bias gradient.
+        for c in 0..layer.b.len() {
+            let mut lp = layer.clone();
+            lp.b[c] += eps;
+            let mut lm = layer.clone();
+            lm.b[c] -= eps;
+            let num = (loss(&lp, &h) - loss(&lm, &h)) / (2.0 * eps);
+            check(grads.b[c], num, "bias");
+        }
+    }
+}

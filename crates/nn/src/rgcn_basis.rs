@@ -1,0 +1,328 @@
+//! RGCN with **basis decomposition** (Schlichtkrull et al., §2.2 of the
+//! RGCN paper): instead of one free `d×d'` matrix per relation and
+//! direction, every relation weight is a learned mixture of `B` shared
+//! bases,
+//!
+//! ```text
+//! W_r = Σ_b  a_{r,b} · V_b
+//! ```
+//!
+//! which caps the parameter count at `B·d·d' + 2R·B` instead of `2R·d·d'`.
+//! This is the classic alternative to KG-TOSA's approach of shrinking `|R|`
+//! itself; the `ablation_basis` bench compares the two directly.
+
+use kgtosa_kg::{HeteroGraph, Rid};
+use kgtosa_tensor::{relu_backward, relu_inplace, xavier_uniform, Matrix};
+use rand::Rng;
+
+use crate::rgcn::mean_aggregate;
+
+/// A basis-decomposed RGCN layer.
+#[derive(Debug, Clone)]
+pub struct RgcnBasisLayer {
+    /// Shared bases `V_b`, each `in_dim × out_dim`.
+    pub bases: Vec<Matrix>,
+    /// Mixture coefficients, `2R × B` (forward direction rows `0..R`,
+    /// reverse rows `R..2R`).
+    pub coeffs: Matrix,
+    /// Self-loop transform.
+    pub w_self: Matrix,
+    /// Bias.
+    pub b: Vec<f32>,
+    /// Whether a ReLU follows.
+    pub relu: bool,
+    num_relations: usize,
+}
+
+/// Cache carried to the backward pass.
+#[derive(Debug)]
+pub struct BasisCache {
+    relu_mask: Option<Vec<bool>>,
+}
+
+/// Parameter gradients.
+#[derive(Debug)]
+pub struct BasisGrads {
+    /// Gradients of the bases.
+    pub bases: Vec<Matrix>,
+    /// Gradient of the coefficient matrix.
+    pub coeffs: Matrix,
+    /// Gradient of the self-loop weight.
+    pub w_self: Matrix,
+    /// Gradient of the bias.
+    pub b: Vec<f32>,
+}
+
+impl RgcnBasisLayer {
+    /// Creates a layer with `num_bases` shared bases.
+    pub fn new(
+        num_relations: usize,
+        num_bases: usize,
+        in_dim: usize,
+        out_dim: usize,
+        relu: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let num_bases = num_bases.max(1);
+        Self {
+            bases: (0..num_bases)
+                .map(|_| xavier_uniform(in_dim, out_dim, rng))
+                .collect(),
+            coeffs: xavier_uniform(2 * num_relations.max(1), num_bases, rng),
+            w_self: xavier_uniform(in_dim, out_dim, rng),
+            b: vec![0.0; out_dim],
+            relu,
+            num_relations,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w_self.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w_self.cols()
+    }
+
+    /// Trainable parameters: `B·d·d' + 2R·B + d·d' + d'` — compare with
+    /// [`crate::rgcn::RgcnLayer::param_count`]'s `2R·d·d' + d·d' + d'`.
+    pub fn param_count(&self) -> usize {
+        self.bases.iter().map(Matrix::param_count).sum::<usize>()
+            + self.coeffs.param_count()
+            + self.w_self.param_count()
+            + self.b.len()
+    }
+
+    /// Materializes `W_r` for a relation-direction row of the coefficient
+    /// matrix.
+    fn weight_of(&self, row: usize) -> Matrix {
+        let mut w = Matrix::zeros(self.in_dim(), self.out_dim());
+        for (b, basis) in self.bases.iter().enumerate() {
+            w.add_scaled(basis, self.coeffs.get(row, b));
+        }
+        w
+    }
+
+    /// Forward pass (same semantics as the full-parameter layer).
+    pub fn forward(&self, g: &HeteroGraph, h: &Matrix) -> (Matrix, BasisCache) {
+        assert_eq!(h.rows(), g.num_nodes(), "one feature row per node");
+        let r_count = self.num_relations.min(g.num_relations());
+        let mut out = h.matmul(&self.w_self);
+        let mut agg = Matrix::zeros(h.rows(), h.cols());
+        for r in 0..r_count {
+            let adj = g.relation(Rid(r as u32));
+            if adj.inc.num_edges() > 0 {
+                mean_aggregate(&adj.inc, h, &mut agg);
+                out.add_assign(&agg.matmul(&self.weight_of(r)));
+            }
+            if adj.out.num_edges() > 0 {
+                mean_aggregate(&adj.out, h, &mut agg);
+                out.add_assign(&agg.matmul(&self.weight_of(self.num_relations + r)));
+            }
+        }
+        for row in 0..out.rows() {
+            let slice = out.row_mut(row);
+            for (v, &bias) in slice.iter_mut().zip(&self.b) {
+                *v += bias;
+            }
+        }
+        let relu_mask = self.relu.then(|| relu_inplace(&mut out));
+        (out, BasisCache { relu_mask })
+    }
+
+    /// Backward pass; aggregates are recomputed as in the full layer.
+    pub fn backward(
+        &self,
+        g: &HeteroGraph,
+        h: &Matrix,
+        cache: &BasisCache,
+        mut grad_out: Matrix,
+    ) -> (Matrix, BasisGrads) {
+        if let Some(mask) = &cache.relu_mask {
+            relu_backward(&mut grad_out, mask);
+        }
+        let mut grad_b = vec![0.0f32; self.b.len()];
+        for r in 0..grad_out.rows() {
+            for (gb, &v) in grad_b.iter_mut().zip(grad_out.row(r)) {
+                *gb += v;
+            }
+        }
+        let mut grad_h = grad_out.matmul_t(&self.w_self);
+        let grad_w_self = h.t_matmul(&grad_out);
+        let mut grad_bases: Vec<Matrix> = self
+            .bases
+            .iter()
+            .map(|v| Matrix::zeros(v.rows(), v.cols()))
+            .collect();
+        let mut grad_coeffs = Matrix::zeros(self.coeffs.rows(), self.coeffs.cols());
+        let mut agg = Matrix::zeros(h.rows(), h.cols());
+
+        let r_count = self.num_relations.min(g.num_relations());
+        for r in 0..r_count {
+            let adj = g.relation(Rid(r as u32));
+            for (csr, row) in [(&adj.inc, r), (&adj.out, self.num_relations + r)] {
+                if csr.num_edges() == 0 {
+                    continue;
+                }
+                mean_aggregate(csr, h, &mut agg);
+                // grad_W_r = aggᵀ · grad_out  (then distributed to bases/coeffs)
+                let grad_w = agg.t_matmul(&grad_out);
+                for (b, basis) in self.bases.iter().enumerate() {
+                    // ∂L/∂a_{r,b} = <grad_W, V_b>
+                    let dot: f32 = grad_w
+                        .data()
+                        .iter()
+                        .zip(basis.data())
+                        .map(|(&g, &v)| g * v)
+                        .sum();
+                    grad_coeffs.set(row, b, grad_coeffs.get(row, b) + dot);
+                    // ∂L/∂V_b += a_{r,b} · grad_W
+                    grad_bases[b].add_scaled(&grad_w, self.coeffs.get(row, b));
+                }
+                // grad_h += Âᵀ (grad_out · W_rᵀ)
+                let w = self.weight_of(row);
+                let scratch = grad_out.matmul_t(&w);
+                let d = h.cols();
+                for i in 0..csr.num_nodes() {
+                    let nbrs = csr.neighbors(kgtosa_kg::Vid(i as u32));
+                    if nbrs.is_empty() {
+                        continue;
+                    }
+                    let inv = 1.0 / nbrs.len() as f32;
+                    let src = scratch.row(i).to_vec();
+                    for &j in nbrs {
+                        let dst = grad_h.row_mut(j as usize);
+                        for k in 0..d {
+                            dst[k] += inv * src[k];
+                        }
+                    }
+                }
+            }
+        }
+        (
+            grad_h,
+            BasisGrads {
+                bases: grad_bases,
+                coeffs: grad_coeffs,
+                w_self: grad_w_self,
+                b: grad_b,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rgcn::RgcnLayer;
+    use kgtosa_kg::KnowledgeGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_graph() -> HeteroGraph {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_terms("a", "A", "r0", "b", "B");
+        kg.add_triple_terms("a", "A", "r1", "c", "B");
+        kg.add_triple_terms("b", "B", "r1", "c", "B");
+        HeteroGraph::build(&kg)
+    }
+
+    #[test]
+    fn basis_has_fewer_params_when_relations_many() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let full = RgcnLayer::new(40, 16, 16, false, &mut rng);
+        let basis = RgcnBasisLayer::new(40, 4, 16, 16, false, &mut rng);
+        assert!(basis.param_count() < full.param_count() / 5);
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let g = tiny_graph();
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = RgcnBasisLayer::new(g.num_relations(), 2, 4, 3, true, &mut rng);
+        let h = xavier_uniform(g.num_nodes(), 4, &mut rng);
+        let (out1, _) = layer.forward(&g, &h);
+        let (out2, _) = layer.forward(&g, &h);
+        assert_eq!(out1.shape(), (3, 3));
+        assert_eq!(out1.data(), out2.data());
+    }
+
+    #[test]
+    fn single_basis_with_unit_coeffs_matches_shared_weight() {
+        // With B=1 and all coefficients 1, every W_r equals the basis.
+        let g = tiny_graph();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = RgcnBasisLayer::new(g.num_relations(), 1, 3, 3, false, &mut rng);
+        for r in 0..layer.coeffs.rows() {
+            layer.coeffs.set(r, 0, 1.0);
+        }
+        let w = layer.weight_of(0);
+        assert_eq!(w.data(), layer.bases[0].data());
+        let w_rev = layer.weight_of(layer.num_relations + 1);
+        assert_eq!(w_rev.data(), layer.bases[0].data());
+    }
+
+    /// Finite-difference gradient check across all parameter groups.
+    #[test]
+    fn backward_matches_finite_difference() {
+        let g = tiny_graph();
+        let mut rng = StdRng::seed_from_u64(9);
+        let layer = RgcnBasisLayer::new(g.num_relations(), 2, 3, 2, true, &mut rng);
+        let h = xavier_uniform(g.num_nodes(), 3, &mut rng);
+        let loss = |l: &RgcnBasisLayer, h: &Matrix| -> f32 {
+            let (out, _) = l.forward(&g, h);
+            out.data().iter().map(|&v| v * v).sum()
+        };
+        let (out, cache) = layer.forward(&g, &h);
+        let mut grad_out = out.clone();
+        grad_out.scale(2.0);
+        let (grad_h, grads) = layer.backward(&g, &h, &cache, grad_out);
+
+        let eps = 1e-2f32;
+        let check = |analytic: f32, num: f32, what: &str| {
+            let tol = 3e-2 * (1.0 + num.abs());
+            assert!(
+                (analytic - num).abs() < tol,
+                "{what}: analytic {analytic} vs numeric {num}"
+            );
+        };
+        // Input gradient (spot-check all entries).
+        for r in 0..h.rows() {
+            for c in 0..h.cols() {
+                let mut hp = h.clone();
+                hp.set(r, c, h.get(r, c) + eps);
+                let mut hm = h.clone();
+                hm.set(r, c, h.get(r, c) - eps);
+                let num = (loss(&layer, &hp) - loss(&layer, &hm)) / (2.0 * eps);
+                check(grad_h.get(r, c), num, "grad_h");
+            }
+        }
+        // Basis gradients.
+        for bi in 0..layer.bases.len() {
+            let mut lp = layer.clone();
+            lp.bases[bi].set(0, 0, layer.bases[bi].get(0, 0) + eps);
+            let mut lm = layer.clone();
+            lm.bases[bi].set(0, 0, layer.bases[bi].get(0, 0) - eps);
+            let num = (loss(&lp, &h) - loss(&lm, &h)) / (2.0 * eps);
+            check(grads.bases[bi].get(0, 0), num, "basis");
+        }
+        // Coefficient gradients.
+        for row in 0..layer.coeffs.rows() {
+            let mut lp = layer.clone();
+            lp.coeffs.set(row, 0, layer.coeffs.get(row, 0) + eps);
+            let mut lm = layer.clone();
+            lm.coeffs.set(row, 0, layer.coeffs.get(row, 0) - eps);
+            let num = (loss(&lp, &h) - loss(&lm, &h)) / (2.0 * eps);
+            check(grads.coeffs.get(row, 0), num, "coeff");
+        }
+        // Bias.
+        let mut lp = layer.clone();
+        lp.b[0] += eps;
+        let mut lm = layer.clone();
+        lm.b[0] -= eps;
+        let num = (loss(&lp, &h) - loss(&lm, &h)) / (2.0 * eps);
+        check(grads.b[0], num, "bias");
+    }
+}

@@ -1,0 +1,180 @@
+//! Knowledge-graph embedding scoring functions for link prediction:
+//! TransE (used by the paper's MorsE-TransE runs) and DistMult (the
+//! decoder RGCN-LP uses), with analytic gradients.
+//!
+//! All functions operate on embedding row slices so models can compose
+//! them with gather/scatter embedding tables without copying.
+
+use kgtosa_tensor::sigmoid;
+
+/// TransE dissimilarity `‖h + r − t‖₁` (lower = more plausible).
+pub fn transe_distance(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    h.iter()
+        .zip(r)
+        .zip(t)
+        .map(|((&h, &r), &t)| (h + r - t).abs())
+        .sum()
+}
+
+/// Accumulates `coeff · ∂dist/∂{h,r,t}` into the gradient slices.
+/// The L1 subgradient at zero is taken as 0.
+pub fn transe_grad(
+    h: &[f32],
+    r: &[f32],
+    t: &[f32],
+    coeff: f32,
+    gh: &mut [f32],
+    gr: &mut [f32],
+    gt: &mut [f32],
+) {
+    for k in 0..h.len() {
+        let d = h[k] + r[k] - t[k];
+        let s = if d > 0.0 {
+            1.0
+        } else if d < 0.0 {
+            -1.0
+        } else {
+            0.0
+        };
+        gh[k] += coeff * s;
+        gr[k] += coeff * s;
+        gt[k] -= coeff * s;
+    }
+}
+
+/// Margin ranking loss `max(0, γ + d_pos − d_neg)`.
+/// Returns `(loss, active)`; gradients flow only when `active`.
+pub fn margin_loss(d_pos: f32, d_neg: f32, margin: f32) -> (f32, bool) {
+    let l = margin + d_pos - d_neg;
+    if l > 0.0 {
+        (l, true)
+    } else {
+        (0.0, false)
+    }
+}
+
+/// DistMult score `Σ_k h_k · r_k · t_k` (higher = more plausible).
+pub fn distmult_score(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    h.iter()
+        .zip(r)
+        .zip(t)
+        .map(|((&h, &r), &t)| h * r * t)
+        .sum()
+}
+
+/// Accumulates `coeff · ∂score/∂{h,r,t}` into the gradient slices.
+pub fn distmult_grad(
+    h: &[f32],
+    r: &[f32],
+    t: &[f32],
+    coeff: f32,
+    gh: &mut [f32],
+    gr: &mut [f32],
+    gt: &mut [f32],
+) {
+    for k in 0..h.len() {
+        gh[k] += coeff * r[k] * t[k];
+        gr[k] += coeff * h[k] * t[k];
+        gt[k] += coeff * h[k] * r[k];
+    }
+}
+
+/// Binary cross-entropy on a raw score with target 1 (positive triple).
+/// Returns `(loss, ∂loss/∂score)`.
+pub fn bce_positive(score: f32) -> (f32, f32) {
+    let p = sigmoid(score).clamp(1e-7, 1.0 - 1e-7);
+    (-(p.ln()), p - 1.0)
+}
+
+/// Binary cross-entropy on a raw score with target 0 (negative triple).
+pub fn bce_negative(score: f32) -> (f32, f32) {
+    let p = sigmoid(score).clamp(1e-7, 1.0 - 1e-7);
+    (-((1.0 - p).ln()), p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transe_distance_zero_when_exact() {
+        let h = [1.0, 2.0];
+        let r = [0.5, -1.0];
+        let t = [1.5, 1.0];
+        assert_eq!(transe_distance(&h, &r, &t), 0.0);
+        assert_eq!(transe_distance(&h, &r, &[0.0, 0.0]), 1.5 + 1.0);
+    }
+
+    #[test]
+    fn transe_grad_finite_difference() {
+        let h = [0.3f32, -0.7, 0.2];
+        let r = [0.1, 0.4, -0.5];
+        let t = [-0.2, 0.6, 0.9];
+        let (mut gh, mut gr, mut gt) = ([0.0; 3], [0.0; 3], [0.0; 3]);
+        transe_grad(&h, &r, &t, 1.0, &mut gh, &mut gr, &mut gt);
+        let eps = 1e-3f32;
+        for k in 0..3 {
+            let mut hp = h;
+            hp[k] += eps;
+            let mut hm = h;
+            hm[k] -= eps;
+            let num = (transe_distance(&hp, &r, &t) - transe_distance(&hm, &r, &t)) / (2.0 * eps);
+            assert!((num - gh[k]).abs() < 1e-2, "gh[{k}]");
+            let mut tp = t;
+            tp[k] += eps;
+            let mut tm = t;
+            tm[k] -= eps;
+            let num = (transe_distance(&h, &r, &tp) - transe_distance(&h, &r, &tm)) / (2.0 * eps);
+            assert!((num - gt[k]).abs() < 1e-2, "gt[{k}]");
+        }
+    }
+
+    #[test]
+    fn margin_loss_activation() {
+        assert_eq!(margin_loss(1.0, 3.0, 1.0), (0.0, false));
+        let (l, active) = margin_loss(2.0, 1.5, 1.0);
+        assert!(active);
+        assert!((l - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distmult_score_symmetric_in_h_t() {
+        let h = [1.0, 2.0];
+        let r = [3.0, -1.0];
+        let t = [0.5, 4.0];
+        assert_eq!(distmult_score(&h, &r, &t), distmult_score(&t, &r, &h));
+        assert_eq!(distmult_score(&h, &r, &t), 1.0 * 3.0 * 0.5 + -2.0 * 4.0);
+    }
+
+    #[test]
+    fn distmult_grad_finite_difference() {
+        let h = [0.3f32, -0.7];
+        let r = [0.1, 0.4];
+        let t = [-0.2, 0.6];
+        let (mut gh, mut gr, mut gt) = ([0.0; 2], [0.0; 2], [0.0; 2]);
+        distmult_grad(&h, &r, &t, 2.0, &mut gh, &mut gr, &mut gt);
+        let eps = 1e-3f32;
+        for k in 0..2 {
+            let mut rp = r;
+            rp[k] += eps;
+            let mut rm = r;
+            rm[k] -= eps;
+            let num =
+                2.0 * (distmult_score(&h, &rp, &t) - distmult_score(&h, &rm, &t)) / (2.0 * eps);
+            assert!((num - gr[k]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn bce_gradients_point_right_way() {
+        let (lp, gp) = bce_positive(0.0);
+        assert!((lp - (2.0f32).ln()).abs() < 1e-5);
+        assert!(gp < 0.0, "positive wants higher score");
+        let (ln, gn) = bce_negative(0.0);
+        assert!((ln - (2.0f32).ln()).abs() < 1e-5);
+        assert!(gn > 0.0, "negative wants lower score");
+        // Saturation is clamped, not NaN.
+        assert!(bce_positive(100.0).0 >= 0.0);
+        assert!(bce_negative(-100.0).0 >= 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based gradient checks: analytic backward passes must match
+//! central finite differences on random shapes and values.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kgtosa_nn::Linear;
+use kgtosa_tensor::{softmax_cross_entropy, softmax_rows, xavier_uniform, Matrix};
+
+fn arb_matrix(max_r: usize, max_c: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f32..2.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// softmax rows always form a probability distribution.
+    #[test]
+    fn softmax_is_distribution(m in arb_matrix(6, 6)) {
+        let s = softmax_rows(&m);
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    /// Cross-entropy gradient matches finite differences.
+    #[test]
+    fn ce_gradient_check(m in arb_matrix(4, 5), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let labels: Vec<u32> = (0..m.rows()).map(|_| rng.gen_range(0..m.cols()) as u32).collect();
+        let (_, grad) = softmax_cross_entropy(&m, &labels);
+        let eps = 1e-2f32;
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let mut mp = m.clone();
+                mp.set(r, c, m.get(r, c) + eps);
+                let mut mm = m.clone();
+                mm.set(r, c, m.get(r, c) - eps);
+                let (lp, _) = softmax_cross_entropy(&mp, &labels);
+                let (lm, _) = softmax_cross_entropy(&mm, &labels);
+                let num = (lp - lm) / (2.0 * eps);
+                prop_assert!((num - grad.get(r, c)).abs() < 5e-2,
+                    "({r},{c}): num {num} vs {}", grad.get(r, c));
+            }
+        }
+    }
+
+    /// Linear backward input-gradient matches finite differences under a
+    /// quadratic loss.
+    #[test]
+    fn linear_gradient_check(seed in 0u64..1000, rows in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layer = Linear::new(3, 2, &mut rng);
+        let x = xavier_uniform(rows, 3, &mut rng);
+        let loss = |x: &Matrix| -> f32 {
+            layer.forward(x).data().iter().map(|&v| v * v).sum()
+        };
+        let y = layer.forward(&x);
+        let mut grad_out = y.clone();
+        grad_out.scale(2.0);
+        let (grad_x, _) = layer.backward(&x, &grad_out);
+        let eps = 1e-2f32;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+                prop_assert!((num - grad_x.get(r, c)).abs() < 5e-2 * (1.0 + num.abs()));
+            }
+        }
+    }
+}

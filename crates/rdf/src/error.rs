@@ -1,0 +1,58 @@
+//! Error types for the RDF engine.
+
+use std::fmt;
+
+/// Errors raised while parsing or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// Lexical or syntactic error at a byte offset.
+    Parse {
+        /// Byte offset into the query string.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Semantic or runtime execution error.
+    Exec(String),
+}
+
+impl RdfError {
+    /// Builds a parse error.
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        RdfError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Builds an execution error.
+    pub fn exec(message: impl Into<String>) -> Self {
+        RdfError::Exec(message.into())
+    }
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            RdfError::Exec(message) => write!(f, "execution error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = RdfError::parse(4, "oops");
+        assert_eq!(e.to_string(), "parse error at byte 4: oops");
+        let e = RdfError::exec("bad");
+        assert_eq!(e.to_string(), "execution error: bad");
+    }
+}

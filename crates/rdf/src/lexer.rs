@@ -1,0 +1,281 @@
+//! Tokenizer for the SPARQL subset.
+
+use crate::error::RdfError;
+
+/// A lexical token with its source position (byte offset) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Keywords are case-insensitive; stored uppercased.
+    Keyword(Keyword),
+    /// `?name`
+    Var(String),
+    /// `<iri>` content without the angle brackets.
+    Iri(String),
+    /// `prefix:local` (unexpanded; the parser applies PREFIX declarations).
+    PName(String),
+    /// `"string"` content without the quotes.
+    Literal(String),
+    /// The `a` shorthand for `rdf:type`.
+    A,
+    /// An unsigned integer.
+    Number(usize),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+}
+
+/// Recognized keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    Where,
+    Union,
+    Limit,
+    Offset,
+    Prefix,
+    Count,
+    As,
+    Filter,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Some(Keyword::Select),
+            "DISTINCT" => Some(Keyword::Distinct),
+            "WHERE" => Some(Keyword::Where),
+            "UNION" => Some(Keyword::Union),
+            "LIMIT" => Some(Keyword::Limit),
+            "OFFSET" => Some(Keyword::Offset),
+            "PREFIX" => Some(Keyword::Prefix),
+            "COUNT" => Some(Keyword::Count),
+            "AS" => Some(Keyword::As),
+            "FILTER" => Some(Keyword::Filter),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, RdfError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '#' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(RdfError::parse(i, "expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                let end = input[i + 1..]
+                    .find('>')
+                    .ok_or_else(|| RdfError::parse(i, "unterminated IRI"))?;
+                tokens.push(Token::Iri(input[i + 1..i + 1 + end].to_string()));
+                i += end + 2;
+            }
+            '"' => {
+                let end = input[i + 1..]
+                    .find('"')
+                    .ok_or_else(|| RdfError::parse(i, "unterminated string literal"))?;
+                tokens.push(Token::Literal(input[i + 1..i + 1 + end].to_string()));
+                i += end + 2;
+            }
+            '?' | '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_name_char(bytes[j]) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(RdfError::parse(i, "empty variable name"));
+                }
+                tokens.push(Token::Var(input[start..j].to_string()));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let n: usize = input[start..j]
+                    .parse()
+                    .map_err(|_| RdfError::parse(start, "integer out of range"))?;
+                tokens.push(Token::Number(n));
+                i = j;
+            }
+            c if is_name_start(c as u8) => {
+                let start = i;
+                let mut j = i;
+                let mut has_colon = false;
+                while j < bytes.len() && (is_name_char(bytes[j]) || bytes[j] == b':') {
+                    has_colon |= bytes[j] == b':';
+                    j += 1;
+                }
+                let word = &input[start..j];
+                if word == "a" {
+                    tokens.push(Token::A);
+                } else if has_colon {
+                    tokens.push(Token::PName(word.to_string()));
+                } else if let Some(kw) = Keyword::from_str(word) {
+                    tokens.push(Token::Keyword(kw));
+                } else {
+                    // Bare names act as prefixed names with empty prefix,
+                    // matching the exact-term dictionaries used here.
+                    tokens.push(Token::PName(word.to_string()));
+                }
+                i = j;
+            }
+            other => {
+                return Err(RdfError::parse(i, format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[inline]
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+#[inline]
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'/' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_select_query() {
+        let toks = tokenize("SELECT ?s WHERE { ?s a <Paper> . } LIMIT 5").unwrap();
+        assert_eq!(toks[0], Token::Keyword(Keyword::Select));
+        assert_eq!(toks[1], Token::Var("s".into()));
+        assert!(toks.contains(&Token::A));
+        assert!(toks.contains(&Token::Iri("Paper".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Number(5));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = tokenize("select Distinct WHERE union").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Distinct),
+                Token::Keyword(Keyword::Where),
+                Token::Keyword(Keyword::Union),
+            ]
+        );
+    }
+
+    #[test]
+    fn pname_and_bare_names() {
+        let toks = tokenize("mag:paper/1 venue1").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::PName("mag:paper/1".into()),
+                Token::PName("venue1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literal() {
+        let toks = tokenize("\"hello world\"").unwrap();
+        assert_eq!(toks, vec![Token::Literal("hello world".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("?x # a comment\n ?y").unwrap();
+        assert_eq!(toks, vec![Token::Var("x".into()), Token::Var("y".into())]);
+    }
+
+    #[test]
+    fn errors_on_unterminated_iri() {
+        assert!(tokenize("<oops").is_err());
+    }
+
+    #[test]
+    fn errors_on_stray_char() {
+        assert!(tokenize("SELECT @").is_err());
+    }
+
+    #[test]
+    fn count_tokens() {
+        let toks = tokenize("(COUNT(*) AS ?count)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LParen,
+                Token::Keyword(Keyword::Count),
+                Token::LParen,
+                Token::Star,
+                Token::RParen,
+                Token::Keyword(Keyword::As),
+                Token::Var("count".into()),
+                Token::RParen,
+            ]
+        );
+    }
+}

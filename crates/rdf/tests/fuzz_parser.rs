@@ -1,0 +1,69 @@
+//! Robustness fuzzing: the SPARQL lexer/parser and the N-Triples reader
+//! must never panic on arbitrary input — they return `Err` instead.
+
+use proptest::prelude::*;
+
+use kgtosa_rdf::{parse, read_ntriples};
+use std::io::Cursor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes-as-strings never panic the SPARQL parser.
+    #[test]
+    fn sparql_parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Strings built from SPARQL-ish fragments never panic either (these
+    /// get deeper into the parser than pure noise).
+    #[test]
+    fn sparql_fragments_never_panic(parts in proptest::collection::vec(
+        proptest::sample::select(vec![
+            "SELECT", "DISTINCT", "WHERE", "UNION", "LIMIT", "OFFSET",
+            "{", "}", "(", ")", ".", "*", "?x", "?y", "<iri>", "a",
+            "\"lit\"", "10", "COUNT", "AS", "PREFIX", "p:", "p:x",
+        ]), 0..25))
+    {
+        let joined = parts.join(" ");
+        let _ = parse(&joined);
+    }
+
+    /// Arbitrary text never panics the N-Triples reader.
+    #[test]
+    fn ntriples_reader_never_panics(input in "\\PC{0,300}") {
+        let _ = read_ntriples(Cursor::new(input));
+    }
+
+    /// N-Triples-ish fragments never panic.
+    #[test]
+    fn ntriples_fragments_never_panic(parts in proptest::collection::vec(
+        proptest::sample::select(vec![
+            "<a>", "<b>", "<rdf:type>", "_:b0", "\"x\"", "\"esc\\\"d\"",
+            "\"x\"@en", "\"1\"^^<int>", ".", "# comment",
+        ]), 0..12))
+    {
+        let line = parts.join(" ");
+        let _ = read_ntriples(Cursor::new(line));
+    }
+
+    /// Valid round-trips: any query our AST can print must reparse to the
+    /// same AST (generation via fragments that happen to parse).
+    #[test]
+    fn parsed_queries_roundtrip_display(parts in proptest::collection::vec(
+        proptest::sample::select(vec![
+            "?s ?p ?o .", "?s a <C> .", "{ ?a <r> ?b } UNION { ?b <r> ?a }",
+            "?x <k> \"v\" .",
+        ]), 1..5), distinct in any::<bool>(), limit in proptest::option::of(0usize..100))
+    {
+        let mut q = String::from("SELECT ");
+        if distinct { q.push_str("DISTINCT "); }
+        q.push_str("* WHERE { ");
+        for p in &parts { q.push_str(p); q.push(' '); }
+        q.push('}');
+        if let Some(l) = limit { q.push_str(&format!(" LIMIT {l}")); }
+        let ast = parse(&q).expect("constructed query must parse");
+        let reparsed = parse(&ast.to_string()).expect("display must reparse");
+        prop_assert_eq!(ast, reparsed);
+    }
+}

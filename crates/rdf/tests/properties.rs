@@ -1,0 +1,143 @@
+//! Property-based tests: the hexastore and executor must agree with naive
+//! reference implementations on arbitrary inputs.
+
+use proptest::prelude::*;
+
+use kgtosa_kg::KnowledgeGraph;
+use kgtosa_rdf::{
+    fetch_triples, parse, FetchConfig, Hexastore, InProcessEndpoint, RdfStore, SparqlEngine,
+};
+
+fn arb_triples() -> impl Strategy<Value = Vec<[u32; 3]>> {
+    proptest::collection::vec((0u32..12, 0u32..4, 0u32..12), 0..80)
+        .prop_map(|v| v.into_iter().map(|(s, p, o)| [s, p, o]).collect())
+}
+
+fn arb_kg() -> impl Strategy<Value = KnowledgeGraph> {
+    arb_triples().prop_map(|ts| {
+        let mut kg = KnowledgeGraph::new();
+        for v in 0..12u32 {
+            kg.add_node(&format!("n{v}"), &format!("C{}", v % 3));
+        }
+        for r in 0..4u32 {
+            kg.add_relation(&format!("r{r}"));
+        }
+        for [s, p, o] in ts {
+            let s = kg.find_node(&format!("n{s}")).unwrap();
+            let o = kg.find_node(&format!("n{o}")).unwrap();
+            let p = kg.find_relation(&format!("r{p}")).unwrap();
+            kg.add_triple(s, p, o);
+        }
+        kg
+    })
+}
+
+/// Reference scan: filter the raw list.
+fn naive_scan(
+    triples: &[[u32; 3]],
+    s: Option<u32>,
+    p: Option<u32>,
+    o: Option<u32>,
+) -> Vec<[u32; 3]> {
+    let mut out: Vec<[u32; 3]> = triples
+        .iter()
+        .copied()
+        .filter(|t| {
+            s.is_none_or(|v| v == t[0]) && p.is_none_or(|v| v == t[1]) && o.is_none_or(|v| v == t[2])
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+proptest! {
+    /// Every bound-component combination returns exactly the naive filter's
+    /// triple set, regardless of which of the six orderings serves it.
+    #[test]
+    fn hexastore_agrees_with_naive(triples in arb_triples(),
+                                   s in proptest::option::of(0u32..13),
+                                   p in proptest::option::of(0u32..5),
+                                   o in proptest::option::of(0u32..13)) {
+        let hex = Hexastore::build(&triples);
+        let mut got: Vec<[u32; 3]> = hex.scan(s, p, o).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, naive_scan(&triples, s, p, o));
+        prop_assert_eq!(hex.count(s, p, o), naive_scan(&triples, s, p, o).len());
+    }
+
+    /// A two-pattern join matches a brute-force double loop.
+    #[test]
+    fn join_agrees_with_bruteforce(kg in arb_kg()) {
+        let store = RdfStore::new(&kg);
+        let engine = SparqlEngine::new(&store);
+        let rs = engine
+            .execute_str("SELECT ?a ?b ?c WHERE { ?a <r0> ?b . ?b <r1> ?c }")
+            .unwrap();
+        // Brute force over data triples.
+        let r0 = kg.find_relation("r0").unwrap();
+        let r1 = kg.find_relation("r1").unwrap();
+        let mut expect = Vec::new();
+        for t1 in kg.triples().iter().filter(|t| t.p == r0) {
+            for t2 in kg.triples().iter().filter(|t| t.p == r1) {
+                if t1.o == t2.s {
+                    expect.push(vec![t1.s.raw(), t1.o.raw(), t2.o.raw()]);
+                }
+            }
+        }
+        expect.sort();
+        expect.dedup();
+        let mut got: Vec<Vec<u32>> = rs.rows().map(|r| r.to_vec()).collect();
+        got.sort();
+        got.dedup();
+        // Executor output is a bag; compare distinct solutions.
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Paginating a query in any batch size reassembles the full result.
+    #[test]
+    fn pagination_is_complete(kg in arb_kg(), batch in 1usize..17) {
+        let store = RdfStore::new(&kg);
+        let ep = InProcessEndpoint::new(&store);
+        let q = parse("SELECT ?s ?p ?o WHERE { ?s ?p ?o . ?s a <C0> }").unwrap();
+        let paged = fetch_triples(
+            &ep, &store, std::slice::from_ref(&q), ("s", "p", "o"),
+            &FetchConfig { batch_size: batch, threads: 2 },
+        ).unwrap();
+        let full = fetch_triples(
+            &ep, &store, &[q], ("s", "p", "o"),
+            &FetchConfig { batch_size: 1_000_000, threads: 1 },
+        ).unwrap();
+        prop_assert_eq!(paged, full);
+    }
+
+    /// DISTINCT never returns duplicates and preserves the solution set.
+    #[test]
+    fn distinct_is_set_semantics(kg in arb_kg()) {
+        let store = RdfStore::new(&kg);
+        let engine = SparqlEngine::new(&store);
+        let bag = engine.execute_str("SELECT ?s ?o WHERE { ?s ?p ?o }").unwrap();
+        let set = engine.execute_str("SELECT DISTINCT ?s ?o WHERE { ?s ?p ?o }").unwrap();
+        let mut bag_rows: Vec<Vec<u32>> = bag.rows().map(|r| r.to_vec()).collect();
+        bag_rows.sort();
+        bag_rows.dedup();
+        let set_rows: Vec<Vec<u32>> = set.rows().map(|r| r.to_vec()).collect();
+        let mut sorted_set = set_rows.clone();
+        sorted_set.sort();
+        sorted_set.dedup();
+        prop_assert_eq!(sorted_set.len(), set_rows.len(), "DISTINCT returned duplicates");
+        prop_assert_eq!(sorted_set, bag_rows);
+    }
+
+    /// COUNT equals the materialized row count.
+    #[test]
+    fn count_matches_materialization(kg in arb_kg()) {
+        let store = RdfStore::new(&kg);
+        let engine = SparqlEngine::new(&store);
+        let rows = engine.execute_str("SELECT ?s ?o WHERE { ?s <r2> ?o }").unwrap();
+        let count = engine
+            .execute_str("SELECT (COUNT(*) AS ?c) WHERE { ?s <r2> ?o }")
+            .unwrap();
+        prop_assert_eq!(count.row(0)[0] as usize, rows.len());
+    }
+}

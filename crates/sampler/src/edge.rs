@@ -1,0 +1,102 @@
+//! GraphSAINT's edge sampler.
+//!
+//! Alongside the random-walk sampler, GraphSAINT defines an edge sampler
+//! that picks edges with probability proportional to `1/deg(u) + 1/deg(v)`
+//! (minimizing the variance of the resulting unbiased estimator) and
+//! induces the subgraph on their endpoints. Included for completeness of
+//! the GraphSAINT family; the paper's experiments use the walk sampler.
+
+use kgtosa_kg::{HeteroGraph, NodeSet, Vid};
+use rand::Rng;
+
+/// Samples `budget` edges with GraphSAINT's variance-minimizing edge
+/// probabilities and returns the endpoint set `V_s`.
+pub fn edge_sample(g: &HeteroGraph, budget: usize, rng: &mut impl Rng) -> NodeSet {
+    let mut out = NodeSet::new(g.num_nodes());
+    let m = g.num_edges();
+    if m == 0 || budget == 0 {
+        return out;
+    }
+    // Build the cumulative distribution over directed edges once.
+    let mut cumulative: Vec<f64> = Vec::with_capacity(m);
+    let mut acc = 0.0f64;
+    let mut endpoints: Vec<(u32, u32)> = Vec::with_capacity(m);
+    for v in 0..g.num_nodes() {
+        let vid = Vid(v as u32);
+        for &u in g.merged_out().neighbors(vid) {
+            let du = g.total_degree(vid).max(1) as f64;
+            let dv = g.total_degree(Vid(u)).max(1) as f64;
+            acc += 1.0 / du + 1.0 / dv;
+            cumulative.push(acc);
+            endpoints.push((v as u32, u));
+        }
+    }
+    for _ in 0..budget {
+        let x = rng.gen::<f64>() * acc;
+        let idx = cumulative.partition_point(|&c| c < x).min(m - 1);
+        let (a, b) = endpoints[idx];
+        out.insert(Vid(a));
+        out.insert(Vid(b));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgtosa_kg::KnowledgeGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hub_and_chain() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        // A hub with 20 spokes plus a 2-node appendix.
+        for i in 0..20 {
+            kg.add_triple_terms("hub", "H", "r", &format!("leaf{i}"), "L");
+        }
+        kg.add_triple_terms("x", "X", "r", "y", "Y");
+        kg
+    }
+
+    #[test]
+    fn endpoints_of_sampled_edges_present() {
+        let kg = hub_and_chain();
+        let g = HeteroGraph::build(&kg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let vs = edge_sample(&g, 10, &mut rng);
+        assert!(!vs.is_empty());
+        assert!(vs.len() <= 2 * 10);
+    }
+
+    #[test]
+    fn low_degree_edges_are_favoured() {
+        // The x-y edge has probability weight 1/1 + 1/1 = 2; each hub-leaf
+        // edge has 1/20 + 1 = 1.05. With many draws, x,y must appear.
+        let kg = hub_and_chain();
+        let g = HeteroGraph::build(&kg);
+        let mut rng = StdRng::seed_from_u64(9);
+        let vs = edge_sample(&g, 50, &mut rng);
+        assert!(vs.contains(kg.find_node("x").unwrap()));
+        assert!(vs.contains(kg.find_node("y").unwrap()));
+    }
+
+    #[test]
+    fn empty_graph_and_zero_budget() {
+        let kg = KnowledgeGraph::new();
+        let g = HeteroGraph::build(&kg);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(edge_sample(&g, 5, &mut rng).is_empty());
+        let kg = hub_and_chain();
+        let g = HeteroGraph::build(&kg);
+        assert!(edge_sample(&g, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let kg = hub_and_chain();
+        let g = HeteroGraph::build(&kg);
+        let a = edge_sample(&g, 12, &mut StdRng::seed_from_u64(7));
+        let b = edge_sample(&g, 12, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,224 @@
+//! Influence-based sampling (IBS, Algorithm 2 of the paper).
+//!
+//! For every target vertex, an approximate PPR computes influence scores
+//! over its neighbourhood; the top-`k` influencers per target are kept; the
+//! targets are grouped into partitions of `bs` for batch efficiency, and the
+//! union of partitions induces `KG'`. Per-target PPR runs are independent
+//! and parallelized across worker threads (the paper parallelizes lines 2-4
+//! with multi-threading).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use kgtosa_kg::{HeteroGraph, NodeSet, Vid};
+use parking_lot::Mutex;
+
+use crate::ppr::{approximate_ppr, top_k, PprConfig};
+
+/// Configuration of IBS (the paper's defaults: `bs = 20000`, `k = 16`,
+/// `α = 0.25`, `ε = 2e-4`).
+#[derive(Debug, Clone, Copy)]
+pub struct IbsConfig {
+    /// Influencers kept per target (`top-k`).
+    pub k: usize,
+    /// Targets per partition (`bs`).
+    pub batch_size: usize,
+    /// PPR parameters.
+    pub ppr: PprConfig,
+    /// Worker threads for the per-target PPR runs.
+    pub threads: usize,
+}
+
+impl Default for IbsConfig {
+    fn default() -> Self {
+        Self {
+            k: 16,
+            batch_size: 20_000,
+            ppr: PprConfig::default(),
+            threads: 4,
+        }
+    }
+}
+
+/// One partition: a group of targets plus their selected influencers.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Target vertices of this partition.
+    pub targets: Vec<Vid>,
+    /// All member vertices (targets ∪ top-k influencers).
+    pub members: Vec<Vid>,
+}
+
+/// Runs Algorithm 2 through partition construction. Returns the partitions
+/// (line 4); [`ibs_sample`] unions them into the final `V_s`.
+pub fn ibs_partitions(g: &HeteroGraph, targets: &[Vid], cfg: &IbsConfig) -> Vec<Partition> {
+    // Lines 2-3: per-target influence scores → top-k pairs, in parallel.
+    let next = AtomicUsize::new(0);
+    let threads = cfg.threads.max(1).min(targets.len().max(1));
+    let collected: Mutex<Vec<(usize, Vec<Vid>)>> = Mutex::new(Vec::with_capacity(targets.len()));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut local: Vec<(usize, Vec<Vid>)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= targets.len() {
+                        break;
+                    }
+                    let scores = approximate_ppr(g, targets[i], &cfg.ppr);
+                    let picked: Vec<Vid> = top_k(&scores, targets[i], cfg.k)
+                        .into_iter()
+                        .map(|(v, _)| v)
+                        .collect();
+                    local.push((i, picked));
+                }
+                collected.lock().append(&mut local);
+            });
+        }
+    })
+    .expect("IBS worker panicked");
+    let mut per_target: Vec<Vec<Vid>> = vec![Vec::new(); targets.len()];
+    for (i, picked) in collected.into_inner() {
+        per_target[i] = picked;
+    }
+
+    // Line 4: group bs targets per partition.
+    let bs = cfg.batch_size.max(1);
+    targets
+        .chunks(bs)
+        .enumerate()
+        .map(|(chunk_idx, chunk)| {
+            let mut members = NodeSet::new(g.num_nodes());
+            for (off, &t) in chunk.iter().enumerate() {
+                members.insert(t);
+                for &v in &per_target[chunk_idx * bs + off] {
+                    members.insert(v);
+                }
+            }
+            Partition {
+                targets: chunk.to_vec(),
+                members: members.iter().collect(),
+            }
+        })
+        .collect()
+}
+
+/// Full IBS sampling: union of all partition members, ready for
+/// `extractSubgraph` (Algorithm 2 line 5).
+pub fn ibs_sample(g: &HeteroGraph, targets: &[Vid], cfg: &IbsConfig) -> NodeSet {
+    let mut out = NodeSet::new(g.num_nodes());
+    for part in ibs_partitions(g, targets, cfg) {
+        for v in part.members {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgtosa_kg::KnowledgeGraph;
+
+    /// Star around two targets plus an unrelated far-away clique.
+    fn kg() -> (KnowledgeGraph, Vec<Vid>) {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_terms("t0", "T", "r", "n0", "N");
+        kg.add_triple_terms("t0", "T", "r", "n1", "N");
+        kg.add_triple_terms("t1", "T", "r", "n1", "N");
+        kg.add_triple_terms("n1", "N", "r", "n2", "N");
+        // Far clique.
+        kg.add_triple_terms("f0", "F", "r", "f1", "F");
+        kg.add_triple_terms("f1", "F", "r", "f2", "F");
+        kg.add_triple_terms("f2", "F", "r", "f0", "F");
+        let t = vec![kg.find_node("t0").unwrap(), kg.find_node("t1").unwrap()];
+        (kg, t)
+    }
+
+    #[test]
+    fn sample_contains_targets_and_influencers() {
+        let (kg, targets) = kg();
+        let g = HeteroGraph::build(&kg);
+        let cfg = IbsConfig {
+            k: 3,
+            batch_size: 10,
+            threads: 2,
+            ..Default::default()
+        };
+        let vs = ibs_sample(&g, &targets, &cfg);
+        assert!(vs.contains(targets[0]));
+        assert!(vs.contains(targets[1]));
+        assert!(vs.contains(kg.find_node("n1").unwrap()));
+        // The disconnected clique gets no influence mass.
+        assert!(!vs.contains(kg.find_node("f0").unwrap()));
+    }
+
+    #[test]
+    fn k_limits_neighbourhood() {
+        let (kg, targets) = kg();
+        let g = HeteroGraph::build(&kg);
+        let small = ibs_sample(
+            &g,
+            &targets,
+            &IbsConfig {
+                k: 1,
+                batch_size: 10,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let large = ibs_sample(
+            &g,
+            &targets,
+            &IbsConfig {
+                k: 8,
+                batch_size: 10,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert!(small.len() <= large.len());
+    }
+
+    #[test]
+    fn partitions_respect_batch_size() {
+        let (kg, targets) = kg();
+        let g = HeteroGraph::build(&kg);
+        let parts = ibs_partitions(
+            &g,
+            &targets,
+            &IbsConfig {
+                k: 2,
+                batch_size: 1,
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| p.targets.len() == 1));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (kg, targets) = kg();
+        let g = HeteroGraph::build(&kg);
+        let base = IbsConfig {
+            k: 4,
+            batch_size: 10,
+            ..Default::default()
+        };
+        let seq = ibs_sample(&g, &targets, &IbsConfig { threads: 1, ..base });
+        let par = ibs_sample(&g, &targets, &IbsConfig { threads: 4, ..base });
+        assert_eq!(
+            seq.iter().collect::<Vec<_>>(),
+            par.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_targets() {
+        let (kg, _) = kg();
+        let g = HeteroGraph::build(&kg);
+        let vs = ibs_sample(&g, &[], &IbsConfig::default());
+        assert!(vs.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! GraphSAINT normalization.
+//!
+//! GraphSAINT corrects the bias its subgraph sampler introduces by weighting
+//! each node's loss with the inverse of its estimated sampling probability
+//! (§II-B of the paper: "GraphSAINT further applies normalization techniques
+//! during the training to prevent the bias in the induced sub-graphs").
+//! The probabilities are estimated by a pre-sampling phase: draw `K`
+//! subgraphs, count how often each vertex appears, and set
+//! `λ_v = K / count_v` (clipped for stability).
+
+use kgtosa_kg::NodeSet;
+
+/// Estimates per-node loss-normalization weights from pre-sampled
+/// subgraphs. Nodes never sampled receive weight 0 — they cannot appear in
+/// a training batch anyway.
+pub fn node_norm_weights(num_nodes: usize, samples: &[NodeSet], clip: f32) -> Vec<f32> {
+    let mut counts = vec![0u32; num_nodes];
+    for s in samples {
+        for v in s.iter() {
+            counts[v.idx()] += 1;
+        }
+    }
+    let k = samples.len() as f32;
+    counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                0.0
+            } else {
+                (k / c as f32).min(clip)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgtosa_kg::Vid;
+
+    #[test]
+    fn frequent_nodes_get_small_weights() {
+        let s1 = NodeSet::from_iter(4, [Vid(0), Vid(1)]);
+        let s2 = NodeSet::from_iter(4, [Vid(0), Vid(2)]);
+        let w = node_norm_weights(4, &[s1, s2], 100.0);
+        assert_eq!(w[0], 1.0); // in every sample
+        assert_eq!(w[1], 2.0);
+        assert_eq!(w[2], 2.0);
+        assert_eq!(w[3], 0.0); // never sampled
+    }
+
+    #[test]
+    fn clip_bounds_weights() {
+        let mut samples = Vec::new();
+        for _ in 0..50 {
+            samples.push(NodeSet::from_iter(2, [Vid(0)]));
+        }
+        samples.push(NodeSet::from_iter(2, [Vid(1)]));
+        let w = node_norm_weights(2, &samples, 10.0);
+        assert_eq!(w[1], 10.0, "rare node clipped to 10");
+    }
+
+    #[test]
+    fn no_samples_all_zero() {
+        let w = node_norm_weights(3, &[], 5.0);
+        assert_eq!(w, vec![0.0, 0.0, 0.0]);
+    }
+}

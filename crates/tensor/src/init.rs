@@ -1,0 +1,87 @@
+//! Weight initializers.
+//!
+//! The paper initializes node embeddings "randomly using Xavier weight"
+//! (§V-A3); the same scheme is used for layer weights here. All initializers
+//! take an explicit RNG so experiments are reproducible from a single seed.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0f64 / (rows + cols) as f64).sqrt() as f32;
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = rng.gen_range(-a..=a);
+    }
+    m
+}
+
+/// Uniform `U(-a, a)` with explicit bound (used by TransE-style embeddings,
+/// which conventionally use `6/sqrt(dim)`).
+pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut impl Rng) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = rng.gen_range(-bound..=bound);
+    }
+    m
+}
+
+/// Normalizes every row to unit L2 norm in place (TransE entity embedding
+/// constraint). Zero rows are left untouched.
+pub fn normalize_rows(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let norm: f32 = row.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            for v in row {
+                *v /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let a = (6.0f64 / 30.0).sqrt() as f32;
+        assert!(m.data().iter().all(|&v| v.abs() <= a + 1e-6));
+        // Not all zero.
+        assert!(m.norm() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = uniform(5, 8, 2.0, &mut rng);
+        normalize_rows(&mut m);
+        for r in 0..m.rows() {
+            let n: f32 = m.row(r).iter().map(|&x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn normalize_rows_skips_zero_rows() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(0, 0, 3.0);
+        normalize_rows(&mut m);
+        assert_eq!(m.row(1), &[0.0, 0.0, 0.0]);
+        assert!((m.get(0, 0) - 1.0).abs() < 1e-6);
+    }
+}

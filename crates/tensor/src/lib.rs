@@ -1,0 +1,26 @@
+//! # kgtosa-tensor — minimal dense linear algebra for GNN training
+//!
+//! Rust has no mature GNN/tensor ecosystem (the paper's methods all run on
+//! PyTorch), so this crate provides the numeric substrate from scratch:
+//! a dense row-major [`Matrix`] with the transpose-variant products that
+//! hand-written backward passes need, Xavier initialization, element/row
+//! operations (ReLU, softmax, dropout), and dense + sparse-row Adam.
+//!
+//! Design notes:
+//! * `f32` throughout — all referenced GNN systems train in fp32;
+//! * no autograd: `kgtosa-nn` layers implement explicit backward passes,
+//!   property-tested against finite differences;
+//! * `*_into` variants reuse buffers in the training hot loop.
+
+pub mod adam;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+
+pub use adam::{Adam, AdamConfig, SparseAdam};
+pub use init::{normalize_rows, uniform, xavier_uniform};
+pub use matrix::Matrix;
+pub use ops::{
+    argmax_rows, dropout_backward, dropout_inplace, relu_backward, relu_inplace, sigmoid,
+    softmax_cross_entropy, softmax_rows, IGNORE_LABEL,
+};

@@ -1,0 +1,314 @@
+//! A dense row-major `f32` matrix with the kernels GNN training needs.
+//!
+//! This is deliberately a small, predictable building block: contiguous
+//! storage, cache-friendly `ikj` matmul, explicit transpose-variant products
+//! (needed by hand-written backward passes), and no hidden allocation in the
+//! hot paths (`*_into` variants reuse output buffers).
+
+use std::fmt;
+
+/// Dense row-major matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat immutable data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// `self @ other` → new matrix.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self @ other`, reusing `out`'s buffer.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, other.cols), "output shape");
+        out.fill_zero();
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+    }
+
+    /// `selfᵀ @ other` (e.g. `Xᵀ·G` for weight gradients).
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row mismatch for t_matmul");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` (e.g. `G·Wᵀ` for input gradients).
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "col mismatch for matmul_t");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += a_row[k] * b_row[k];
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Element-wise `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise `self += alpha * other`.
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise scale in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Number of parameters (elements).
+    pub fn param_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Gathers rows by index into a new matrix (embedding lookup).
+    pub fn gather_rows(&self, indices: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(idx as usize));
+        }
+        out
+    }
+
+    /// Scatter-adds `updates` rows into `self` at `indices` (the transpose
+    /// of [`Matrix::gather_rows`], used for sparse embedding gradients).
+    pub fn scatter_add_rows(&mut self, indices: &[u32], updates: &Matrix) {
+        assert_eq!(indices.len(), updates.rows(), "index/update mismatch");
+        assert_eq!(self.cols, updates.cols(), "column mismatch");
+        for (i, &idx) in indices.iter().enumerate() {
+            let dst = self.row_mut(idx as usize);
+            let src = updates.row(i);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn t_matmul_equals_transpose_then_matmul() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[1., 0., 0., 1., 1., 1.]);
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert_eq!(fast.data(), slow.data());
+    }
+
+    #[test]
+    fn matmul_t_equals_matmul_with_transpose() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(4, 3, &[1., 0., 1., 0., 1., 0., 1., 1., 1., 2., 2., 2.]);
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transpose());
+        assert_eq!(fast.data(), slow.data());
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let table = m(4, 2, &[0., 1., 2., 3., 4., 5., 6., 7.]);
+        let picked = table.gather_rows(&[3, 1]);
+        assert_eq!(picked.data(), &[6., 7., 2., 3.]);
+        let mut grad = Matrix::zeros(4, 2);
+        grad.scatter_add_rows(&[3, 1, 3], &m(3, 2, &[1., 1., 2., 2., 10., 10.]));
+        assert_eq!(grad.row(3), &[11., 11.]);
+        assert_eq!(grad.row(1), &[2., 2.]);
+        assert_eq!(grad.row(0), &[0., 0.]);
+    }
+
+    #[test]
+    fn add_scale_norm() {
+        let mut a = m(1, 3, &[3., 0., 4.]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        a.add_scaled(&m(1, 3, &[1., 1., 1.]), 2.0);
+        assert_eq!(a.data(), &[5., 2., 6.]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[2.5, 1., 3.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_check() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn map_and_fill() {
+        let mut a = m(1, 4, &[-1., 2., -3., 4.]);
+        a.map_inplace(|x| x.max(0.0));
+        assert_eq!(a.data(), &[0., 2., 0., 4.]);
+        a.fill_zero();
+        assert_eq!(a.data(), &[0.; 4]);
+    }
+}

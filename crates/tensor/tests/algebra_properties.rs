@@ -1,0 +1,111 @@
+//! Property tests for the linear-algebra kernels: the hand-rolled matmul
+//! variants must satisfy the algebraic identities the backward passes
+//! depend on.
+
+use proptest::prelude::*;
+
+use kgtosa_tensor::{softmax_rows, Adam, AdamConfig, Matrix, SparseAdam};
+
+fn arb_matrix(r: std::ops::Range<usize>, c: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (r, c).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(-3.0f32..3.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.data().iter().zip(b.data()) {
+        prop_assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (AB)C = A(BC) within float tolerance.
+    #[test]
+    fn matmul_associative(a in arb_matrix(1..5, 1..5),
+                          bc in (1usize..5, 1usize..5)) {
+        let (bcols, ccols) = bc;
+        let b = Matrix::from_vec(a.cols(), bcols, vec![0.5; a.cols() * bcols]);
+        let c = Matrix::from_vec(bcols, ccols, vec![-0.25; bcols * ccols]);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert_close(&left, &right, 1e-4)?;
+    }
+
+    /// Aᵀ·B computed directly equals transpose-then-multiply.
+    #[test]
+    fn t_matmul_identity(a in arb_matrix(1..6, 1..6), cols in 1usize..6) {
+        let b = Matrix::from_vec(a.rows(), cols, (0..a.rows() * cols)
+            .map(|i| (i as f32 * 0.37).sin()).collect());
+        assert_close(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-4)?;
+    }
+
+    /// A·Bᵀ computed directly equals multiply-by-transpose.
+    #[test]
+    fn matmul_t_identity(a in arb_matrix(1..6, 1..6), rows in 1usize..6) {
+        let b = Matrix::from_vec(rows, a.cols(), (0..rows * a.cols())
+            .map(|i| (i as f32 * 0.61).cos()).collect());
+        assert_close(&a.matmul_t(&b), &a.matmul(&b.transpose()), 1e-4)?;
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(a in arb_matrix(1..8, 1..8)) {
+        assert_close(&a.transpose().transpose(), &a, 0.0)?;
+    }
+
+    /// gather → scatter_add accumulates exactly the gathered rows.
+    #[test]
+    fn gather_scatter_adjoint(table in arb_matrix(2..8, 1..5),
+                              idx in proptest::collection::vec(0u32..2, 1..10)) {
+        let idx: Vec<u32> = idx.iter().map(|&i| i % table.rows() as u32).collect();
+        let picked = table.gather_rows(&idx);
+        let mut acc = Matrix::zeros(table.rows(), table.cols());
+        acc.scatter_add_rows(&idx, &picked);
+        // Row r of acc = (count of r in idx) * table row r.
+        for r in 0..table.rows() {
+            let count = idx.iter().filter(|&&i| i as usize == r).count() as f32;
+            for c in 0..table.cols() {
+                let expect = count * table.get(r, c);
+                prop_assert!((acc.get(r, c) - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Softmax is invariant to per-row constant shifts.
+    #[test]
+    fn softmax_shift_invariant(m in arb_matrix(1..5, 2..6), shift in -5.0f32..5.0) {
+        let mut shifted = m.clone();
+        shifted.map_inplace(|x| x + shift);
+        let a = softmax_rows(&m);
+        let b = softmax_rows(&shifted);
+        assert_close(&a, &b, 1e-4)?;
+    }
+
+    /// Dense Adam and SparseAdam agree when every row is updated each step.
+    #[test]
+    fn sparse_adam_matches_dense_on_full_updates(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rows = 3usize;
+        let cols = 2usize;
+        let init: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut dense = Matrix::from_vec(rows, cols, init.clone());
+        let mut sparse = Matrix::from_vec(rows, cols, init);
+        let cfg = AdamConfig::default();
+        let mut d_opt = Adam::new(rows * cols, cfg);
+        let mut s_opt = SparseAdam::new(rows, cols, cfg);
+        let all_rows: Vec<u32> = (0..rows as u32).collect();
+        for _ in 0..5 {
+            let grad = Matrix::from_vec(rows, cols,
+                (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+            d_opt.step(&mut dense, &grad);
+            s_opt.step_rows(&mut sparse, &all_rows, &grad);
+        }
+        assert_close(&dense, &sparse, 1e-5)?;
+    }
+}

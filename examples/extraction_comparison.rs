@@ -1,0 +1,74 @@
+//! Extraction-method shoot-out (the §V-C analysis): URW vs BRW vs IBS vs
+//! the four SPARQL pattern variants on a YAGO-shaped KG, comparing the
+//! Table III quality indicators and extraction cost side by side.
+//!
+//! ```sh
+//! cargo run --release --example extraction_comparison
+//! ```
+
+use kgtosa::core::{
+    extract_brw, extract_ibs, extract_metapath, extract_sparql, extract_urw, ExtractionTask,
+    GraphPattern, MetapathConfig, QualityRow,
+};
+use kgtosa::datagen;
+use kgtosa::kg::HeteroGraph;
+use kgtosa::rdf::{FetchConfig, RdfStore};
+use kgtosa::sampler::{IbsConfig, WalkConfig};
+
+fn main() {
+    let scale = 0.1;
+    println!("Generating YAGO-shaped KG (scale {scale})...");
+    let dataset = datagen::yago30(scale, 3);
+    let task = &dataset.nc[0]; // PC/YAGO
+    let kg = &dataset.gen.kg;
+    println!(
+        "{}: {} nodes, {} triples, |C|={}, |R|={}\n",
+        task.name,
+        kg.num_nodes(),
+        kg.num_triples(),
+        kg.num_classes(),
+        kg.num_relations()
+    );
+
+    let ext_task =
+        ExtractionTask::node_classification(&task.name, &task.target_class, task.targets());
+    let graph = HeteroGraph::build(kg);
+    let store = RdfStore::new(kg);
+    // The paper's §V-C parameters, scaled: h=3 walks, top-k=16 IBS.
+    let walk = WalkConfig { roots: task.targets().len().min(2000), walk_length: 3 };
+    let ibs = IbsConfig { k: 16, threads: 4, ..Default::default() };
+
+    let mut results = vec![
+        extract_urw(kg, &graph, &ext_task, &walk, 7),
+        extract_brw(kg, &graph, &ext_task, &walk, 7),
+        extract_ibs(kg, &graph, &ext_task, &ibs),
+        extract_metapath(kg, &graph, &ext_task, &MetapathConfig::default()),
+    ];
+    for pattern in GraphPattern::VARIANTS {
+        results.push(
+            extract_sparql(&store, &ext_task, &pattern, &FetchConfig::default())
+                .expect("extraction"),
+        );
+    }
+
+    println!(
+        "{}  {:>8} {:>9}",
+        QualityRow::header(),
+        "nodes",
+        "time"
+    );
+    for res in &results {
+        let row = QualityRow::from_extraction(res);
+        println!(
+            "{}  {:>8} {:>8.2}s",
+            row.format_row(),
+            row.num_nodes,
+            row.extraction_s
+        );
+    }
+    println!(
+        "\nNote the paper's Table III shape: URW leaves targets disconnected \
+         and underrepresented; BRW/IBS/KG-TOSA all reach 0% disconnection, \
+         but only the SPARQL variants do it at negligible cost."
+    );
+}

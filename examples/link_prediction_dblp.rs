@@ -1,0 +1,95 @@
+//! Link prediction with KG-TOSA (Figure 7 setting): the author-affiliation
+//! (AA) task on a DBLP-shaped KG, trained with MorsE-TransE on the full
+//! graph versus the KG-TOSA_{d2h1} subgraph.
+//!
+//! ```sh
+//! cargo run --release --example link_prediction_dblp
+//! ```
+
+use kgtosa::core::{extract_sparql, run_full_graph, run_on_tosg, ExtractionTask, GraphPattern};
+use kgtosa::datagen;
+use kgtosa::kg::Triple;
+use kgtosa::models::{train_morse_lp, LpDataset, TrainConfig};
+use kgtosa::rdf::{FetchConfig, RdfStore};
+
+fn main() {
+    let scale = 0.15;
+    println!("Generating DBLP-shaped KG (scale {scale})...");
+    let dataset = datagen::dblp(scale, 11);
+    let task = &dataset.lp[0]; // AA/DBLP
+    let kg = &dataset.gen.kg;
+    println!(
+        "{}: {} nodes, {} triples — predicting <{}> links",
+        task.name,
+        kg.num_nodes(),
+        kg.num_triples(),
+        task.predicate
+    );
+
+    let cfg = TrainConfig { epochs: 12, dim: 16, lr: 0.02, negatives: 4, margin: 2.0, ..Default::default() };
+
+    // --- FG ----------------------------------------------------------------
+    let targets = task.target_nodes(&dataset.gen);
+    let (fg_report, fg_cost) = run_full_graph(kg, &targets, |kg, graph, _| {
+        let data = LpDataset {
+            kg,
+            graph,
+            train: &task.train,
+            valid: &task.valid,
+            test: &task.test,
+        };
+        train_morse_lp(&data, &cfg)
+    });
+
+    // --- KG-TOSA d2h1 -------------------------------------------------------
+    let store = RdfStore::new(kg);
+    let ext_task = ExtractionTask::link_prediction(
+        &task.name,
+        vec![task.src_class.clone(), task.dst_class.clone()],
+        targets.clone(),
+        &task.predicate,
+    );
+    let tosg = extract_sparql(&store, &ext_task, &GraphPattern::D2H1, &FetchConfig::default())
+        .expect("extraction");
+    println!(
+        "\nKG' extracted in {:.2}s: {} triples ({:.1}% of FG)",
+        tosg.report.seconds,
+        tosg.report.triples,
+        100.0 * tosg.report.triples as f64 / kg.num_triples() as f64
+    );
+
+    // Remap LP triples into KG' ids (dropping any with lost endpoints).
+    let sub = &tosg.subgraph;
+    let remap = |triples: &[Triple]| -> Vec<Triple> {
+        triples
+            .iter()
+            .filter_map(|t| {
+                let s = sub.map_down(t.s)?;
+                let o = sub.map_down(t.o)?;
+                let p = sub.kg.find_relation(kg.relation_term(t.p))?;
+                Some(Triple::new(s, p, o))
+            })
+            .collect()
+    };
+    let (train, valid, test) = (remap(&task.train), remap(&task.valid), remap(&task.test));
+    println!(
+        "held-out triples preserved in KG': {}/{}",
+        valid.len() + test.len(),
+        task.valid.len() + task.test.len()
+    );
+
+    let (kgp_report, kgp_cost) = run_on_tosg(&tosg, |kg, graph, _| {
+        let data = LpDataset { kg, graph, train: &train, valid: &valid, test: &test };
+        train_morse_lp(&data, &cfg)
+    });
+
+    println!("\n{:<10} {:>10} {:>12} {:>12}", "input", "Hits@10", "total time", "params");
+    println!(
+        "{:<10} {:>10.3} {:>11.1}s {:>12}",
+        "FG", fg_report.metric, fg_cost.total_s(), fg_report.param_count
+    );
+    println!(
+        "{:<10} {:>10.3} {:>11.1}s {:>12}",
+        "KG-TOSA", kgp_report.metric, kgp_cost.total_s(), kgp_report.param_count
+    );
+}

@@ -1,0 +1,105 @@
+//! The paper's motivating experiment (Figure 1): train the Paper-Venue
+//! task on a MAG-shaped KG with the full graph (FG) versus the KG-TOSA
+//! subgraph (KG'), and compare accuracy, time and model size.
+//!
+//! ```sh
+//! cargo run --release --example paper_venue_mag
+//! ```
+
+use kgtosa::core::{extract_sparql, run_full_graph, run_on_tosg, ExtractionTask, GraphPattern};
+use kgtosa::datagen;
+use kgtosa::kg::map_targets;
+use kgtosa::models::{train_graphsaint_nc, NcDataset, SaintSampler, TrainConfig};
+use kgtosa::rdf::{FetchConfig, RdfStore};
+
+fn main() {
+    let scale = 0.2;
+    println!("Generating MAG-shaped KG (scale {scale})...");
+    let dataset = datagen::mag(scale, 7);
+    let task = &dataset.nc[0]; // PV/MAG
+    let kg = &dataset.gen.kg;
+    println!(
+        "{}: {} nodes, {} triples, {} node types, {} edge types",
+        task.name,
+        kg.num_nodes(),
+        kg.num_triples(),
+        kg.num_classes(),
+        kg.num_relations()
+    );
+
+    let cfg = TrainConfig { epochs: 15, dim: 16, lr: 0.02, batch_size: 512, ..Default::default() };
+
+    // --- Full graph (FG) -------------------------------------------------
+    let (fg_report, fg_cost) = run_full_graph(kg, &task.targets(), |kg, graph, _| {
+        let data = NcDataset {
+            kg,
+            graph,
+            labels: &task.labels,
+            num_labels: task.num_labels,
+            train: &task.train,
+            valid: &task.valid,
+            test: &task.test,
+        };
+        train_graphsaint_nc(&data, &cfg, SaintSampler::Uniform)
+    });
+
+    // --- KG-TOSA d1h1 -----------------------------------------------------
+    let store = RdfStore::new(kg);
+    let ext_task =
+        ExtractionTask::node_classification(&task.name, &task.target_class, task.targets());
+    let tosg = extract_sparql(&store, &ext_task, &GraphPattern::D1H1, &FetchConfig::default())
+        .expect("extraction");
+    println!(
+        "\nKG' extracted in {:.2}s: {} nodes, {} triples ({:.1}% of FG)",
+        tosg.report.seconds,
+        tosg.subgraph.kg.num_nodes(),
+        tosg.report.triples,
+        100.0 * tosg.report.triples as f64 / kg.num_triples() as f64
+    );
+
+    let sub = &tosg.subgraph;
+    // Remap labels and splits into KG' ids.
+    let mut labels = vec![u32::MAX; sub.kg.num_nodes()];
+    for v in 0..sub.kg.num_nodes() as u32 {
+        let parent = sub.map_up(kgtosa::kg::Vid(v));
+        labels[v as usize] = task.labels[parent.idx()];
+    }
+    let train = map_targets(sub, &task.train);
+    let valid = map_targets(sub, &task.valid);
+    let test = map_targets(sub, &task.test);
+
+    let (kgp_report, kgp_cost) = run_on_tosg(&tosg, |kg, graph, _| {
+        let data = NcDataset {
+            kg,
+            graph,
+            labels: &labels,
+            num_labels: task.num_labels,
+            train: &train,
+            valid: &valid,
+            test: &test,
+        };
+        train_graphsaint_nc(&data, &cfg, SaintSampler::Uniform)
+    });
+
+    // --- Comparison (the three panels of Figure 1) -----------------------
+    println!("\n{:<10} {:>10} {:>12} {:>14} {:>12}", "input", "accuracy", "total time", "params", "prep time");
+    println!(
+        "{:<10} {:>9.1}% {:>11.1}s {:>14} {:>11.1}s",
+        "FG",
+        fg_report.metric * 100.0,
+        fg_cost.total_s(),
+        fg_report.param_count,
+        fg_cost.extraction_s
+    );
+    println!(
+        "{:<10} {:>9.1}% {:>11.1}s {:>14} {:>11.1}s",
+        "KG-TOSA",
+        kgp_report.metric * 100.0,
+        kgp_cost.total_s(),
+        kgp_report.param_count,
+        kgp_cost.extraction_s
+    );
+    let speedup = fg_cost.total_s() / kgp_cost.total_s().max(1e-9);
+    let shrink = fg_report.param_count as f64 / kgp_report.param_count.max(1) as f64;
+    println!("\nKG-TOSA: {speedup:.1}x faster end-to-end, {shrink:.1}x smaller model");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a small knowledge graph, extract a task-oriented
+//! subgraph with every method, and inspect the quality indicators.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use kgtosa::core::{
+    extract_brw, extract_ibs, extract_sparql, extract_urw, ExtractionTask, GraphPattern,
+    QualityRow,
+};
+use kgtosa::kg::{HeteroGraph, KnowledgeGraph};
+use kgtosa::rdf::{FetchConfig, RdfStore};
+use kgtosa::sampler::{IbsConfig, WalkConfig};
+
+fn main() {
+    // --- 1. Build a KG: an academic community plus an unrelated movie
+    //        cluster (the kind of task-irrelevant diversity KG-TOSA prunes).
+    let mut kg = KnowledgeGraph::new();
+    for i in 0..200 {
+        let p = format!("paper{i}");
+        kg.add_triple_terms(&p, "Paper", "publishedIn", &format!("venue{}", i % 4), "Venue");
+        kg.add_triple_terms(&format!("author{}", i % 37), "Author", "writes", &p, "Paper");
+        if i > 0 {
+            kg.add_triple_terms(&p, "Paper", "cites", &format!("paper{}", i / 2), "Paper");
+        }
+    }
+    for i in 0..120 {
+        kg.add_triple_terms(
+            &format!("movie{i}"),
+            "Movie",
+            "hasGenre",
+            &format!("genre{}", i % 6),
+            "Genre",
+        );
+    }
+    println!(
+        "KG: {} nodes, {} triples, {} node types, {} edge types",
+        kg.num_nodes(),
+        kg.num_triples(),
+        kg.num_classes(),
+        kg.num_relations()
+    );
+
+    // --- 2. Define the task: classify papers (e.g. predict their venue).
+    let targets = kg.nodes_of_class(kg.find_class("Paper").unwrap());
+    let task = ExtractionTask::node_classification("PV/demo", "Paper", targets);
+
+    // --- 3. Extract the TOSG with each method and compare quality.
+    let graph = HeteroGraph::build(&kg);
+    let store = RdfStore::new(&kg);
+    let walk = WalkConfig { roots: 50, walk_length: 3 };
+
+    let results = vec![
+        extract_urw(&kg, &graph, &task, &walk, 7),
+        extract_brw(&kg, &graph, &task, &walk, 7),
+        extract_ibs(&kg, &graph, &task, &IbsConfig { k: 8, threads: 2, ..Default::default() }),
+        extract_sparql(&store, &task, &GraphPattern::D1H1, &FetchConfig::default())
+            .expect("SPARQL extraction"),
+    ];
+
+    println!("\n{}", QualityRow::header());
+    for res in &results {
+        let row = QualityRow::from_extraction(res);
+        println!("{}", row.format_row());
+    }
+
+    // --- 4. The SPARQL query KG-TOSA generated under the hood:
+    let q = kgtosa::core::compile_union(&task, &GraphPattern::D2H1);
+    println!("\nGenerated Q^(d2h1):\n{q}");
+}

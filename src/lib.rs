@@ -1,0 +1,49 @@
+//! # kgtosa — Task-Oriented GNN Training on Large Knowledge Graphs
+//!
+//! A from-scratch Rust reproduction of **KG-TOSA** (Abdallah, Afandi,
+//! Kalnis, Mansour — ICDE 2024): automating the extraction of
+//! *task-oriented subgraphs* (TOSGs) so heterogeneous GNNs train faster,
+//! smaller and at least as accurately on large knowledge graphs.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`kg`] | `kgtosa-kg` | KG data model, CSR adjacency, quality statistics |
+//! | [`rdf`] | `kgtosa-rdf` | hexastore indices, SPARQL subset, paginated endpoint |
+//! | [`tensor`] | `kgtosa-tensor` | dense matrices, Adam, initializers |
+//! | [`nn`] | `kgtosa-nn` | RGCN layer, losses, metrics — explicit backprop |
+//! | [`sampler`] | `kgtosa-sampler` | URW/BRW walks, PPR, IBS, ego sampling |
+//! | [`core`] | `kgtosa-core` | **the paper**: graph pattern, Algorithms 1-3, pipeline |
+//! | [`models`] | `kgtosa-models` | the six evaluated HGNN methods |
+//! | [`datagen`] | `kgtosa-datagen` | the Table I/II benchmark, scaled |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kgtosa::core::{extract_sparql, ExtractionTask, GraphPattern};
+//! use kgtosa::kg::KnowledgeGraph;
+//! use kgtosa::rdf::{FetchConfig, RdfStore};
+//!
+//! // A toy KG: papers cite papers, authors write papers.
+//! let mut g = KnowledgeGraph::new();
+//! g.add_triple_terms("p1", "Paper", "cites", "p2", "Paper");
+//! g.add_triple_terms("a1", "Author", "writes", "p1", "Paper");
+//!
+//! // Extract the task-oriented subgraph for a Paper-targeted task.
+//! let targets = g.nodes_of_class(g.find_class("Paper").unwrap());
+//! let task = ExtractionTask::node_classification("demo", "Paper", targets);
+//! let store = RdfStore::new(&g);
+//! let tosg = extract_sparql(&store, &task, &GraphPattern::D1H1,
+//!                           &FetchConfig::default()).unwrap();
+//! assert!(tosg.subgraph.kg.num_triples() <= g.num_triples());
+//! ```
+
+pub use kgtosa_core as core;
+pub use kgtosa_datagen as datagen;
+pub use kgtosa_kg as kg;
+pub use kgtosa_models as models;
+pub use kgtosa_nn as nn;
+pub use kgtosa_rdf as rdf;
+pub use kgtosa_sampler as sampler;
+pub use kgtosa_tensor as tensor;

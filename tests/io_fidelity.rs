@@ -1,0 +1,80 @@
+//! I/O fidelity: a generated benchmark KG survives a round trip through
+//! both persistence formats (N-Triples and binary snapshot) with TOSG
+//! extraction producing the *same subgraph* afterwards — the property a
+//! real deployment depends on when KGs move between tools.
+
+use std::io::Cursor;
+
+use kgtosa::core::{extract_sparql, ExtractionTask, GraphPattern};
+use kgtosa::datagen;
+use kgtosa::kg::{read_snapshot, write_snapshot, KnowledgeGraph};
+use kgtosa::rdf::{read_ntriples, write_ntriples, FetchConfig, RdfStore};
+
+fn tosg_fingerprint(kg: &KnowledgeGraph, target_class: &str) -> (usize, usize, Vec<String>) {
+    let targets = kg.nodes_of_class(kg.find_class(target_class).unwrap());
+    let task = ExtractionTask::node_classification("io", target_class, targets);
+    let store = RdfStore::new(kg);
+    let tosg =
+        extract_sparql(&store, &task, &GraphPattern::D1H1, &FetchConfig::default()).unwrap();
+    // Fingerprint: node/triple counts plus the sorted triple term strings
+    // (ids may differ across round trips; terms must not).
+    let sub = &tosg.subgraph.kg;
+    let mut terms: Vec<String> = sub
+        .triples()
+        .iter()
+        .map(|t| {
+            format!(
+                "{} {} {}",
+                sub.node_term(t.s),
+                sub.relation_term(t.p),
+                sub.node_term(t.o)
+            )
+        })
+        .collect();
+    terms.sort();
+    (sub.num_nodes(), sub.num_triples(), terms)
+}
+
+#[test]
+fn ntriples_roundtrip_preserves_extraction() {
+    let dataset = datagen::dblp(0.05, 3);
+    let kg = &dataset.gen.kg;
+    let before = tosg_fingerprint(kg, "Paper");
+
+    let mut buf = Vec::new();
+    write_ntriples(kg, &mut buf).unwrap();
+    let back = read_ntriples(Cursor::new(&buf)).unwrap();
+    assert_eq!(back.num_triples(), kg.num_triples());
+    let after = tosg_fingerprint(&back, "Paper");
+    assert_eq!(before, after, "TOSG must be identical after N-Triples round trip");
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_extraction() {
+    let dataset = datagen::mag(0.05, 5);
+    let kg = &dataset.gen.kg;
+    let before = tosg_fingerprint(kg, "Paper");
+
+    let mut buf = Vec::new();
+    write_snapshot(kg, &mut buf).unwrap();
+    let back = read_snapshot(Cursor::new(&buf)).unwrap();
+    assert_eq!(back.num_nodes(), kg.num_nodes());
+    let after = tosg_fingerprint(&back, "Paper");
+    assert_eq!(before, after, "TOSG must be identical after snapshot round trip");
+}
+
+#[test]
+fn snapshot_is_smaller_than_ntriples() {
+    let dataset = datagen::yago30(0.05, 9);
+    let kg = &dataset.gen.kg;
+    let mut nt = Vec::new();
+    write_ntriples(kg, &mut nt).unwrap();
+    let mut bin = Vec::new();
+    write_snapshot(kg, &mut bin).unwrap();
+    assert!(
+        bin.len() * 2 < nt.len(),
+        "snapshot {} should be <half of N-Triples {}",
+        bin.len(),
+        nt.len()
+    );
+}

@@ -1,0 +1,78 @@
+//! §IV-C claim: "The merging process enables KG-TOSA to maintain longer
+//! metapaths ... while still maintaining a smaller number of hops (h) from
+//! the target vertices."
+//!
+//! Concretely: under `KG-TOSA_{d1h1}`, every metapath whose steps all
+//! *start at a target vertex going outward* is fully preserved — e.g.
+//! Paper-cites-Paper-cites-Paper chains survive even though h = 1, because
+//! each edge is the 1-hop neighbourhood of *some* target and the per-target
+//! subgraphs are merged.
+
+use kgtosa::core::{extract_sparql, ExtractionTask, GraphPattern};
+use kgtosa::datagen;
+use kgtosa::kg::{count_instances, HeteroGraph, Metapath, Vid};
+use kgtosa::rdf::{FetchConfig, RdfStore};
+
+#[test]
+fn d1h1_preserves_target_to_target_chains_of_any_length() {
+    let dataset = datagen::mag(0.05, 13);
+    let kg = &dataset.gen.kg;
+    let task = &dataset.nc[0]; // PV/MAG, targets = Papers
+    let targets = task.targets();
+    let ext = ExtractionTask::node_classification(&task.name, &task.target_class, targets.clone());
+    let store = RdfStore::new(kg);
+    let tosg = extract_sparql(&store, &ext, &GraphPattern::D1H1, &FetchConfig::default()).unwrap();
+    let sub = &tosg.subgraph;
+
+    let cites = kg.find_relation("cites").unwrap();
+    let fg_graph = HeteroGraph::build(kg);
+    let sub_graph = HeteroGraph::build(&sub.kg);
+    let sub_cites = sub.kg.find_relation("cites").unwrap();
+    let sub_targets: Vec<Vid> = tosg.targets.clone();
+
+    // cites chains of length 1, 2 and 3: every step starts at a Paper
+    // (a target), so d1h1 must preserve every instance.
+    for hops in 1..=3usize {
+        let fg_path = Metapath::new(std::iter::repeat_n((cites, true), hops));
+        let sub_path = Metapath::new(std::iter::repeat_n((sub_cites, true), hops));
+        let fg_count = count_instances(&fg_graph, &targets, &fg_path);
+        let sub_count = count_instances(&sub_graph, &sub_targets, &sub_path);
+        assert_eq!(
+            fg_count, sub_count,
+            "{hops}-hop cites chains must survive d1h1 merging"
+        );
+        if hops == 2 {
+            assert!(fg_count > 0, "test graph must actually contain 2-hop chains");
+        }
+    }
+
+    // Control: a metapath whose second step starts at a NON-target (Author
+    // -writes-> Paper is incoming to targets) is NOT guaranteed under d1h1.
+    let writes = kg.find_relation("writes").unwrap();
+    let fg_incoming = Metapath::new([(writes, false)]); // Paper <-writes- Author
+    let fg_count = count_instances(&fg_graph, &targets, &fg_incoming);
+    let survives = sub.kg.find_relation("writes").is_some();
+    assert!(fg_count > 0);
+    assert!(
+        !survives,
+        "incoming-only relations should be absent from the d1h1 TOSG"
+    );
+}
+
+#[test]
+fn longer_metapaths_than_h_exist_in_tosg() {
+    // The headline of the claim: the TOSG contains metapath instances
+    // strictly longer than its hop parameter h = 1.
+    let dataset = datagen::dblp(0.05, 3);
+    let kg = &dataset.gen.kg;
+    let task = &dataset.nc[0];
+    let ext =
+        ExtractionTask::node_classification(&task.name, &task.target_class, task.targets());
+    let store = RdfStore::new(kg);
+    let tosg = extract_sparql(&store, &ext, &GraphPattern::D1H1, &FetchConfig::default()).unwrap();
+    let sub_graph = HeteroGraph::build(&tosg.subgraph.kg);
+    let cites = tosg.subgraph.kg.find_relation("cites").unwrap();
+    let three_hops = Metapath::new(std::iter::repeat_n((cites, true), 3));
+    let count = count_instances(&sub_graph, &tosg.targets, &three_hops);
+    assert!(count > 0, "KG' (h=1) must still contain 3-hop metapaths");
+}

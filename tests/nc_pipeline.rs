@@ -1,0 +1,118 @@
+//! End-to-end node-classification pipeline: generate → extract → transform
+//! → train, comparing full graph (FG) against the KG-TOSA subgraph (KG').
+
+use kgtosa::core::{extract_sparql, run_full_graph, run_on_tosg, ExtractionTask, GraphPattern};
+use kgtosa::datagen;
+use kgtosa::kg::{map_targets, Vid};
+use kgtosa::models::{train_rgcn_nc, NcDataset, TrainConfig};
+use kgtosa::rdf::{FetchConfig, RdfStore};
+
+#[test]
+fn kgtosa_pipeline_beats_fg_on_cost_with_comparable_accuracy() {
+    let dataset = datagen::mag(0.04, 5);
+    let task = &dataset.nc[0];
+    let kg = &dataset.gen.kg;
+    let cfg = TrainConfig {
+        epochs: 12,
+        dim: 8,
+        lr: 0.03,
+        ..Default::default()
+    };
+
+    // FG run.
+    let (fg, fg_cost) = run_full_graph(kg, &task.targets(), |kg, graph, _| {
+        let data = NcDataset {
+            kg,
+            graph,
+            labels: &task.labels,
+            num_labels: task.num_labels,
+            train: &task.train,
+            valid: &task.valid,
+            test: &task.test,
+        };
+        train_rgcn_nc(&data, &cfg)
+    });
+
+    // KG' run.
+    let store = RdfStore::new(kg);
+    let ext = ExtractionTask::node_classification(&task.name, &task.target_class, task.targets());
+    let tosg = extract_sparql(&store, &ext, &GraphPattern::D1H1, &FetchConfig::default()).unwrap();
+
+    // KG' is a strict subgraph with every target preserved.
+    assert!(tosg.subgraph.kg.num_triples() < kg.num_triples());
+    assert!(tosg.subgraph.kg.num_nodes() < kg.num_nodes());
+    assert_eq!(tosg.targets.len(), task.targets().len());
+
+    let sub = &tosg.subgraph;
+    let mut labels = vec![u32::MAX; sub.kg.num_nodes()];
+    for v in 0..sub.kg.num_nodes() as u32 {
+        labels[v as usize] = task.labels[sub.map_up(Vid(v)).idx()];
+    }
+    let train = map_targets(sub, &task.train);
+    let valid = map_targets(sub, &task.valid);
+    let test = map_targets(sub, &task.test);
+    assert_eq!(train.len(), task.train.len());
+
+    let (kgp, _) = run_on_tosg(&tosg, |kg, graph, _| {
+        let data = NcDataset {
+            kg,
+            graph,
+            labels: &labels,
+            num_labels: task.num_labels,
+            train: &train,
+            valid: &valid,
+            test: &test,
+        };
+        train_rgcn_nc(&data, &cfg)
+    });
+
+    // Model shrinks with the relation set (Table IV's model-size column).
+    assert!(
+        kgp.param_count < fg.param_count,
+        "KG' params {} !< FG params {}",
+        kgp.param_count,
+        fg.param_count
+    );
+    // Both models must beat a random-guess baseline comfortably.
+    let chance = 1.0 / task.num_labels as f64;
+    assert!(fg.metric > 2.0 * chance, "FG accuracy {}", fg.metric);
+    assert!(kgp.metric > 2.0 * chance, "KG' accuracy {}", kgp.metric);
+    // KG' accuracy within a small delta of (or better than) FG.
+    assert!(
+        kgp.metric >= fg.metric - 0.15,
+        "KG' {} much worse than FG {}",
+        kgp.metric,
+        fg.metric
+    );
+    assert!(fg_cost.transformation_s >= 0.0);
+}
+
+#[test]
+fn extraction_methods_agree_on_targets() {
+    use kgtosa::core::{extract_brw, extract_ibs};
+    use kgtosa::kg::HeteroGraph;
+    use kgtosa::sampler::{IbsConfig, WalkConfig};
+
+    let dataset = datagen::dblp(0.03, 9);
+    let task = &dataset.nc[0];
+    let kg = &dataset.gen.kg;
+    let ext = ExtractionTask::node_classification(&task.name, &task.target_class, task.targets());
+    let graph = HeteroGraph::build(kg);
+
+    let brw = extract_brw(
+        kg,
+        &graph,
+        &ext,
+        &WalkConfig { roots: ext.targets.len(), walk_length: 3 },
+        1,
+    );
+    let ibs = extract_ibs(
+        kg,
+        &graph,
+        &ext,
+        &IbsConfig { k: 8, threads: 2, ..Default::default() },
+    );
+    // Both keep every target (roots cover all of V_T here).
+    assert_eq!(brw.targets.len(), ext.targets.len());
+    assert_eq!(ibs.targets.len(), ext.targets.len());
+}

@@ -1,0 +1,149 @@
+//! Shape tests: the qualitative claims of the paper's Table III and §V
+//! must hold on the generated benchmark under fixed seeds. These are the
+//! assertions EXPERIMENTS.md reports; pinning them as tests keeps the
+//! reproduction honest under refactoring.
+
+use kgtosa::core::{
+    extract_brw, extract_ibs, extract_sparql, extract_urw, ExtractionTask, GraphPattern,
+    QualityRow,
+};
+use kgtosa::datagen;
+use kgtosa::kg::HeteroGraph;
+use kgtosa::rdf::{FetchConfig, RdfStore};
+use kgtosa::sampler::{IbsConfig, WalkConfig};
+
+fn rows_for(dataset: &datagen::Dataset, task_idx: usize, seed: u64) -> Vec<QualityRow> {
+    let task = &dataset.nc[task_idx];
+    let kg = &dataset.gen.kg;
+    let graph = HeteroGraph::build(kg);
+    let ext = ExtractionTask::node_classification(&task.name, &task.target_class, task.targets());
+    let walk = WalkConfig {
+        roots: ext.targets.len(),
+        walk_length: 3,
+    };
+    let store = RdfStore::new(kg);
+    vec![
+        QualityRow::from_extraction(&extract_urw(kg, &graph, &ext, &walk, seed)),
+        QualityRow::from_extraction(&extract_brw(kg, &graph, &ext, &walk, seed)),
+        QualityRow::from_extraction(&extract_ibs(
+            kg,
+            &graph,
+            &ext,
+            &IbsConfig { k: 16, threads: 2, ..Default::default() },
+        )),
+        QualityRow::from_extraction(
+            &extract_sparql(&store, &ext, &GraphPattern::D1H1, &FetchConfig::default()).unwrap(),
+        ),
+    ]
+}
+
+/// Table III's data-sufficiency shape: the task-oriented methods raise the
+/// target-vertex ratio over URW and keep every target connected.
+#[test]
+fn table3_shape_holds_on_mag_and_dblp() {
+    for (dataset, idx) in [
+        (datagen::mag(0.08, 7), 0usize),
+        (datagen::dblp(0.08, 207), 0usize),
+    ] {
+        let rows = rows_for(&dataset, idx, 7);
+        let (urw, brw, ibs, d1h1) = (&rows[0], &rows[1], &rows[2], &rows[3]);
+        // Data sufficiency: URW has the lowest target ratio.
+        assert!(
+            brw.target_ratio_pct > urw.target_ratio_pct,
+            "BRW {} !> URW {}",
+            brw.target_ratio_pct,
+            urw.target_ratio_pct
+        );
+        assert!(d1h1.target_ratio_pct > urw.target_ratio_pct);
+        // Topology: task-oriented methods have zero disconnected vertices.
+        assert_eq!(brw.target_disconnected_pct, 0.0);
+        assert_eq!(ibs.target_disconnected_pct, 0.0);
+        assert_eq!(d1h1.target_disconnected_pct, 0.0);
+        // Type pruning: d1h1 keeps fewer live node/edge types than URW.
+        assert!(d1h1.num_classes < urw.num_classes);
+        assert!(d1h1.num_relations < urw.num_relations);
+        // All targets survive the task-oriented extractions.
+        let targets = dataset.nc[idx].targets().len();
+        assert_eq!(brw.target_count, targets);
+        assert_eq!(ibs.target_count, targets);
+        assert_eq!(d1h1.target_count, targets);
+    }
+}
+
+/// §V headline: KG' is a fraction of FG in triples on every NC task.
+#[test]
+fn tosg_is_substantially_smaller_than_fg() {
+    let datasets = [
+        datagen::mag(0.08, 7),
+        datagen::dblp(0.08, 207),
+        datagen::yago30(0.08, 107),
+    ];
+    for dataset in &datasets {
+        for task in &dataset.nc {
+            let kg = &dataset.gen.kg;
+            let ext =
+                ExtractionTask::node_classification(&task.name, &task.target_class, task.targets());
+            let store = RdfStore::new(kg);
+            let tosg =
+                extract_sparql(&store, &ext, &GraphPattern::D1H1, &FetchConfig::default())
+                    .unwrap();
+            let frac = tosg.report.triples as f64 / kg.num_triples() as f64;
+            assert!(
+                frac < 0.7,
+                "{}: KG' is {:.0}% of FG — expected a substantial reduction",
+                task.name,
+                frac * 100.0
+            );
+        }
+    }
+}
+
+/// Pattern-variant ordering (Figure 8): d1h1 extracts the smallest
+/// subgraph; adding direction or hops can only grow it.
+#[test]
+fn pattern_variants_are_monotone() {
+    let dataset = datagen::mag(0.08, 7);
+    let kg = &dataset.gen.kg;
+    let task = &dataset.nc[0];
+    let ext = ExtractionTask::node_classification(&task.name, &task.target_class, task.targets());
+    let store = RdfStore::new(kg);
+    let size = |p: &GraphPattern| {
+        extract_sparql(&store, &ext, p, &FetchConfig::default())
+            .unwrap()
+            .report
+            .triples
+    };
+    let d1h1 = size(&GraphPattern::D1H1);
+    let d2h1 = size(&GraphPattern::D2H1);
+    let d1h2 = size(&GraphPattern::D1H2);
+    let d2h2 = size(&GraphPattern::D2H2);
+    assert!(d1h1 <= d2h1 && d1h1 <= d1h2, "d1h1 must be smallest");
+    assert!(d2h1 <= d2h2 && d1h2 <= d2h2, "d2h2 must be largest");
+}
+
+/// §IV cost claim: the SPARQL method's extraction is cheap relative to the
+/// sampling methods on the same task (here: at least not slower than IBS,
+/// which pays per-target PPR).
+#[test]
+fn sparql_extraction_cheaper_than_ibs() {
+    let dataset = datagen::yago30(0.1, 107);
+    let kg = &dataset.gen.kg;
+    let task = &dataset.nc[0];
+    let graph = HeteroGraph::build(kg);
+    let ext = ExtractionTask::node_classification(&task.name, &task.target_class, task.targets());
+    let store = RdfStore::new(kg);
+    let ibs = extract_ibs(
+        kg,
+        &graph,
+        &ext,
+        &IbsConfig { k: 16, threads: 2, ..Default::default() },
+    );
+    let sparql =
+        extract_sparql(&store, &ext, &GraphPattern::D1H1, &FetchConfig::default()).unwrap();
+    assert!(
+        sparql.report.seconds <= ibs.report.seconds,
+        "SPARQL {:.4}s should not exceed IBS {:.4}s",
+        sparql.report.seconds,
+        ibs.report.seconds
+    );
+}
