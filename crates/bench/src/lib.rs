@@ -46,8 +46,11 @@ pub struct Env {
 }
 
 impl Env {
-    /// Reads `KGTOSA_*` variables with bench-friendly defaults.
+    /// Reads `KGTOSA_*` variables with bench-friendly defaults. Also arms
+    /// the JSONL trace sink when `KGTOSA_TRACE` names a file, so every
+    /// bench binary can be traced without code changes.
     pub fn from_env() -> Self {
+        kgtosa_obs::init_trace_from_env();
         let get = |k: &str, d: f64| -> f64 {
             std::env::var(k)
                 .ok()
@@ -62,8 +65,16 @@ impl Env {
         }
     }
 
-    /// The shared training configuration.
+    /// The shared training configuration. Epoch telemetry is attached only
+    /// when a trace sink is active: bench binaries run dozens of training
+    /// jobs, and unconditional per-epoch stderr lines would drown the
+    /// printed tables.
     pub fn train_config(&self) -> TrainConfig {
+        let observer = if kgtosa_obs::trace_enabled() {
+            kgtosa_obs::Observer::new(kgtosa_obs::TelemetryObserver)
+        } else {
+            kgtosa_obs::Observer::none()
+        };
         TrainConfig {
             epochs: self.epochs,
             dim: self.dim,
@@ -72,6 +83,7 @@ impl Env {
             batch_size: 512,
             negatives: 4,
             margin: 2.0,
+            observer,
         }
     }
 }

@@ -10,6 +10,9 @@ pub struct Args {
     pub command: String,
     /// `--key value` pairs; bare `--flag`s map to `"true"`.
     pub options: BTreeMap<String, String>,
+    /// Positional arguments after the subcommand (e.g. the trace file of
+    /// `kgtosa trace-summary trace.jsonl`).
+    pub positionals: Vec<String>,
 }
 
 impl Args {
@@ -17,6 +20,7 @@ impl Args {
     pub fn parse(mut input: impl Iterator<Item = String>) -> Result<Args, String> {
         let command = input.next().unwrap_or_default();
         let mut options = BTreeMap::new();
+        let mut positionals = Vec::new();
         let mut pending_key: Option<String> = None;
         for token in input {
             if let Some(stripped) = token.strip_prefix("--") {
@@ -27,13 +31,13 @@ impl Args {
             } else if let Some(key) = pending_key.take() {
                 options.insert(key, token);
             } else {
-                return Err(format!("unexpected positional argument {token:?}"));
+                positionals.push(token);
             }
         }
         if let Some(key) = pending_key {
             options.insert(key, "true".to_string());
         }
-        Ok(Args { command, options })
+        Ok(Args { command, options, positionals })
     }
 
     /// Required string option.
@@ -98,8 +102,12 @@ mod tests {
     }
 
     #[test]
-    fn rejects_stray_positionals() {
-        let err = Args::parse(["x", "oops"].iter().map(|s| s.to_string()));
-        assert!(err.is_err());
+    fn collects_positionals() {
+        let a = parse(&["trace-summary", "trace.jsonl", "--quiet"]);
+        assert_eq!(a.positionals, vec!["trace.jsonl"]);
+        assert!(a.flag("quiet"));
+        // A value following `--key` still binds to the key, not positionals.
+        let b = parse(&["extract", "--kg", "g.nt"]);
+        assert!(b.positionals.is_empty());
     }
 }

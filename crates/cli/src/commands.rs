@@ -5,9 +5,10 @@ use std::io::{BufReader, BufWriter};
 use std::time::Instant;
 
 use kgtosa_core::{
-    extract_brw, extract_ibs, extract_metapath, extract_sparql, ExtractionResult, ExtractionTask,
-    GraphPattern, MetapathConfig, QualityRow,
+    extract_brw, extract_ibs, extract_metapath, extract_sparql, transform, ExtractionResult,
+    ExtractionTask, GraphPattern, MetapathConfig, QualityRow,
 };
+use kgtosa_obs::{render_trace_table, summarize_jsonl};
 use kgtosa_datagen::Dataset;
 use kgtosa_kg::{HeteroGraph, KnowledgeGraph, Vid};
 use kgtosa_models::{
@@ -80,10 +81,15 @@ pub fn generate(args: &Args) -> Result<(), String> {
         d.gen.kg.num_relations()
     );
     for t in &d.nc {
-        println!("  NC task {}: {} targets of class {}", t.name, t.targets().len(), t.target_class);
+        kgtosa_obs::info!(
+            "  NC task {}: {} targets of class {}",
+            t.name,
+            t.targets().len(),
+            t.target_class
+        );
     }
     for t in &d.lp {
-        println!(
+        kgtosa_obs::info!(
             "  LP task {}: predicate <{}>, {} train / {} valid / {} test",
             t.name,
             t.predicate,
@@ -142,7 +148,7 @@ pub fn query(args: &Args) -> Result<(), String> {
     let rs = engine.execute_str(sparql).map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
     if args.flag("explain") {
-        eprintln!("parsed: {}", kgtosa_rdf::parse(sparql).map_err(|e| e.to_string())?);
+        kgtosa_obs::info!("parsed: {}", kgtosa_rdf::parse(sparql).map_err(|e| e.to_string())?);
     }
     println!("{}", rs.vars.join("\t"));
     for i in 0..rs.len().min(limit) {
@@ -151,7 +157,7 @@ pub fn query(args: &Args) -> Result<(), String> {
     if rs.len() > limit {
         println!("... ({} more rows)", rs.len() - limit);
     }
-    eprintln!("{} rows in {:.3}s", rs.len(), elapsed.as_secs_f64());
+    kgtosa_obs::info!("{} rows in {:.3}s", rs.len(), elapsed.as_secs_f64());
     Ok(())
 }
 
@@ -217,7 +223,26 @@ pub fn extract(args: &Args) -> Result<(), String> {
         100.0 * result.report.triples as f64 / kg.num_triples().max(1) as f64
     );
     save_kg(&result.subgraph.kg, out)?;
-    println!("wrote {out}");
+    kgtosa_obs::info!("wrote {out}");
+    Ok(())
+}
+
+/// `kgtosa trace-summary`: aggregates a JSONL trace (written via
+/// `--trace-out` or `KGTOSA_TRACE`) into a per-span table on stdout.
+pub fn trace_summary(args: &Args) -> Result<(), String> {
+    let path = args
+        .positionals
+        .first()
+        .map(|s| s.as_str())
+        .or_else(|| args.options.get("trace").map(|s| s.as_str()))
+        .ok_or("usage: kgtosa trace-summary <trace.jsonl>")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let rows = summarize_jsonl(&text)?;
+    if rows.is_empty() {
+        return Err(format!("{path} contains no span or train.epoch events"));
+    }
+    print!("{}", render_trace_table(&rows));
     Ok(())
 }
 
@@ -241,6 +266,9 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
         dim: args.parse_or("dim", 16usize)?,
         lr: args.parse_or("lr", 0.02f32)?,
         seed,
+        // Per-epoch telemetry: a progress line on stderr (silenced by
+        // --quiet) plus train.epoch events when a trace sink is active.
+        observer: kgtosa_obs::Observer::new(kgtosa_obs::TelemetryObserver),
         ..Default::default()
     };
     let d = dataset_by_name(dataset_name, scale, seed)?;
@@ -253,7 +281,7 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
                       valid: &[Vid],
                       test: &[Vid]|
          -> Result<TrainReport, String> {
-            let graph = HeteroGraph::build(kg);
+            let (graph, _) = transform(kg);
             let data = NcDataset {
                 kg,
                 graph: &graph,
@@ -313,7 +341,7 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
                       valid: &[kgtosa_kg::Triple],
                       test: &[kgtosa_kg::Triple]|
          -> Result<TrainReport, String> {
-            let graph = HeteroGraph::build(kg);
+            let (graph, _) = transform(kg);
             let data = LpDataset { kg, graph: &graph, train, valid, test };
             Ok(match method {
                 "rgcn" | "rgcn-lp" => train_rgcn_lp(&data, &cfg),

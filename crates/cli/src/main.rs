@@ -41,7 +41,16 @@ COMMANDS:
                [--tosg d1h1] [--scale 0.1] [--epochs 15] [--dim 16] [--seed 7]
   compare    Train on FG and on the KG-TOSA subgraph, print both
                (same options as train)
+  trace-summary
+             Aggregate a JSONL trace into a per-span table
+               kgtosa trace-summary trace.jsonl
   help       Show this message
+
+GLOBAL OPTIONS (any command):
+  --trace-out FILE   Write a JSONL event trace (spans, train.epoch, logs,
+                     final metrics); KGTOSA_TRACE=FILE does the same
+  --quiet            Silence progress chatter on stderr (result lines on
+                     stdout are unaffected)
 ";
 
 fn main() {
@@ -52,19 +61,38 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let result = match args.command.as_str() {
+    if args.flag("quiet") {
+        kgtosa_obs::set_quiet(true);
+    }
+    let traced = match args.options.get("trace-out") {
+        Some(path) => kgtosa_obs::init_trace_to(path)
+            .map(|()| true)
+            .map_err(|e| format!("cannot open trace file {path:?}: {e}")),
+        None => Ok(kgtosa_obs::init_trace_from_env()),
+    };
+    let result = traced.and_then(|_| match args.command.as_str() {
         "generate" => commands::generate(&args),
         "stats" => commands::stats(&args),
         "query" => commands::query(&args),
         "extract" => commands::extract(&args),
         "train" => commands::train(&args, false),
         "compare" => commands::train(&args, true),
+        "trace-summary" => commands::trace_summary(&args),
         "help" | "" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
-    };
+    });
+    // Final accounting: the summary tree goes to stderr (it is telemetry,
+    // not command output), and shutdown flushes the JSONL sink.
+    if !kgtosa_obs::is_quiet() {
+        let tree = kgtosa_obs::render_summary_tree();
+        if !tree.is_empty() {
+            eprint!("{tree}");
+        }
+    }
+    kgtosa_obs::shutdown();
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);

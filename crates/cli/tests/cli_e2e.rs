@@ -106,6 +106,71 @@ fn train_command_runs() {
 }
 
 #[test]
+fn trace_out_emits_parseable_jsonl_and_summary_renders() {
+    let trace = tmp("train-trace.jsonl");
+    // `--tosg` routes through SPARQL extraction + transform, so the trace
+    // covers the whole pipeline, not just training.
+    let out = kgtosa()
+        .args([
+            "train", "--dataset", "dblp", "--task", "PV/DBLP",
+            "--method", "rgcn", "--scale", "0.05", "--epochs", "3",
+            "--tosg", "d1h1", "--quiet",
+            "--trace-out", trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // --quiet: no chatter, no summary tree on stderr.
+    assert!(out.stderr.is_empty(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut epoch_events = 0usize;
+    let mut saw_transform = false;
+    for line in text.lines() {
+        let v = kgtosa_obs::Json::parse(line)
+            .unwrap_or_else(|e| panic!("invalid JSONL line {line:?}: {e}"));
+        let ev = v
+            .get("ev")
+            .and_then(|e| e.as_str())
+            .expect("every event has an `ev` kind")
+            .to_string();
+        assert!(
+            v.get("t").and_then(|t| t.as_f64()).is_some(),
+            "every event has a timestamp"
+        );
+        match ev.as_str() {
+            "span" => {
+                let name = v.get("name").and_then(|n| n.as_str()).unwrap();
+                if name.contains("pipeline.transform") {
+                    saw_transform = true;
+                }
+            }
+            "train.epoch" => {
+                epoch_events += 1;
+                assert!(v.get("loss").and_then(|l| l.as_f64()).unwrap().is_finite());
+                assert!(v.get("peak_bytes").and_then(|p| p.as_f64()).unwrap() > 0.0);
+            }
+            _ => {}
+        }
+        kinds.insert(ev);
+    }
+    assert!(saw_transform, "trace must contain a pipeline.transform span:\n{text}");
+    assert_eq!(epoch_events, 3, "one train.epoch event per epoch:\n{text}");
+    assert!(kinds.contains("metrics"), "final metrics event missing:\n{text}");
+
+    // The summary subcommand aggregates the trace into a table.
+    let out = kgtosa()
+        .args(["trace-summary", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pipeline.transform"), "{stdout}");
+    assert!(stdout.contains("train.epoch[RGCN]"), "{stdout}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = kgtosa().args(["bogus"]).output().unwrap();
     assert!(!out.status.success());

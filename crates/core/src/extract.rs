@@ -5,9 +5,9 @@
 //!
 //! All methods end in the same place: a compacted subgraph `KG'` plus the
 //! target vertices remapped into it, with wall-clock and volume accounting
-//! for the cost breakdowns of Figures 6-8 and Table IV.
-
-use std::time::Instant;
+//! for the cost breakdowns of Figures 6-8 and Table IV. Each extractor
+//! runs under an `extract.<method>` span, and every completed extraction
+//! bumps the `extract.sampled_nodes` / `extract.triples` counters.
 
 use kgtosa_kg::{
     induced_subgraph, map_targets, subgraph_from_triples_and_nodes, HeteroGraph, InducedSubgraph,
@@ -60,6 +60,8 @@ impl ExtractionResult {
     ) -> Self {
         let targets = map_targets(&subgraph, parent_targets);
         let triples = subgraph.kg.num_triples();
+        kgtosa_obs::counter("extract.sampled_nodes").add(sampled_nodes as u64);
+        kgtosa_obs::counter("extract.triples").add(triples as u64);
         Self {
             subgraph,
             targets,
@@ -82,7 +84,7 @@ pub fn extract_urw(
     cfg: &WalkConfig,
     seed: u64,
 ) -> ExtractionResult {
-    let start = Instant::now();
+    let guard = kgtosa_obs::span!("extract.urw");
     let mut rng = StdRng::seed_from_u64(seed);
     let vs = uniform_random_walk(graph, cfg, &mut rng);
     let sampled = vs.len();
@@ -91,7 +93,7 @@ pub fn extract_urw(
         "URW".into(),
         sub,
         &task.targets,
-        start.elapsed().as_secs_f64(),
+        guard.finish().wall_s,
         sampled,
         0,
     )
@@ -105,7 +107,7 @@ pub fn extract_brw(
     cfg: &WalkConfig,
     seed: u64,
 ) -> ExtractionResult {
-    let start = Instant::now();
+    let guard = kgtosa_obs::span!("extract.brw");
     let mut rng = StdRng::seed_from_u64(seed);
     let vs = biased_random_walk(graph, &task.targets, cfg, &mut rng);
     let sampled = vs.len();
@@ -114,7 +116,7 @@ pub fn extract_brw(
         "BRW".into(),
         sub,
         &task.targets,
-        start.elapsed().as_secs_f64(),
+        guard.finish().wall_s,
         sampled,
         0,
     )
@@ -127,7 +129,7 @@ pub fn extract_ibs(
     task: &ExtractionTask,
     cfg: &IbsConfig,
 ) -> ExtractionResult {
-    let start = Instant::now();
+    let guard = kgtosa_obs::span!("extract.ibs");
     let vs = ibs_sample(graph, &task.targets, cfg);
     let sampled = vs.len();
     let sub = induced_subgraph(kg, &vs);
@@ -135,7 +137,7 @@ pub fn extract_ibs(
         "IBS".into(),
         sub,
         &task.targets,
-        start.elapsed().as_secs_f64(),
+        guard.finish().wall_s,
         sampled,
         0,
     )
@@ -154,7 +156,7 @@ pub fn extract_sparql(
     fetch: &FetchConfig,
 ) -> Result<ExtractionResult, RdfError> {
     let kg = store.kg();
-    let start = Instant::now();
+    let guard = kgtosa_obs::span!("extract.sparql");
     let subqueries = compile_subqueries(task, pattern);
     let endpoint = InProcessEndpoint::new(store);
     // All branches share the (?s ?p ?o) projection by construction.
@@ -180,7 +182,7 @@ pub fn extract_sparql(
         format!("KG-TOSA_{}", pattern.label()),
         sub,
         &task.targets,
-        start.elapsed().as_secs_f64(),
+        guard.finish().wall_s,
         sampled,
         endpoint.stats().requests(),
     ))

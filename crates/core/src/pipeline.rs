@@ -7,9 +7,9 @@
 //! Extraction is optional (the FG baselines skip it); transformation — the
 //! RDF-triples-to-adjacency-matrices step every GNN pipeline must pay — and
 //! training are always timed. The [`CostBreakdown`] mirrors the rows of
-//! Table IV.
-
-use std::time::Instant;
+//! Table IV; internally each stage runs under a `kgtosa-obs` span
+//! (`pipeline.transform`, `pipeline.train`) so traces and the metrics
+//! registry see the same numbers.
 
 use kgtosa_kg::{HeteroGraph, KnowledgeGraph, Vid};
 
@@ -35,9 +35,9 @@ impl CostBreakdown {
 
 /// Timed transformation of a KG into its adjacency views.
 pub fn transform(kg: &KnowledgeGraph) -> (HeteroGraph, f64) {
-    let start = Instant::now();
+    let guard = kgtosa_obs::span!("pipeline.transform");
     let graph = HeteroGraph::build(kg);
-    (graph, start.elapsed().as_secs_f64())
+    (graph, guard.finish().wall_s)
 }
 
 /// Runs the traditional full-graph pipeline: transform `kg`, then invoke
@@ -48,14 +48,14 @@ pub fn run_full_graph<R>(
     train: impl FnOnce(&KnowledgeGraph, &HeteroGraph, &[Vid]) -> R,
 ) -> (R, CostBreakdown) {
     let (graph, transformation_s) = transform(kg);
-    let start = Instant::now();
+    let guard = kgtosa_obs::span!("pipeline.train");
     let out = train(kg, &graph, targets);
     (
         out,
         CostBreakdown {
             extraction_s: 0.0,
             transformation_s,
-            training_s: start.elapsed().as_secs_f64(),
+            training_s: guard.finish().wall_s,
         },
     )
 }
@@ -69,14 +69,14 @@ pub fn run_on_tosg<R>(
 ) -> (R, CostBreakdown) {
     let kg = &extraction.subgraph.kg;
     let (graph, transformation_s) = transform(kg);
-    let start = Instant::now();
+    let guard = kgtosa_obs::span!("pipeline.train");
     let out = train(kg, &graph, &extraction.targets);
     (
         out,
         CostBreakdown {
             extraction_s: extraction.report.seconds,
             transformation_s,
-            training_s: start.elapsed().as_secs_f64(),
+            training_s: guard.finish().wall_s,
         },
     )
 }

@@ -15,10 +15,11 @@
 //! then bracket a phase with [`reset_peak`] / [`peak_bytes`].
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 /// A `GlobalAlloc` wrapper counting live and peak heap bytes.
 pub struct TrackingAllocator;
@@ -50,6 +51,7 @@ unsafe impl GlobalAlloc for TrackingAllocator {
 
 #[inline]
 fn add(n: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
     let live = LIVE.fetch_add(n, Ordering::Relaxed) + n;
     // Lock-free peak update.
     let mut peak = PEAK.load(Ordering::Relaxed);
@@ -80,6 +82,30 @@ pub fn peak_bytes() -> usize {
 /// Call at the start of a measured phase.
 pub fn reset_peak() -> usize {
     PEAK.swap(LIVE.load(Ordering::Relaxed), Ordering::Relaxed)
+}
+
+/// Total heap allocations since process start (`alloc` + growing
+/// `realloc` calls). Monotonic — deallocations do not decrease it.
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A point-in-time view of the allocator counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemSnapshot {
+    pub live_bytes: usize,
+    pub peak_bytes: usize,
+    pub alloc_count: u64,
+}
+
+/// Captures all three counters at once. Diffing two snapshots gives a
+/// phase's heap growth and allocation churn (used by `kgtosa-obs` spans).
+pub fn snapshot() -> MemSnapshot {
+    MemSnapshot {
+        live_bytes: live_bytes(),
+        peak_bytes: peak_bytes(),
+        alloc_count: alloc_count(),
+    }
 }
 
 /// Convenience: runs `f`, returning its result plus the peak heap bytes
@@ -130,6 +156,18 @@ mod tests {
         sub(1000);
         reset_peak();
         assert_eq!(peak_bytes(), live_bytes());
+    }
+
+    #[test]
+    fn snapshot_tracks_alloc_count() {
+        let before = snapshot();
+        add(100);
+        add(200);
+        sub(300);
+        let after = snapshot();
+        // Other tests may allocate concurrently; only monotonicity and the
+        // two increments from this test are guaranteed.
+        assert!(after.alloc_count >= before.alloc_count + 2);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub struct LpDataset<'a> {
 }
 
 /// Hyperparameters shared by all trainers.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TrainConfig {
     /// Training epochs.
     pub epochs: usize,
@@ -60,6 +60,9 @@ pub struct TrainConfig {
     pub negatives: usize,
     /// TransE margin (MorsE).
     pub margin: f32,
+    /// Per-epoch telemetry hook; [`kgtosa_obs::Observer::none`] (the
+    /// default) makes it a no-op.
+    pub observer: kgtosa_obs::Observer,
 }
 
 impl Default for TrainConfig {
@@ -72,6 +75,7 @@ impl Default for TrainConfig {
             batch_size: 256,
             negatives: 4,
             margin: 1.0,
+            observer: kgtosa_obs::Observer::none(),
         }
     }
 }
@@ -148,6 +152,47 @@ pub fn restrict_labels(labels: &[u32], keep: &[Vid], n: usize) -> Vec<u32> {
         out[v.idx()] = labels[v.idx()];
     }
     out
+}
+
+/// Per-epoch bookkeeping shared by all trainers: builds the convergence
+/// [`TracePoint`] and fires the config's telemetry observer with loss,
+/// timing, and heap statistics. One call per reported epoch.
+pub(crate) struct EpochLog {
+    method: &'static str,
+    epochs: usize,
+    start: std::time::Instant,
+    last_elapsed_s: f64,
+}
+
+impl EpochLog {
+    /// `start` is the trainer's epoch-loop start instant, so trace points
+    /// keep the exact timing semantics trainers had before telemetry.
+    pub fn new(method: &'static str, epochs: usize, start: std::time::Instant) -> Self {
+        EpochLog { method, epochs, start, last_elapsed_s: 0.0 }
+    }
+
+    /// Records epoch `epoch` (1-based, matching `TracePoint.epoch`) with
+    /// its mean loss and validation metric.
+    pub fn epoch(&mut self, cfg: &TrainConfig, epoch: usize, loss: f64, metric: f64) -> TracePoint {
+        let elapsed_s = self.start.elapsed().as_secs_f64();
+        if cfg.observer.enabled() {
+            let mem = kgtosa_memtrack::snapshot();
+            cfg.observer.on_epoch(&kgtosa_obs::EpochEvent {
+                method: self.method,
+                epoch: epoch.saturating_sub(1),
+                epochs: self.epochs,
+                loss,
+                metric,
+                elapsed_s,
+                epoch_s: elapsed_s - self.last_elapsed_s,
+                live_bytes: mem.live_bytes,
+                peak_bytes: mem.peak_bytes,
+                allocs: mem.alloc_count,
+            });
+        }
+        self.last_elapsed_s = elapsed_s;
+        TracePoint { epoch, elapsed_s, metric }
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::common::{LpDataset, TracePoint, TrainConfig, TrainReport};
+use crate::common::{EpochLog, LpDataset, TrainConfig, TrainReport};
 use crate::lp_common::{corrupt_entity, evaluate_ranking, Decoder};
 use crate::stack::EmbeddingTable;
 
@@ -175,6 +175,7 @@ pub fn train_lhgnn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
     let mut o_rel = Adam::new(rel_emb.param_count(), adam);
 
     let start = Instant::now();
+    let mut elog = EpochLog::new("LHGNN", cfg.epochs, start);
     let mut train_triples = data.train.to_vec();
     let mut trace = Vec::with_capacity(cfg.epochs);
     for epoch in 1..=cfg.epochs {
@@ -182,15 +183,18 @@ pub fn train_lhgnn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         let (h, m, mask) = LatentConv::forward(g, &embed.weight, &z, &compat, &w0, &w1);
         let mut grad_h = Matrix::zeros(n, cfg.dim);
         let mut grad_rel = Matrix::zeros(nr, cfg.dim);
+        let mut epoch_loss = 0.0f64;
         for t in &train_triples {
             let (hs, rp, to) = (t.s.idx(), t.p.idx(), t.o.idx());
             let score = kgtosa_nn::distmult_score(h.row(hs), rel_emb.row(rp), h.row(to));
-            let (_, d) = bce_positive(score);
+            let (pos_loss, d) = bce_positive(score);
+            epoch_loss += pos_loss as f64;
             scatter(&h, &rel_emb, hs, rp, to, d, &mut grad_h, &mut grad_rel);
             for _ in 0..cfg.negatives.max(1) {
                 let neg = corrupt_entity(&mut rng, n, t.o.raw()) as usize;
                 let s = kgtosa_nn::distmult_score(h.row(hs), rel_emb.row(rp), h.row(neg));
-                let (_, d) = bce_negative(s);
+                let (neg_loss, d) = bce_negative(s);
+                epoch_loss += neg_loss as f64;
                 scatter(&h, &rel_emb, hs, rp, neg, d, &mut grad_h, &mut grad_rel);
             }
         }
@@ -221,11 +225,8 @@ pub fn train_lhgnn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
             let (h, _, _) = LatentConv::forward(g, &embed.weight, &z, &compat, &w0, &w1);
             evaluate_ranking(&h, &rel_emb, &sample, Decoder::DistMult).hits_at_10
         };
-        trace.push(TracePoint {
-            epoch,
-            elapsed_s: start.elapsed().as_secs_f64(),
-            metric,
-        });
+        let mean_loss = epoch_loss * scale as f64;
+        trace.push(elog.epoch(cfg, epoch, mean_loss, metric));
     }
     let training_s = start.elapsed().as_secs_f64();
 

@@ -10,7 +10,7 @@ use kgtosa_tensor::{softmax_cross_entropy, Adam, AdamConfig, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::common::{restrict_labels, NcDataset, TracePoint, TrainConfig, TrainReport};
+use crate::common::{restrict_labels, EpochLog, NcDataset, TrainConfig, TrainReport};
 use crate::rgcn_nc::accuracy_at;
 use crate::stack::EmbeddingTable;
 
@@ -65,22 +65,19 @@ pub fn train_rgcn_basis_nc(
     let train_labels = restrict_labels(data.labels, data.train, n);
 
     let start = Instant::now();
+    let mut elog = EpochLog::new("RGCN-basis", cfg.epochs, start);
     let mut trace = Vec::with_capacity(cfg.epochs);
     for epoch in 1..=cfg.epochs {
         let (h1, c1) = layer1.forward(data.graph, &embed.weight);
         let (logits, c2) = layer2.forward(data.graph, &h1);
-        let (_, grad) = softmax_cross_entropy(&logits, &train_labels);
+        let (loss, grad) = softmax_cross_entropy(&logits, &train_labels);
         let (grad_h1, g2) = layer2.backward(data.graph, &h1, &c2, grad);
         let (grad_x, g1) = layer1.backward(data.graph, &embed.weight, &c1, grad_h1);
         opt2.step(&mut layer2, &g2);
         opt1.step(&mut layer1, &g1);
         embed.step(&grad_x);
         let metric = accuracy_at(&logits, data.labels, data.valid);
-        trace.push(TracePoint {
-            epoch,
-            elapsed_s: start.elapsed().as_secs_f64(),
-            metric,
-        });
+        trace.push(elog.epoch(cfg, epoch, loss as f64, metric));
     }
     let training_s = start.elapsed().as_secs_f64();
 

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::common::{LpDataset, TracePoint, TrainConfig, TrainReport};
+use crate::common::{EpochLog, LpDataset, TrainConfig, TrainReport};
 use crate::lp_common::{corrupt_entity, evaluate_ranking, Decoder};
 use crate::stack::EmbeddingTable;
 use kgtosa_nn::{bce_negative, bce_positive, distmult_grad, RgcnLayer};
@@ -26,6 +26,7 @@ pub fn train_rgcn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
     let mut rel_opt = Adam::new(rel_emb.param_count(), adam_cfg);
 
     let start = Instant::now();
+    let mut elog = EpochLog::new("RGCN", cfg.epochs, start);
     let mut train_triples = data.train.to_vec();
     let mut trace = Vec::with_capacity(cfg.epochs);
     for epoch in 1..=cfg.epochs {
@@ -34,11 +35,13 @@ pub fn train_rgcn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         let (z, cache) = encoder.forward(g, &embed.weight);
         let mut grad_z = Matrix::zeros(n, cfg.dim);
         let mut grad_rel = Matrix::zeros(rel_emb.rows(), cfg.dim);
+        let mut epoch_loss = 0.0f64;
         for t in &train_triples {
             let (hs, rp, to) = (t.s.idx(), t.p.idx(), t.o.idx());
             // Positive.
             let score = kgtosa_nn::distmult_score(z.row(hs), rel_emb.row(rp), z.row(to));
-            let (_, dscore) = bce_positive(score);
+            let (pos_loss, dscore) = bce_positive(score);
+            epoch_loss += pos_loss as f64;
             scatter_distmult(
                 &z, &rel_emb, hs, rp, to, dscore, &mut grad_z, &mut grad_rel,
             );
@@ -47,12 +50,14 @@ pub fn train_rgcn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
                 if k % 2 == 0 {
                     let neg = corrupt_entity(&mut rng, n, t.o.raw()) as usize;
                     let s = kgtosa_nn::distmult_score(z.row(hs), rel_emb.row(rp), z.row(neg));
-                    let (_, d) = bce_negative(s);
+                    let (neg_loss, d) = bce_negative(s);
+                    epoch_loss += neg_loss as f64;
                     scatter_distmult(&z, &rel_emb, hs, rp, neg, d, &mut grad_z, &mut grad_rel);
                 } else {
                     let neg = corrupt_entity(&mut rng, n, t.s.raw()) as usize;
                     let s = kgtosa_nn::distmult_score(z.row(neg), rel_emb.row(rp), z.row(to));
-                    let (_, d) = bce_negative(s);
+                    let (neg_loss, d) = bce_negative(s);
+                    epoch_loss += neg_loss as f64;
                     scatter_distmult(&z, &rel_emb, neg, rp, to, d, &mut grad_z, &mut grad_rel);
                 }
             }
@@ -73,11 +78,8 @@ pub fn train_rgcn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         } else {
             evaluate_ranking(&z, &rel_emb, &sample, Decoder::DistMult).hits_at_10
         };
-        trace.push(TracePoint {
-            epoch,
-            elapsed_s: start.elapsed().as_secs_f64(),
-            metric,
-        });
+        let mean_loss = epoch_loss * scale as f64;
+        trace.push(elog.epoch(cfg, epoch, mean_loss, metric));
     }
     let training_s = start.elapsed().as_secs_f64();
 

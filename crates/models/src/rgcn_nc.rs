@@ -10,7 +10,7 @@ use std::time::Instant;
 use kgtosa_kg::Vid;
 use kgtosa_tensor::{argmax_rows, softmax_cross_entropy, Matrix};
 
-use crate::common::{restrict_labels, NcDataset, TracePoint, TrainConfig, TrainReport};
+use crate::common::{restrict_labels, EpochLog, NcDataset, TrainConfig, TrainReport};
 use crate::stack::{EmbeddingTable, RgcnStack};
 
 /// Computes accuracy of `logits` rows at `nodes` against `labels`.
@@ -41,18 +41,15 @@ pub fn train_rgcn_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainReport {
     let train_labels = restrict_labels(data.labels, data.train, n);
 
     let start = Instant::now();
+    let mut elog = EpochLog::new("RGCN", cfg.epochs, start);
     let mut trace = Vec::with_capacity(cfg.epochs);
     for epoch in 1..=cfg.epochs {
         let (logits, cache) = stack.forward(data.graph, &embed.weight);
-        let (_, grad) = softmax_cross_entropy(&logits, &train_labels);
+        let (loss, grad) = softmax_cross_entropy(&logits, &train_labels);
         let grad_x = stack.backward_step(data.graph, &embed.weight, &cache, grad);
         embed.step(&grad_x);
         let metric = accuracy_at(&logits, data.labels, data.valid);
-        trace.push(TracePoint {
-            epoch,
-            elapsed_s: start.elapsed().as_secs_f64(),
-            metric,
-        });
+        trace.push(elog.epoch(cfg, epoch, loss as f64, metric));
     }
     let training_s = start.elapsed().as_secs_f64();
 

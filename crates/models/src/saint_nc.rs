@@ -15,7 +15,7 @@ use kgtosa_tensor::{AdamConfig, SparseAdam};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::common::{weighted_cross_entropy, NcDataset, TracePoint, TrainConfig, TrainReport};
+use crate::common::{weighted_cross_entropy, EpochLog, NcDataset, TrainConfig, TrainReport};
 use crate::rgcn_nc::accuracy_at;
 use crate::stack::{EmbeddingTable, RgcnStack};
 use crate::view::SubgraphView;
@@ -87,37 +87,37 @@ pub fn train_graphsaint_nc(
         in_train[v.idx()] = true;
     }
 
+    let mut elog = EpochLog::new(sampler.label(), cfg.epochs, start);
     let mut trace = Vec::with_capacity(cfg.epochs);
     for epoch in 1..=cfg.epochs {
         let nodes = sample(&mut rng);
-        if nodes.is_empty() {
-            continue;
-        }
-        let view = SubgraphView::build(data.kg, &nodes);
-        let rows = view.parent_rows();
-        let x = embed.weight.gather_rows(&rows);
-        let (logits, cache) = stack.forward(&view.graph, &x);
-        // Per-row labels and normalization weights in subgraph space.
-        let mut labels = vec![kgtosa_tensor::IGNORE_LABEL; rows.len()];
-        let mut weights = vec![0.0f32; rows.len()];
-        for (i, &parent) in view.to_parent.iter().enumerate() {
-            if in_train[parent.idx()] {
-                labels[i] = data.labels[parent.idx()];
-                weights[i] = norms[parent.idx()];
+        let mut loss = 0.0f32;
+        // An empty sample (degenerate graph) skips the update but still
+        // reports the epoch, so traces and telemetry stay per-epoch.
+        if !nodes.is_empty() {
+            let view = SubgraphView::build(data.kg, &nodes);
+            let rows = view.parent_rows();
+            let x = embed.weight.gather_rows(&rows);
+            let (logits, cache) = stack.forward(&view.graph, &x);
+            // Per-row labels and normalization weights in subgraph space.
+            let mut labels = vec![kgtosa_tensor::IGNORE_LABEL; rows.len()];
+            let mut weights = vec![0.0f32; rows.len()];
+            for (i, &parent) in view.to_parent.iter().enumerate() {
+                if in_train[parent.idx()] {
+                    labels[i] = data.labels[parent.idx()];
+                    weights[i] = norms[parent.idx()];
+                }
             }
+            let (batch_loss, grad) = weighted_cross_entropy(&logits, &labels, &weights);
+            loss = batch_loss;
+            let grad_x = stack.backward_step(&view.graph, &x, &cache, grad);
+            embed_opt.step_rows(&mut embed.weight, &rows, &grad_x);
         }
-        let (_, grad) = weighted_cross_entropy(&logits, &labels, &weights);
-        let grad_x = stack.backward_step(&view.graph, &x, &cache, grad);
-        embed_opt.step_rows(&mut embed.weight, &rows, &grad_x);
 
         // Full-graph validation forward (standard GraphSAINT evaluation).
         let (full_logits, _) = stack.forward(data.graph, &embed.weight);
         let metric = accuracy_at(&full_logits, data.labels, data.valid);
-        trace.push(TracePoint {
-            epoch,
-            elapsed_s: start.elapsed().as_secs_f64(),
-            metric,
-        });
+        trace.push(elog.epoch(cfg, epoch, loss as f64, metric));
     }
     let training_s = start.elapsed().as_secs_f64();
 

@@ -21,7 +21,7 @@ use kgtosa_tensor::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::common::{NcDataset, TracePoint, TrainConfig, TrainReport};
+use crate::common::{EpochLog, NcDataset, TrainConfig, TrainReport};
 
 /// One step of a metapath: a relation traversed in a direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,10 +137,13 @@ pub fn train_sehgnn_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainReport {
     // many more of them within the same budget.
     const EPOCH_MULTIPLIER: usize = 20;
     let total_epochs = cfg.epochs * EPOCH_MULTIPLIER;
+    // Telemetry follows the reporting cadence (one event per logical
+    // epoch), not the 20× inner MLP passes.
+    let mut elog = EpochLog::new("SeHGNN", cfg.epochs, start);
     let mut trace = Vec::with_capacity(cfg.epochs);
     for epoch in 1..=total_epochs {
         let (h, logits, mask) = forward(&l1, &l2, &features);
-        let (_, grad) = softmax_cross_entropy(&logits, &train_labels);
+        let (loss, grad) = softmax_cross_entropy(&logits, &train_labels);
         let (mut grad_h, g2) = l2.backward(&h, &grad);
         relu_backward(&mut grad_h, &mask);
         let (_, g1) = l1.backward(&features, &grad_h);
@@ -152,11 +155,7 @@ pub fn train_sehgnn_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         if epoch % EPOCH_MULTIPLIER == 0 {
             let preds = argmax_rows(&logits);
             let metric = split_accuracy(&preds, data, &row_of, data.valid);
-            trace.push(TracePoint {
-                epoch: epoch / EPOCH_MULTIPLIER,
-                elapsed_s: start.elapsed().as_secs_f64(),
-                metric,
-            });
+            trace.push(elog.epoch(cfg, epoch / EPOCH_MULTIPLIER, loss as f64, metric));
         }
     }
     let training_s = start.elapsed().as_secs_f64();

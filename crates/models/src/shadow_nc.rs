@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::common::{NcDataset, TracePoint, TrainConfig, TrainReport};
+use crate::common::{EpochLog, NcDataset, TrainConfig, TrainReport};
 use crate::stack::{EmbeddingTable, RgcnStack};
 use crate::view::SubgraphView;
 
@@ -97,10 +97,12 @@ pub fn train_shadowsaint_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainRep
     );
 
     let start = Instant::now();
+    let mut elog = EpochLog::new("ShaDowSAINT", cfg.epochs, start);
     let mut train_nodes: Vec<Vid> = data.train.to_vec();
     let mut trace = Vec::with_capacity(cfg.epochs);
     for epoch in 1..=cfg.epochs {
         train_nodes.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
         for batch in train_nodes.chunks(cfg.batch_size.max(1)) {
             let (mut acc1, mut acc2) = zero_grads(&stack);
             let mut embed_grads: FxHashMap<u32, Vec<f32>> = FxHashMap::default();
@@ -113,7 +115,8 @@ pub fn train_shadowsaint_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainRep
                 // Loss only at the root (row 0).
                 let mut labels = vec![kgtosa_tensor::IGNORE_LABEL; rows.len()];
                 labels[0] = data.labels[root.idx()];
-                let (_, grad) = softmax_cross_entropy(&logits, &labels);
+                let (root_loss, grad) = softmax_cross_entropy(&logits, &labels);
+                epoch_loss += root_loss as f64;
                 // Manual backward (no optimizer step yet — accumulate).
                 let (grad_h1, g2) =
                     stack
@@ -153,11 +156,8 @@ pub fn train_shadowsaint_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainRep
         // Validation via ego forward per node, fixed eval seed.
         let mut eval_rng = StdRng::seed_from_u64(12345);
         let metric = eval_accuracy(data, &stack, &embed.weight, data.valid, &shadow, &mut eval_rng);
-        trace.push(TracePoint {
-            epoch,
-            elapsed_s: start.elapsed().as_secs_f64(),
-            metric,
-        });
+        let mean_loss = epoch_loss / train_nodes.len().max(1) as f64;
+        trace.push(elog.epoch(cfg, epoch, mean_loss, metric));
     }
     let training_s = start.elapsed().as_secs_f64();
 

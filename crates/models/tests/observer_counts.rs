@@ -1,0 +1,149 @@
+//! Telemetry contract: every trainer fires its `TrainObserver` exactly
+//! `cfg.epochs` times, regardless of internal epoch multipliers (SeHGNN),
+//! skipped updates (GraphSAINT empty samples), or batching (ShaDowSAINT).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use kgtosa_kg::{HeteroGraph, KnowledgeGraph, Triple, Vid};
+use kgtosa_models::{
+    train_graphsaint_nc, train_lhgnn_lp, train_morse_lp, train_rgcn_basis_nc, train_rgcn_lp,
+    train_rgcn_nc, train_sehgnn_nc, train_shadowsaint_nc, LpDataset, NcDataset, SaintSampler,
+    TrainConfig,
+};
+use kgtosa_obs::{EpochEvent, Observer, TrainObserver};
+use kgtosa_tensor::IGNORE_LABEL;
+
+/// Counts callbacks and sanity-checks each event's invariants.
+struct CountingObserver {
+    calls: AtomicUsize,
+    epochs: usize,
+}
+
+impl TrainObserver for CountingObserver {
+    fn on_epoch(&self, ev: &EpochEvent<'_>) {
+        let seen = self.calls.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(ev.epoch, seen, "epochs must arrive in order, 0-based");
+        assert_eq!(ev.epochs, self.epochs);
+        assert!(ev.loss.is_finite(), "{}: non-finite loss", ev.method);
+        assert!(ev.epoch_s >= 0.0 && ev.elapsed_s >= ev.epoch_s - 1e-9);
+        assert!(ev.peak_bytes >= ev.live_bytes);
+        assert!(!ev.method.is_empty());
+    }
+}
+
+fn counted_cfg(epochs: usize) -> (TrainConfig, Arc<CountingObserver>) {
+    let obs = Arc::new(CountingObserver { calls: AtomicUsize::new(0), epochs });
+    let cfg = TrainConfig {
+        epochs,
+        dim: 4,
+        lr: 0.05,
+        batch_size: 4,
+        observer: Observer::from_arc(obs.clone()),
+        ..Default::default()
+    };
+    (cfg, obs)
+}
+
+fn toy_nc() -> (KnowledgeGraph, Vec<u32>, Vec<Vid>) {
+    let mut kg = KnowledgeGraph::new();
+    for i in 0..12 {
+        let venue = if i % 2 == 0 { "v0" } else { "v1" };
+        kg.add_triple_terms(&format!("p{i}"), "Paper", "publishedIn", venue, "Venue");
+    }
+    let papers = kg.nodes_of_class(kg.find_class("Paper").unwrap());
+    let mut labels = vec![IGNORE_LABEL; kg.num_nodes()];
+    for &p in &papers {
+        let term = kg.node_term(p);
+        labels[p.idx()] = (term[1..].parse::<usize>().unwrap() % 2) as u32;
+    }
+    (kg, labels, papers)
+}
+
+fn toy_lp() -> (KnowledgeGraph, Vec<Triple>) {
+    let mut kg = KnowledgeGraph::new();
+    let aff = kg.add_relation("affiliatedWith");
+    let works_in = kg.add_relation("worksIn");
+    let mut triples = Vec::new();
+    for o in 0..2 {
+        let org = kg.add_node(&format!("org{o}"), "Org");
+        for a in 0..4 {
+            let author = kg.add_node(&format!("auth{o}_{a}"), "Author");
+            kg.add_triple(author, works_in, org);
+            triples.push(Triple::new(author, aff, org));
+        }
+    }
+    for t in &triples {
+        kg.add_triple(t.s, t.p, t.o);
+    }
+    (kg, triples)
+}
+
+const EPOCHS: usize = 3;
+
+#[test]
+fn nc_trainers_fire_observer_once_per_epoch() {
+    let (kg, labels, papers) = toy_nc();
+    let graph = HeteroGraph::build(&kg);
+    let (train, rest) = papers.split_at(8);
+    let (valid, test) = rest.split_at(2);
+    let data = NcDataset {
+        kg: &kg,
+        graph: &graph,
+        labels: &labels,
+        num_labels: 2,
+        train,
+        valid,
+        test,
+    };
+    type NcTrainer = fn(&NcDataset<'_>, &TrainConfig) -> kgtosa_models::TrainReport;
+    let trainers: [(&str, NcTrainer); 6] = [
+        ("rgcn", |d, c| train_rgcn_nc(d, c)),
+        ("rgcn-basis", |d, c| train_rgcn_basis_nc(d, c, 2)),
+        ("saint-urw", |d, c| train_graphsaint_nc(d, c, SaintSampler::Uniform)),
+        ("saint-brw", |d, c| train_graphsaint_nc(d, c, SaintSampler::Biased)),
+        ("shadow", |d, c| train_shadowsaint_nc(d, c)),
+        ("sehgnn", |d, c| train_sehgnn_nc(d, c)),
+    ];
+    for (name, trainer) in trainers {
+        let (cfg, obs) = counted_cfg(EPOCHS);
+        let report = trainer(&data, &cfg);
+        assert_eq!(
+            obs.calls.load(Ordering::SeqCst),
+            EPOCHS,
+            "{name}: observer calls != epochs"
+        );
+        assert_eq!(report.trace.len(), EPOCHS, "{name}: trace length");
+    }
+}
+
+#[test]
+fn lp_trainers_fire_observer_once_per_epoch() {
+    let (kg, triples) = toy_lp();
+    let graph = HeteroGraph::build(&kg);
+    let (train, rest) = triples.split_at(triples.len() - 2);
+    let (valid, test) = rest.split_at(1);
+    let data = LpDataset {
+        kg: &kg,
+        graph: &graph,
+        train,
+        valid,
+        test,
+    };
+    type LpTrainer = fn(&LpDataset<'_>, &TrainConfig) -> kgtosa_models::TrainReport;
+    let trainers: [(&str, LpTrainer); 3] = [
+        ("rgcn-lp", |d, c| train_rgcn_lp(d, c)),
+        ("morse", |d, c| train_morse_lp(d, c)),
+        ("lhgnn", |d, c| train_lhgnn_lp(d, c)),
+    ];
+    for (name, trainer) in trainers {
+        let (cfg, obs) = counted_cfg(EPOCHS);
+        let report = trainer(&data, &cfg);
+        assert_eq!(
+            obs.calls.load(Ordering::SeqCst),
+            EPOCHS,
+            "{name}: observer calls != epochs"
+        );
+        assert_eq!(report.trace.len(), EPOCHS, "{name}: trace length");
+    }
+}

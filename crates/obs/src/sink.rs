@@ -1,0 +1,185 @@
+//! Output sinks: the JSONL trace stream and the quiet-aware stderr
+//! reporter.
+//!
+//! ## JSONL event schema
+//!
+//! One JSON object per line; every event carries `ev` (kind) and `t`
+//! (seconds since the trace was opened):
+//!
+//! | `ev` | fields |
+//! |---|---|
+//! | `span` | `name`, `wall_s`, `live_bytes`, `peak_delta_bytes`, `allocs` |
+//! | `train.epoch` | `method`, `epoch`, `epochs`, `loss`, `metric`, `elapsed_s`, `epoch_s`, `live_bytes`, `peak_bytes`, `allocs` |
+//! | `log` | `msg` |
+//! | `metrics` | `counters`, `gauges`, `histograms`, `spans` (final snapshot, written by [`shutdown`]) |
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::registry;
+use crate::span::SpanRecord;
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+fn trace_writer() -> &'static Mutex<Option<BufWriter<File>>> {
+    static WRITER: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    WRITER.get_or_init(|| Mutex::new(None))
+}
+
+fn trace_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Installs a JSONL trace stream writing to `path` (truncates).
+pub fn init_trace_to(path: &str) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    trace_epoch(); // pin t=0 at install time
+    *trace_writer().lock().unwrap() = Some(BufWriter::new(file));
+    TRACE_ON.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Installs a trace stream from `KGTOSA_TRACE=<path>` if set and
+/// non-empty. Returns whether tracing ended up enabled.
+pub fn init_trace_from_env() -> bool {
+    if trace_enabled() {
+        return true;
+    }
+    match std::env::var("KGTOSA_TRACE") {
+        Ok(path) if !path.is_empty() => match init_trace_to(&path) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("kgtosa-obs: cannot open KGTOSA_TRACE={path}: {e}");
+                false
+            }
+        },
+        _ => false,
+    }
+}
+
+pub fn trace_enabled() -> bool {
+    TRACE_ON.load(Ordering::Acquire)
+}
+
+/// Suppresses stderr progress chatter ([`info_str`] / `info!`). The JSONL
+/// stream is unaffected: `--quiet --trace-out x.jsonl` still captures
+/// everything.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+pub fn is_quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+fn write_line(json: &Json) {
+    let mut line = String::with_capacity(128);
+    json.write(&mut line);
+    line.push('\n');
+    if let Some(w) = trace_writer().lock().unwrap().as_mut() {
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+fn stamp(kind: &str, mut fields: Vec<(String, Json)>) -> Json {
+    let t = trace_epoch().elapsed().as_secs_f64();
+    let mut all = Vec::with_capacity(fields.len() + 2);
+    all.push(("ev".to_string(), Json::Str(kind.to_string())));
+    all.push(("t".to_string(), Json::Num(t)));
+    all.append(&mut fields);
+    Json::Obj(all)
+}
+
+/// Emits an arbitrary event into the trace stream (no-op when disabled).
+pub fn emit_event(kind: &str, fields: Vec<(String, Json)>) {
+    if !trace_enabled() {
+        return;
+    }
+    write_line(&stamp(kind, fields));
+}
+
+pub(crate) fn emit_span(record: &SpanRecord) {
+    if !trace_enabled() {
+        return;
+    }
+    emit_event(
+        "span",
+        vec![
+            ("name".into(), Json::Str(record.path.clone())),
+            ("wall_s".into(), Json::Num(record.wall_s)),
+            ("live_bytes".into(), Json::Num(record.live_bytes as f64)),
+            (
+                "peak_delta_bytes".into(),
+                Json::Num(record.peak_delta_bytes as f64),
+            ),
+            ("allocs".into(), Json::Num(record.allocs as f64)),
+        ],
+    );
+}
+
+/// Progress chatter: stderr unless quiet, mirrored into the trace as a
+/// `log` event. Final results meant for scripts should keep using
+/// `println!` — this channel is for humans.
+pub fn info_str(msg: &str) {
+    if !is_quiet() {
+        eprintln!("{msg}");
+    }
+    emit_event("log", vec![("msg".into(), Json::Str(msg.to_string()))]);
+}
+
+/// Writes the final `metrics` snapshot and flushes the stream. Safe to
+/// call multiple times or with tracing disabled.
+pub fn shutdown() {
+    if trace_enabled() {
+        let snapshot = registry::metrics_snapshot();
+        let fields = match snapshot {
+            Json::Obj(fields) => fields,
+            other => vec![("metrics".into(), other)],
+        };
+        write_line(&stamp("metrics", fields));
+    }
+    if let Some(w) = trace_writer().lock().unwrap().as_mut() {
+        let _ = w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_flag_round_trips() {
+        assert!(!is_quiet());
+        set_quiet(true);
+        assert!(is_quiet());
+        set_quiet(false);
+    }
+
+    #[test]
+    fn trace_stream_writes_parseable_jsonl() {
+        let path = std::env::temp_dir().join(format!("obs-sink-test-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        init_trace_to(&path_str).unwrap();
+        crate::span("sink_test.op").finish();
+        emit_event("custom", vec![("k".into(), Json::Num(1.0))]);
+        shutdown();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut kinds = Vec::new();
+        for line in text.lines() {
+            let v = Json::parse(line).expect("every line parses");
+            kinds.push(v.get("ev").unwrap().as_str().unwrap().to_string());
+            assert!(v.get("t").unwrap().as_f64().is_some());
+        }
+        assert!(kinds.contains(&"span".to_string()));
+        assert!(kinds.contains(&"custom".to_string()));
+        assert_eq!(kinds.last().map(String::as_str), Some("metrics"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-epoch training telemetry.
+//!
+//! Trainers in `crates/models` call [`Observer::on_epoch`] once per
+//! configured epoch with loss, metric, wall time, and heap statistics.
+//! The observer handle lives inside `TrainConfig`; with the default
+//! ([`Observer::none`]) the hook is a single `Option` check, so the
+//! training math is untouched either way.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::json::Json;
+use crate::{registry, sink};
+
+/// One epoch's telemetry, as reported by a trainer.
+#[derive(Debug, Clone)]
+pub struct EpochEvent<'a> {
+    /// Method label, e.g. `"rgcn"`, `"graphsaint"`, `"morse"`.
+    pub method: &'a str,
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Total epochs configured for this run.
+    pub epochs: usize,
+    /// Mean training loss for this epoch.
+    pub loss: f64,
+    /// The trainer's reported quality metric at this epoch (accuracy or
+    /// MRR, matching its `TracePoint`).
+    pub metric: f64,
+    /// Seconds since training started.
+    pub elapsed_s: f64,
+    /// Seconds spent in this epoch alone.
+    pub epoch_s: f64,
+    pub live_bytes: usize,
+    pub peak_bytes: usize,
+    /// Process-wide allocation count at epoch end.
+    pub allocs: u64,
+}
+
+/// Receiver for per-epoch telemetry. Implementations must be cheap and
+/// must not panic: they run inside the training loop.
+pub trait TrainObserver: Send + Sync {
+    fn on_epoch(&self, event: &EpochEvent<'_>);
+}
+
+/// Cloneable, optional observer handle carried by `TrainConfig`.
+#[derive(Clone, Default)]
+pub struct Observer(Option<Arc<dyn TrainObserver>>);
+
+impl Observer {
+    /// The silent default: `on_epoch` is a no-op.
+    pub fn none() -> Self {
+        Observer(None)
+    }
+
+    pub fn new(observer: impl TrainObserver + 'static) -> Self {
+        Observer(Some(Arc::new(observer)))
+    }
+
+    pub fn from_arc(observer: Arc<dyn TrainObserver>) -> Self {
+        Observer(Some(observer))
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    pub fn on_epoch(&self, event: &EpochEvent<'_>) {
+        if let Some(observer) = &self.0 {
+            observer.on_epoch(event);
+        }
+    }
+}
+
+impl fmt::Debug for Observer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.enabled() { "Observer(on)" } else { "Observer(off)" })
+    }
+}
+
+/// The standard sink-backed observer: each epoch becomes a
+/// `train.epoch` JSONL event, feeds the `train.epoch_s` histogram and
+/// `train.epochs` counter, and prints a progress line (rate-limited to
+/// every epoch — trainers here run few, long epochs).
+#[derive(Debug, Default)]
+pub struct TelemetryObserver;
+
+impl TrainObserver for TelemetryObserver {
+    fn on_epoch(&self, ev: &EpochEvent<'_>) {
+        registry::histogram("train.epoch_s").observe(ev.epoch_s);
+        registry::counter("train.epochs").inc();
+        sink::emit_event(
+            "train.epoch",
+            vec![
+                ("method".into(), Json::Str(ev.method.to_string())),
+                ("epoch".into(), Json::Num(ev.epoch as f64)),
+                ("epochs".into(), Json::Num(ev.epochs as f64)),
+                ("loss".into(), Json::Num(ev.loss)),
+                ("metric".into(), Json::Num(ev.metric)),
+                ("elapsed_s".into(), Json::Num(ev.elapsed_s)),
+                ("epoch_s".into(), Json::Num(ev.epoch_s)),
+                ("live_bytes".into(), Json::Num(ev.live_bytes as f64)),
+                ("peak_bytes".into(), Json::Num(ev.peak_bytes as f64)),
+                ("allocs".into(), Json::Num(ev.allocs as f64)),
+            ],
+        );
+        crate::info!(
+            "epoch {}/{} [{}] loss {:.4} metric {:.4} ({:.2}s, live {}, peak {})",
+            ev.epoch + 1,
+            ev.epochs,
+            ev.method,
+            ev.loss,
+            ev.metric,
+            ev.epoch_s,
+            kgtosa_memtrack::format_bytes(ev.live_bytes),
+            kgtosa_memtrack::format_bytes(ev.peak_bytes),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn event<'a>(epoch: usize) -> EpochEvent<'a> {
+        EpochEvent {
+            method: "test",
+            epoch,
+            epochs: 3,
+            loss: 0.5,
+            metric: 0.9,
+            elapsed_s: 1.0,
+            epoch_s: 0.3,
+            live_bytes: 0,
+            peak_bytes: 0,
+            allocs: 0,
+        }
+    }
+
+    #[test]
+    fn none_observer_is_silent_and_cheap() {
+        let obs = Observer::none();
+        assert!(!obs.enabled());
+        obs.on_epoch(&event(0)); // must not panic
+    }
+
+    #[test]
+    fn custom_observer_receives_events() {
+        struct Count(AtomicUsize);
+        impl TrainObserver for Count {
+            fn on_epoch(&self, _ev: &EpochEvent<'_>) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let counter = Arc::new(Count(AtomicUsize::new(0)));
+        let obs = Observer::from_arc(counter.clone() as Arc<dyn TrainObserver>);
+        assert!(obs.enabled());
+        let cloned = obs.clone();
+        for e in 0..3 {
+            cloned.on_epoch(&event(e));
+        }
+        assert_eq!(counter.0.load(Ordering::Relaxed), 3);
+    }
+}

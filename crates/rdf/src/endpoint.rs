@@ -68,8 +68,13 @@ impl EndpointStats {
     fn record(&self, rs: &ResultSet) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.rows.fetch_add(rs.len(), Ordering::Relaxed);
-        self.bytes
-            .fetch_add(rs.len() * rs.vars.len() * 4, Ordering::Relaxed);
+        let bytes = rs.len() * rs.vars.len() * 4;
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        // Mirror into the process-global registry so traces see endpoint
+        // load even when the endpoint object is short-lived.
+        kgtosa_obs::counter("rdf.requests").inc();
+        kgtosa_obs::counter("rdf.rows").add(rs.len() as u64);
+        kgtosa_obs::counter("rdf.bytes").add(bytes as u64);
     }
 }
 
@@ -141,20 +146,29 @@ pub fn fetch_triples<E: SparqlEndpoint>(
     triple_vars: (&str, &str, &str),
     cfg: &FetchConfig,
 ) -> Result<Vec<Triple>, RdfError> {
+    let guard = kgtosa_obs::span!("rdf.fetch");
     let next = AtomicUsize::new(0);
     let merged: Mutex<Vec<Triple>> = Mutex::new(Vec::new());
     let first_error: Mutex<Option<RdfError>> = Mutex::new(None);
     let workers = cfg.threads.max(1).min(subqueries.len().max(1));
+    // Subqueries handled per worker: a flat distribution means the `P`
+    // request handlers of Algorithm 3 were evenly utilized.
+    let utilization = kgtosa_obs::histogram_with_bounds(
+        "rdf.fetch.worker_subqueries",
+        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+    );
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
                 let mut local: Vec<Triple> = Vec::new();
+                let mut handled = 0u64;
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= subqueries.len() {
                         break;
                     }
+                    handled += 1;
                     if let Err(e) =
                         page_subquery(endpoint, store, &subqueries[idx], triple_vars, cfg, &mut local)
                     {
@@ -165,11 +179,13 @@ pub fn fetch_triples<E: SparqlEndpoint>(
                         break;
                     }
                 }
+                utilization.observe(handled as f64);
                 merged.lock().append(&mut local);
             });
         }
     })
     .expect("fetch worker panicked");
+    drop(guard);
 
     if let Some(e) = first_error.into_inner() {
         return Err(e);
@@ -191,6 +207,7 @@ fn page_subquery<E: SparqlEndpoint>(
     let mut offset = 0usize;
     loop {
         let page = endpoint.select(&query.with_page(cfg.batch_size, offset))?;
+        kgtosa_obs::counter("rdf.fetch.pages").inc();
         let (cs, cp, co) = (
             page.col(triple_vars.0),
             page.col(triple_vars.1),

@@ -12,6 +12,7 @@ use rand::Rng;
 /// Samples `budget` edges with GraphSAINT's variance-minimizing edge
 /// probabilities and returns the endpoint set `V_s`.
 pub fn edge_sample(g: &HeteroGraph, budget: usize, rng: &mut impl Rng) -> NodeSet {
+    let _span = kgtosa_obs::span!("sample.edge");
     let mut out = NodeSet::new(g.num_nodes());
     let m = g.num_edges();
     if m == 0 || budget == 0 {

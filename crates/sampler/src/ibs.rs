@@ -51,6 +51,8 @@ pub struct Partition {
 /// Runs Algorithm 2 through partition construction. Returns the partitions
 /// (line 4); [`ibs_sample`] unions them into the final `V_s`.
 pub fn ibs_partitions(g: &HeteroGraph, targets: &[Vid], cfg: &IbsConfig) -> Vec<Partition> {
+    let _span = kgtosa_obs::span!("sample.ibs");
+    kgtosa_obs::counter("sample.ibs.ppr_runs").add(targets.len() as u64);
     // Lines 2-3: per-target influence scores → top-k pairs, in parallel.
     let next = AtomicUsize::new(0);
     let threads = cfg.threads.max(1).min(targets.len().max(1));

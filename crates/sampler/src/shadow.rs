@@ -33,6 +33,9 @@ pub fn ego_subgraph(
     cfg: &ShadowConfig,
     rng: &mut impl Rng,
 ) -> Vec<Vid> {
+    // Too hot for a span (one call per root per batch per epoch): a counter
+    // is the only telemetry this path can afford.
+    kgtosa_obs::counter("sample.shadow.ego_subgraphs").inc();
     let mut picked: Vec<Vid> = vec![root];
     let mut in_set = vec![false; g.num_nodes()];
     in_set[root.idx()] = true;

@@ -35,6 +35,7 @@ impl Default for WalkConfig {
 /// GraphSAINT's uniform random-walk sampler: roots drawn uniformly from all
 /// vertices. Returns the set of visited vertices `V_s`.
 pub fn uniform_random_walk(g: &HeteroGraph, cfg: &WalkConfig, rng: &mut impl Rng) -> NodeSet {
+    let _span = kgtosa_obs::span!("sample.urw");
     let n = g.num_nodes();
     let mut visited = NodeSet::new(n);
     if n == 0 {
@@ -55,6 +56,7 @@ pub fn biased_random_walk(
     cfg: &WalkConfig,
     rng: &mut impl Rng,
 ) -> NodeSet {
+    let _span = kgtosa_obs::span!("sample.brw");
     let mut visited = NodeSet::new(g.num_nodes());
     if targets.is_empty() {
         return visited;

@@ -1,0 +1,175 @@
+//! Offline, std-only stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` call shape and the
+//! group/bencher API used by `crates/bench/benches/micro.rs`, but replaces
+//! the statistical machinery with a simple warmup + timed-samples loop
+//! that prints mean/min per benchmark to stdout. Good enough to detect
+//! order-of-magnitude regressions by eye; not a statistics suite.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    /// Samples per benchmark (overridable per group).
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let (mean, min) = bencher.stats();
+        println!(
+            "  {}/{id}: mean {} min {} ({} samples)",
+            self.name,
+            fmt_ns(mean),
+            fmt_ns(min),
+            bencher.samples.len()
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup, and estimate how many iterations fit a sample.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((0.01 / once).ceil() as usize).clamp(1, 1000);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    fn stats(&self) -> (f64, f64) {
+        if self.samples.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        (mean, min)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_loop_records_samples() {
+        let mut c = super::Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(super::BenchmarkId::new("p", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

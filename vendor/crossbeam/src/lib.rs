@@ -1,0 +1,72 @@
+//! Offline, std-only stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope`/`Scope::spawn` are used by this
+//! workspace, and since Rust 1.63 those map directly onto
+//! `std::thread::scope`. The wrapper keeps crossbeam's call shape — the
+//! closure receives a `&Scope` and `scope()` returns a `thread::Result` —
+//! so call sites stay identical to the upstream API.
+
+pub mod thread {
+    /// Mirrors `crossbeam::thread::Scope`, wrapping the std scoped-thread
+    /// handle so spawned closures can themselves spawn.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Unlike crossbeam, a panicking child propagates the
+    /// panic at join time (std semantics), so the `Ok` arm always carries
+    /// the closure result — callers that `.expect()` the result behave the
+    /// same either way.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let hits = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        let total = super::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for &x in &data {
+                hits.fetch_add(1, Ordering::SeqCst);
+                handles.push(scope.spawn(move |_| x * 2));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 20);
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let n = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21usize).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .expect("scope failed");
+        assert_eq!(n, 42);
+    }
+}

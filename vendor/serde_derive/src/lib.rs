@@ -1,0 +1,176 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `impl serde::Serialize` (the vendored JSON-writing trait) for
+//! named-field structs — the only shape derived in this workspace. The
+//! token stream is walked directly with `proc_macro` primitives instead of
+//! syn/quote, since neither is available offline. The only `#[serde]`
+//! attribute supported is `#[serde(flatten)]`; anything else produces a
+//! compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility to reach `struct`.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(id)) => name = Some(id.to_string()),
+                    other => return Err(format!("expected struct name, got {other:?}")),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("derive(Serialize) shim supports structs only".into());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "no struct found in derive input".to_string())?;
+
+    // Find the brace-delimited field block (rejecting generics on the way).
+    let mut fields = None;
+    for tt in iter {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err("derive(Serialize) shim does not support generics".into());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_fields(g.stream())?);
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("derive(Serialize) shim supports named fields only".into());
+            }
+            _ => {}
+        }
+    }
+    let fields = fields.ok_or_else(|| format!("struct {name} has no named-field block"))?;
+
+    let mut body = String::new();
+    body.push_str("out.push('{');\n");
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        if field.flatten {
+            // Serialize the nested value and splice its fields inline.
+            body.push_str(&format!(
+                "{{\n\
+                     let mut nested = String::new();\n\
+                     ::serde::Serialize::serialize_json(&self.{}, &mut nested);\n\
+                     let inner = nested.strip_prefix('{{').and_then(|s| s.strip_suffix('}}'))\n\
+                         .expect(\"#[serde(flatten)] requires an object-serializing field\");\n\
+                     out.push_str(inner);\n\
+                 }}\n",
+                field.name
+            ));
+        } else {
+            body.push_str(&format!(
+                "::serde::write_json_string({:?}, out);\n",
+                field.name
+            ));
+            body.push_str("out.push(':');\n");
+            body.push_str(&format!(
+                "::serde::Serialize::serialize_json(&self.{}, out);\n",
+                field.name
+            ));
+        }
+    }
+    body.push_str("out.push('}');");
+
+    let output = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n\
+         }}"
+    );
+    output.parse().map_err(|e| format!("generated impl failed to parse: {e:?}"))
+}
+
+struct Field {
+    name: String,
+    flatten: bool,
+}
+
+/// Collects field names from the inside of a struct's brace block:
+/// `[attrs] [pub[(..)]] name : Type ,` repeated. Commas inside angle
+/// brackets or delimiter groups belong to the type, not the field list.
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+
+    'fields: loop {
+        // Skip attributes (`#` followed by a bracket group) and visibility.
+        let field_name;
+        let mut flatten = false;
+        loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    // Consume the attribute's bracket group, handling
+                    // `#[serde(flatten)]` and rejecting other serde attrs.
+                    match iter.next() {
+                        Some(TokenTree::Group(g)) => {
+                            let text = g.stream().to_string();
+                            if text.starts_with("serde") {
+                                if text.contains("flatten") {
+                                    flatten = true;
+                                } else {
+                                    return Err(format!(
+                                        "unsupported serde attribute: #[{text}]"
+                                    ));
+                                }
+                            }
+                        }
+                        other => return Err(format!("malformed attribute: {other:?}")),
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Consume optional `(crate)` / `(super)` scope.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => {
+                    field_name = id.to_string();
+                    break;
+                }
+                Some(other) => return Err(format!("unexpected token in fields: {other}")),
+            }
+        }
+
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field {field_name}, got {other:?}")),
+        }
+        fields.push(Field { name: field_name, flatten });
+
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => continue 'fields,
+                _ => {}
+            }
+        }
+        break; // Stream ended after the last field's type.
+    }
+
+    Ok(fields)
+}

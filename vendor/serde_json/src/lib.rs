@@ -1,0 +1,106 @@
+//! Offline, std-only stand-in for `serde_json`.
+//!
+//! Provides `to_string` and `to_string_pretty` over the vendored serde
+//! shim's JSON-writing `Serialize` trait. Pretty output is produced by
+//! re-indenting the compact form — correct because the shim only ever
+//! emits well-formed JSON.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(pretty(&to_string(value)?))
+}
+
+/// Re-indents compact JSON with two-space indentation.
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(chars.next().unwrap());
+                } else {
+                    indent += 1;
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(super::to_string(&v).unwrap(), "[1,2,3]");
+        let p = super::to_string_pretty(&v).unwrap();
+        assert_eq!(p, "[\n  1,\n  2,\n  3\n]");
+    }
+
+    #[test]
+    fn pretty_preserves_strings() {
+        let s = "a,b:{c}";
+        let compact = super::to_string(&s).unwrap();
+        assert_eq!(super::to_string_pretty(&s).unwrap(), compact);
+    }
+}
