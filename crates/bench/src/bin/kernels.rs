@@ -1,0 +1,142 @@
+//! `kernels` — serial vs parallel wall time for the `kgtosa-par` kernel
+//! layer: dense matmul, RGCN mean aggregation, batched PPR, and CSR
+//! construction, each at 1/2/4/8 threads.
+//!
+//! Every measurement re-checks the determinism contract: the output at
+//! every thread count must be bit-identical to the single-threaded run.
+//! Results go to `BENCH_kernels.json` in the working directory.
+
+use kgtosa_kg::{HeteroGraph, KnowledgeGraph, Vid};
+use kgtosa_nn::mean_aggregate;
+use kgtosa_par::with_threads;
+use kgtosa_sampler::{approximate_ppr_batch, PprConfig};
+use kgtosa_tensor::{xavier_uniform, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+#[derive(Debug, Serialize)]
+struct KernelRow {
+    kernel: String,
+    threads: usize,
+    seconds: f64,
+    speedup_vs_serial: f64,
+}
+
+/// Best-of-`REPS` wall time of `run` at each thread count, with a
+/// bit-identity check of `fingerprint` against the serial run.
+fn bench_kernel<T: PartialEq + std::fmt::Debug>(
+    name: &str,
+    rows: &mut Vec<KernelRow>,
+    mut run: impl FnMut() -> T,
+) {
+    let mut serial_time = 0.0f64;
+    let mut serial_out: Option<T> = None;
+    for &threads in &THREAD_COUNTS {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..REPS {
+            let start = std::time::Instant::now();
+            let value = with_threads(threads, &mut run);
+            best = best.min(start.elapsed().as_secs_f64());
+            out = Some(value);
+        }
+        let out = out.expect("at least one rep");
+        match &serial_out {
+            None => {
+                serial_time = best;
+                serial_out = Some(out);
+            }
+            Some(base) => assert!(
+                base == &out,
+                "{name}: output at {threads} threads differs from serial"
+            ),
+        }
+        let speedup = serial_time / best;
+        println!("{name:<18} threads={threads}  {best:>8.4}s  speedup {speedup:>5.2}x");
+        rows.push(KernelRow {
+            kernel: name.to_string(),
+            threads,
+            seconds: best,
+            speedup_vs_serial: speedup,
+        });
+    }
+}
+
+fn random_edges(n: u32, m: usize, rng: &mut StdRng) -> Vec<(u32, u32)> {
+    (0..m).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect()
+}
+
+/// A random KG big enough that 256 PPR pushes dominate graph build time.
+fn ppr_graph(rng: &mut StdRng) -> HeteroGraph {
+    let n = 20_000u32;
+    let mut kg = KnowledgeGraph::with_capacity(n as usize, 120_000);
+    for v in 0..n {
+        kg.add_node(&format!("n{v}"), &format!("C{}", v % 4));
+    }
+    for (s, o) in random_edges(n, 120_000, rng) {
+        kg.add_triple_terms(&format!("n{s}"), "C0", "r", &format!("n{o}"), "C0");
+    }
+    HeteroGraph::build(&kg)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut rows: Vec<KernelRow> = Vec::new();
+
+    // Dense matmul: 384³ ≈ 57M multiply-adds.
+    let a = xavier_uniform(384, 384, &mut rng);
+    let b = xavier_uniform(384, 384, &mut rng);
+    bench_kernel("matmul", &mut rows, || {
+        let mut out = Matrix::zeros(384, 384);
+        a.matmul_into(&b, &mut out);
+        out.data().to_vec()
+    });
+
+    // RGCN mean aggregation: 50k nodes, 800k edges, d=64.
+    let agg_nodes = 50_000usize;
+    let agg_edges = random_edges(agg_nodes as u32, 800_000, &mut rng);
+    let csr = kgtosa_kg::Csr::from_edge_list(agg_nodes, &agg_edges);
+    let h = xavier_uniform(agg_nodes, 64, &mut rng);
+    bench_kernel("mean_aggregate", &mut rows, || {
+        let mut out = Matrix::zeros(agg_nodes, 64);
+        mean_aggregate(&csr, &h, &mut out);
+        out.data().to_vec()
+    });
+
+    // Batched PPR: 256 seeds over a 20k-node graph.
+    let g = ppr_graph(&mut rng);
+    let seeds: Vec<Vid> = (0..256u32).map(|i| Vid(i * 7)).collect();
+    let ppr_cfg = PprConfig::default();
+    bench_kernel("ppr_batch", &mut rows, || {
+        approximate_ppr_batch(&g, &seeds, &ppr_cfg)
+            .iter()
+            .map(|scores| scores.len())
+            .collect::<Vec<_>>()
+    });
+
+    // CSR construction: counting sort of 4M edges over 500k vertices.
+    let build_edges = random_edges(500_000, 4_000_000, &mut rng);
+    bench_kernel("csr_build", &mut rows, || {
+        let csr = kgtosa_kg::Csr::from_edge_list(500_000, &build_edges);
+        csr.targets().to_vec()
+    });
+
+    // Speedups only materialize up to the machine's core count; record it
+    // so results from core-starved machines read as what they are.
+    #[derive(Serialize)]
+    struct Report {
+        available_parallelism: usize,
+        rows: Vec<KernelRow>,
+    }
+    let report = Report {
+        available_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize kernel rows");
+    std::fs::write("BENCH_kernels.json", json).expect("write BENCH_kernels.json");
+    eprintln!("[saved BENCH_kernels.json]");
+}

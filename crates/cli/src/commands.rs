@@ -193,7 +193,7 @@ pub fn extract(args: &Args) -> Result<(), String> {
             let g = HeteroGraph::build(&kg);
             let cfg = IbsConfig {
                 k: args.parse_or("top-k", 16usize)?,
-                threads: args.parse_or("threads", 4usize)?,
+                threads: args.parse_or("threads", kgtosa_par::current_threads())?,
                 ..Default::default()
             };
             extract_ibs(&kg, &g, &task, &cfg)

@@ -49,6 +49,10 @@ COMMANDS:
 GLOBAL OPTIONS (any command):
   --trace-out FILE   Write a JSONL event trace (spans, train.epoch, logs,
                      final metrics); KGTOSA_TRACE=FILE does the same
+  --threads N        Worker threads for parallel kernels (matmul, sampling,
+                     CSR build, SPARQL fetch); KGTOSA_THREADS=N does the
+                     same; defaults to the machine's available parallelism.
+                     Results are bit-identical at any thread count.
   --quiet            Silence progress chatter on stderr (result lines on
                      stdout are unaffected)
 ";
@@ -63,6 +67,14 @@ fn main() {
     };
     if args.flag("quiet") {
         kgtosa_obs::set_quiet(true);
+    }
+    match args.options.get("threads").map(|t| t.parse::<usize>()) {
+        Some(Ok(n)) if n >= 1 => kgtosa_par::set_threads(n),
+        Some(_) => {
+            eprintln!("error: --threads expects a positive integer\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        None => {}
     }
     let traced = match args.options.get("trace-out") {
         Some(path) => kgtosa_obs::init_trace_to(path)

@@ -12,8 +12,96 @@
 //! matching the "transformation to adjacency matrices" step in the paper's
 //! Figure 4 pipeline.
 
+use kgtosa_par::{Pool, SharedSliceMut};
+
 use crate::ids::{Cid, Rid, Vid};
 use crate::triples::{KnowledgeGraph, Triple};
+
+/// Deterministic (possibly parallel) counting sort keyed by edge source.
+///
+/// Returns the CSR offsets and calls `write(slot, edge)` exactly once per
+/// edge, with the slot the serial two-pass sort would assign: per-chunk
+/// degree histograms plus an ordered cursor scan reproduce the serial
+/// placement exactly, so payload arrays come out bit-identical at any
+/// thread count. Slot arithmetic is integral — unlike the float kernels in
+/// `kgtosa-tensor`, chunk boundaries here may follow the worker count
+/// without breaking determinism.
+fn par_counting_sort<E, S, W>(n: usize, edges: &[E], src: S, write: W) -> Box<[u32]>
+where
+    E: Copy + Sync,
+    S: Fn(E) -> u32 + Sync,
+    W: Fn(usize, E) + Sync,
+{
+    let m = edges.len();
+    let pool = Pool::for_work(m);
+    // The parallel passes cost O(workers · n) histogram memory and zeroing;
+    // when vertices outnumber edges the serial sort is the cheaper plan.
+    if pool.threads() <= 1 || n > m {
+        let mut counts = vec![0u32; n + 1];
+        for &e in edges {
+            counts[src(e) as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone().into_boxed_slice();
+        let mut cursor = counts;
+        for &e in edges {
+            let s = src(e) as usize;
+            write(cursor[s] as usize, e);
+            cursor[s] += 1;
+        }
+        return offsets;
+    }
+    let chunk = m.div_ceil(pool.threads());
+    let ranges: Vec<std::ops::Range<usize>> = (0..m)
+        .step_by(chunk)
+        .map(|lo| lo..(lo + chunk).min(m))
+        .collect();
+    // Pass 1: per-chunk degree histograms.
+    let mut histograms = pool.par_map_collect("kg.csr.count", &ranges, |_, r| {
+        let mut h = vec![0u32; n];
+        for &e in &edges[r.clone()] {
+            h[src(e) as usize] += 1;
+        }
+        h
+    });
+    // Pass 2 (serial, O(workers · n)): global offset prefix sum, then each
+    // histogram is rewritten into its chunk's start cursor per source —
+    // `cursor[c][s] = offsets[s] + Σ_{c' < c} counts[c'][s]`.
+    let mut offsets = vec![0u32; n + 1];
+    for h in &histograms {
+        for (s, &c) in h.iter().enumerate() {
+            offsets[s + 1] += c;
+        }
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut carry: Vec<u32> = offsets[..n].to_vec();
+    for h in &mut histograms {
+        for (s, slot) in h.iter_mut().enumerate() {
+            let cnt = *slot;
+            *slot = carry[s];
+            carry[s] += cnt;
+        }
+    }
+    // Pass 3: parallel fill. Slots never collide — each (chunk, source)
+    // pair owns the half-open slot range computed in pass 2.
+    let tasks: Vec<(std::ops::Range<usize>, std::sync::Mutex<Vec<u32>>)> = ranges
+        .into_iter()
+        .zip(histograms.into_iter().map(std::sync::Mutex::new))
+        .collect();
+    pool.par_map_collect("kg.csr.fill", &tasks, |_, (r, cursor)| {
+        let mut cursor = cursor.lock().expect("chunk cursor poisoned");
+        for &e in &edges[r.clone()] {
+            let s = src(e) as usize;
+            write(cursor[s] as usize, e);
+            cursor[s] += 1;
+        }
+    });
+    offsets.into_boxed_slice()
+}
 
 /// A compressed sparse-row adjacency structure.
 ///
@@ -26,26 +114,24 @@ pub struct Csr {
 }
 
 impl Csr {
-    /// Builds a CSR from `(src, dst)` pairs over `n` vertices using two-pass
+    /// Builds a CSR from `(src, dst)` pairs over `n` vertices using
     /// counting sort; `O(n + m)` time, no per-edge hashing.
-    pub fn from_edges(n: usize, edges: impl Iterator<Item = (u32, u32)> + Clone) -> Self {
-        let mut counts = vec![0u32; n + 1];
-        let mut m = 0usize;
-        for (s, _) in edges.clone() {
-            counts[s as usize + 1] += 1;
-            m += 1;
-        }
-        for i in 0..n {
-            counts[i + 1] += counts[i];
-        }
-        let offsets = counts.clone().into_boxed_slice();
-        let mut cursor = counts;
-        let mut targets = vec![0u32; m].into_boxed_slice();
-        for (s, d) in edges {
-            let slot = cursor[s as usize];
-            targets[slot as usize] = d;
-            cursor[s as usize] = slot + 1;
-        }
+    pub fn from_edges(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> Self {
+        let edges: Vec<(u32, u32)> = edges.collect();
+        Self::from_edge_list(n, &edges)
+    }
+
+    /// Builds a CSR from an edge slice: a serial two-pass counting sort for
+    /// small inputs, a three-pass chunked parallel sort for large ones.
+    /// Both plans place every edge in the same slot, so the output is
+    /// bit-identical regardless of thread count.
+    pub fn from_edge_list(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut targets = vec![0u32; edges.len()].into_boxed_slice();
+        let shared = SharedSliceMut::new(&mut targets);
+        let offsets = par_counting_sort(n, edges, |(s, _)| s, |slot, (_, d)| {
+            // SAFETY: counting-sort slots are disjoint across all edges.
+            unsafe { shared.write(slot, d) }
+        });
         Self { offsets, targets }
     }
 
@@ -107,23 +193,17 @@ pub struct LabeledCsr {
 impl LabeledCsr {
     fn from_edges(n: usize, edges: &[(u32, u32, u32)]) -> Self {
         // Counting sort keyed by source, carrying (target, rel).
-        let mut counts = vec![0u32; n + 1];
-        for &(s, _, _) in edges {
-            counts[s as usize + 1] += 1;
-        }
-        for i in 0..n {
-            counts[i + 1] += counts[i];
-        }
-        let offsets = counts.clone().into_boxed_slice();
-        let mut cursor = counts;
         let mut targets = vec![0u32; edges.len()].into_boxed_slice();
         let mut rels = vec![0u32; edges.len()].into_boxed_slice();
-        for &(s, d, r) in edges {
-            let slot = cursor[s as usize] as usize;
-            targets[slot] = d;
-            rels[slot] = r;
-            cursor[s as usize] += 1;
-        }
+        let shared_t = SharedSliceMut::new(&mut targets);
+        let shared_r = SharedSliceMut::new(&mut rels);
+        let offsets = par_counting_sort(n, edges, |(s, _, _)| s, |slot, (_, d, r)| {
+            // SAFETY: counting-sort slots are disjoint across all edges.
+            unsafe {
+                shared_t.write(slot, d);
+                shared_r.write(slot, r);
+            }
+        });
         Self {
             csr: Csr { offsets, targets },
             rels,
@@ -206,7 +286,7 @@ impl HeteroGraph {
         let rels = by_rel
             .into_iter()
             .map(|edges| RelAdj {
-                out: Csr::from_edges(n, edges.iter().copied()),
+                out: Csr::from_edge_list(n, &edges),
                 inc: Csr::from_edges(n, edges.iter().map(|&(s, o)| (o, s))),
             })
             .collect();

@@ -132,3 +132,129 @@ proptest! {
         prop_assert_eq!(set.len(), set.iter().count());
     }
 }
+
+/// Determinism of parallel CSR construction: the chunked counting sort
+/// must place every edge in the same slot as the serial two-pass sort, at
+/// every thread count — including graphs big enough to take the parallel
+/// path (≥ `MIN_PAR_WORK` edges).
+mod parallel_csr_determinism {
+    use super::*;
+    use kgtosa_kg::Csr;
+    use kgtosa_par::{with_threads, MIN_PAR_WORK};
+
+    /// Reference serial counting sort, kept independent of the production
+    /// code path.
+    fn reference_csr(n: usize, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+        let mut counts = vec![0u32; n + 1];
+        for &(s, _) in edges {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; edges.len()];
+        for &(s, d) in edges {
+            targets[cursor[s as usize] as usize] = d;
+            cursor[s as usize] += 1;
+        }
+        (offsets, targets)
+    }
+
+    fn flat_csr(csr: &Csr) -> (Vec<u32>, Vec<u32>) {
+        let mut offsets = vec![0u32];
+        for v in 0..csr.num_nodes() {
+            offsets.push(offsets[v] + csr.degree(Vid(v as u32)) as u32);
+        }
+        (offsets, csr.targets().to_vec())
+    }
+
+    /// Deterministic pseudo-random edge list large enough to exercise the
+    /// parallel sort (proptest inputs stay below the work threshold).
+    fn big_edges(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
+        let mut state = seed | 1;
+        let mut step = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..m)
+            .map(|_| ((step() % n as u64) as u32, (step() % n as u64) as u32))
+            .collect()
+    }
+
+    #[test]
+    fn big_csr_bit_identical_across_thread_counts() {
+        let n = 4000;
+        let edges = big_edges(n, MIN_PAR_WORK * 2, 42);
+        let expect = reference_csr(n, &edges);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let csr = with_threads(threads, || Csr::from_edge_list(n, &edges));
+            assert_eq!(flat_csr(&csr), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn big_hetero_graph_bit_identical_across_thread_counts() {
+        let n = 3000usize;
+        let mut kg = KnowledgeGraph::with_capacity(n, MIN_PAR_WORK);
+        for v in 0..n {
+            kg.add_node(&format!("n{v}"), &format!("C{}", v % 3));
+        }
+        for r in 0..3 {
+            kg.add_relation(&format!("r{r}"));
+        }
+        for (i, (s, o)) in big_edges(n, MIN_PAR_WORK, 7).into_iter().enumerate() {
+            kg.add_triple(Vid(s), kgtosa_kg::Rid((i % 3) as u32), Vid(o));
+        }
+        let base = with_threads(1, || HeteroGraph::build(&kg));
+        for threads in [2usize, 4, 8] {
+            let g = with_threads(threads, || HeteroGraph::build(&kg));
+            assert_eq!(
+                g.merged_out().csr().targets(),
+                base.merged_out().csr().targets(),
+                "merged targets, threads={threads}"
+            );
+            assert_eq!(
+                g.undirected().csr().targets(),
+                base.undirected().csr().targets(),
+                "undirected targets, threads={threads}"
+            );
+            for r in 0..3u32 {
+                assert_eq!(
+                    g.relation(kgtosa_kg::Rid(r)).out.targets(),
+                    base.relation(kgtosa_kg::Rid(r)).out.targets(),
+                    "relation {r} out, threads={threads}"
+                );
+                assert_eq!(
+                    g.relation(kgtosa_kg::Rid(r)).inc.targets(),
+                    base.relation(kgtosa_kg::Rid(r)).inc.targets(),
+                    "relation {r} inc, threads={threads}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random small/medium edge lists: production CSR equals the
+        /// reference at every thread count (these mostly take the serial
+        /// plan; the dedicated big tests above force the parallel one).
+        #[test]
+        fn csr_matches_reference(n in 1usize..200,
+                                 edges in proptest::collection::vec((0u32..200, 0u32..200), 0..400)) {
+            let edges: Vec<(u32, u32)> = edges
+                .into_iter()
+                .map(|(s, o)| (s % n as u32, o % n as u32))
+                .collect();
+            let expect = reference_csr(n, &edges);
+            for threads in [1usize, 2, 4] {
+                let csr = with_threads(threads, || Csr::from_edge_list(n, &edges));
+                prop_assert_eq!(flat_csr(&csr), expect.clone(), "threads={}", threads);
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! aggregates are *recomputed* during backward instead of cached.
 
 use kgtosa_kg::{Csr, HeteroGraph, Rid, Vid};
+use kgtosa_par::Pool;
 use kgtosa_tensor::{relu_backward, relu_inplace, xavier_uniform, Matrix};
 use rand::Rng;
 
@@ -152,7 +153,7 @@ impl RgcnLayer {
             let (gf, gr) = if r < g.num_relations() {
                 let adj = g.relation(Rid(r as u32));
                 let gf = direction_backward(
-                    &adj.inc,
+                    (&adj.inc, &adj.out),
                     h,
                     &self.w_fwd[r],
                     &grad_out,
@@ -161,7 +162,7 @@ impl RgcnLayer {
                     &mut scratch,
                 );
                 let gr = direction_backward(
-                    &adj.out,
+                    (&adj.out, &adj.inc),
                     h,
                     &self.w_rev[r],
                     &grad_out,
@@ -194,51 +195,67 @@ impl RgcnLayer {
 /// `out[i] = mean_{j ∈ csr(i)} h[j]` (zero when `i` has no neighbours).
 ///
 /// Public because SeHGNN's one-shot metapath pre-aggregation reuses it.
+/// Row-blocked parallel: every output row is a pure gather over `h`, so
+/// each worker owns a disjoint band of rows and the result is bit-identical
+/// to the serial loop at any thread count.
 pub fn mean_aggregate(csr: &Csr, h: &Matrix, out: &mut Matrix) {
     out.fill_zero();
     let d = h.cols();
-    for i in 0..csr.num_nodes() {
-        let nbrs = csr.neighbors(Vid(i as u32));
-        if nbrs.is_empty() {
-            continue;
-        }
-        let inv = 1.0 / nbrs.len() as f32;
-        let out_row = out.row_mut(i);
-        for &j in nbrs {
-            let src = h.row(j as usize);
-            for k in 0..d {
-                out_row[k] += inv * src[k];
+    let block = kgtosa_par::chunk_rows(d);
+    let pool = Pool::for_work(csr.num_edges().saturating_mul(d));
+    pool.par_chunks_mut("nn.mean_aggregate", out.data_mut(), block * d, |ci, band| {
+        for (off, out_row) in band.chunks_mut(d).enumerate() {
+            let i = ci * block + off;
+            if i >= csr.num_nodes() {
+                continue;
+            }
+            let nbrs = csr.neighbors(Vid(i as u32));
+            if nbrs.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / nbrs.len() as f32;
+            for &j in nbrs {
+                let src = h.row(j as usize);
+                for k in 0..d {
+                    out_row[k] += inv * src[k];
+                }
             }
         }
-    }
+    });
 }
 
-/// `out += a @ w`.
+/// `out += a @ w`, row-blocked parallel over disjoint output bands.
 fn add_matmul(a: &Matrix, w: &Matrix, out: &mut Matrix) {
     // Equivalent to out.add_assign(&a.matmul(w)) without the temporary.
     let n = w.cols();
-    for i in 0..a.rows() {
-        let a_row = a.row(i);
-        let out_row = &mut out.data_mut()[i * n..(i + 1) * n];
-        for (k, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let w_row = w.row(k);
-            for j in 0..n {
-                out_row[j] += av * w_row[j];
+    let block = kgtosa_par::chunk_rows(n.max(a.cols()));
+    let pool = Pool::for_work(a.rows() * a.cols() * n);
+    pool.par_chunks_mut("nn.add_matmul", out.data_mut(), block * n, |ci, band| {
+        for (off, out_row) in band.chunks_mut(n).enumerate() {
+            let a_row = a.row(ci * block + off);
+            for (k, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let w_row = w.row(k);
+                for j in 0..n {
+                    out_row[j] += av * w_row[j];
+                }
             }
         }
-    }
+    });
 }
 
 /// Backward through one direction of one relation:
 /// * `grad_W = aggᵀ · grad_out` (agg recomputed),
-/// * `grad_h += Âᵀ · (grad_out · Wᵀ)` scattered with mean weights.
+/// * `grad_h += Âᵀ · (grad_out · Wᵀ)`, accumulated in **gather form** over
+///   the transpose adjacency `csr_t` so each `grad_h` row is written by
+///   exactly one worker (deterministic row-blocked parallelism; the
+///   scatter form would race on shared rows).
 ///
 /// Returns `grad_W`.
 fn direction_backward(
-    csr: &Csr,
+    (csr, csr_t): (&Csr, &Csr),
     h: &Matrix,
     w: &Matrix,
     grad_out: &Matrix,
@@ -253,23 +270,34 @@ fn direction_backward(
     let grad_w = agg.t_matmul(grad_out);
     // scratch = grad_out @ Wᵀ
     *scratch = grad_out.matmul_t(w);
-    // Scatter: grad_h[j] += (1/|N_i|) * scratch[i] for each j ∈ N_i.
-    let d = h.cols();
-    for i in 0..csr.num_nodes() {
-        let nbrs = csr.neighbors(Vid(i as u32));
-        if nbrs.is_empty() {
-            continue;
-        }
-        let inv = 1.0 / nbrs.len() as f32;
-        let src = scratch.row(i).to_vec();
-        for &j in nbrs {
-            let dst = grad_h.row_mut(j as usize);
-            for k in 0..d {
-                dst[k] += inv * src[k];
+    mean_backward_gather(csr, csr_t, scratch, grad_h);
+    grad_w
+}
+
+/// `grad_h[j] += Σ_{i : j ∈ N_i} (1/|N_i|) · scratch[i]` — the backward of
+/// [`mean_aggregate`], in gather form over the transpose adjacency `csr_t`
+/// (the i's with `j ∈ csr(i)` are exactly the neighbours of `j` in `csr_t`)
+/// so each `grad_h` row has a single writer and row-blocked parallelism is
+/// deterministic. Shared with the basis-decomposition layer.
+pub(crate) fn mean_backward_gather(csr: &Csr, csr_t: &Csr, scratch: &Matrix, grad_h: &mut Matrix) {
+    let d = scratch.cols();
+    let block = kgtosa_par::chunk_rows(d);
+    let pool = Pool::for_work(csr.num_edges().saturating_mul(d));
+    pool.par_chunks_mut("nn.rgcn.grad_h", grad_h.data_mut(), block * d, |ci, band| {
+        for (off, dst) in band.chunks_mut(d).enumerate() {
+            let j = ci * block + off;
+            if j >= csr_t.num_nodes() {
+                continue;
+            }
+            for &i in csr_t.neighbors(Vid(j as u32)) {
+                let inv = 1.0 / csr.degree(Vid(i)) as f32;
+                let src = scratch.row(i as usize);
+                for k in 0..d {
+                    dst[k] += inv * src[k];
+                }
             }
         }
-    }
-    grad_w
+    });
 }
 
 #[cfg(test)]

@@ -162,7 +162,10 @@ impl RgcnBasisLayer {
         let r_count = self.num_relations.min(g.num_relations());
         for r in 0..r_count {
             let adj = g.relation(Rid(r as u32));
-            for (csr, row) in [(&adj.inc, r), (&adj.out, self.num_relations + r)] {
+            for (csr, csr_t, row) in [
+                (&adj.inc, &adj.out, r),
+                (&adj.out, &adj.inc, self.num_relations + r),
+            ] {
                 if csr.num_edges() == 0 {
                     continue;
                 }
@@ -181,24 +184,10 @@ impl RgcnBasisLayer {
                     // ∂L/∂V_b += a_{r,b} · grad_W
                     grad_bases[b].add_scaled(&grad_w, self.coeffs.get(row, b));
                 }
-                // grad_h += Âᵀ (grad_out · W_rᵀ)
+                // grad_h += Âᵀ (grad_out · W_rᵀ), gather form (see rgcn.rs).
                 let w = self.weight_of(row);
                 let scratch = grad_out.matmul_t(&w);
-                let d = h.cols();
-                for i in 0..csr.num_nodes() {
-                    let nbrs = csr.neighbors(kgtosa_kg::Vid(i as u32));
-                    if nbrs.is_empty() {
-                        continue;
-                    }
-                    let inv = 1.0 / nbrs.len() as f32;
-                    let src = scratch.row(i).to_vec();
-                    for &j in nbrs {
-                        let dst = grad_h.row_mut(j as usize);
-                        for k in 0..d {
-                            dst[k] += inv * src[k];
-                        }
-                    }
-                }
+                crate::rgcn::mean_backward_gather(csr, csr_t, &scratch, &mut grad_h);
             }
         }
         (

@@ -79,3 +79,98 @@ proptest! {
         }
     }
 }
+
+/// Determinism of the parallel aggregation kernels: identical bits at
+/// every thread count, and identical to a naive serial reference.
+mod parallel_determinism {
+    use super::*;
+    use kgtosa_kg::{HeteroGraph, KnowledgeGraph, Rid, Vid};
+    use kgtosa_nn::mean_aggregate;
+    use kgtosa_par::with_threads;
+    use rand::Rng;
+
+    /// The pre-parallel serial semantics of mean aggregation.
+    fn reference_mean_aggregate(
+        csr: &kgtosa_kg::Csr,
+        h: &Matrix,
+        out: &mut Matrix,
+    ) {
+        out.fill_zero();
+        let d = h.cols();
+        for i in 0..csr.num_nodes() {
+            let nbrs = csr.neighbors(Vid(i as u32));
+            if nbrs.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / nbrs.len() as f32;
+            let out_row = out.row_mut(i);
+            for &j in nbrs {
+                let src = h.row(j as usize);
+                for k in 0..d {
+                    out_row[k] += inv * src[k];
+                }
+            }
+        }
+    }
+
+    fn random_graph(nodes: usize, edges: usize, seed: u64) -> HeteroGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut kg = KnowledgeGraph::new();
+        for i in 0..nodes {
+            kg.add_node(&format!("n{i}"), "N");
+        }
+        for _ in 0..edges {
+            let s = rng.gen_range(0..nodes);
+            let o = rng.gen_range(0..nodes);
+            kg.add_triple_terms(&format!("n{s}"), "N", "r", &format!("n{o}"), "N");
+        }
+        HeteroGraph::build(&kg)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// mean_aggregate: bit-identical to the reference at 1/2/4/8 threads.
+        #[test]
+        fn mean_aggregate_bit_identical(nodes in 1usize..600,
+                                        edge_factor in 0usize..6,
+                                        dim in 1usize..24,
+                                        seed in 0u64..1000) {
+            let g = random_graph(nodes, nodes * edge_factor, seed);
+            let h = xavier_uniform(g.num_nodes(), dim, &mut StdRng::seed_from_u64(seed ^ 1));
+            let csr = &g.relation(Rid(0)).inc;
+            let mut expect = Matrix::zeros(g.num_nodes(), dim);
+            reference_mean_aggregate(csr, &h, &mut expect);
+            for threads in [1usize, 2, 4, 8] {
+                let mut got = Matrix::zeros(g.num_nodes(), dim);
+                with_threads(threads, || mean_aggregate(csr, &h, &mut got));
+                prop_assert_eq!(got.data(), expect.data(), "threads={}", threads);
+            }
+        }
+
+        /// Full RGCN forward + backward: bit-identical across thread counts
+        /// (covers add_matmul, matmul*, and the gather-form grad_h path).
+        #[test]
+        fn rgcn_pass_bit_identical(nodes in 2usize..200, seed in 0u64..1000) {
+            let g = random_graph(nodes, nodes * 3, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 7);
+            let layer = kgtosa_nn::RgcnLayer::new(g.num_relations(), 8, 8, true, &mut rng);
+            let h = xavier_uniform(g.num_nodes(), 8, &mut rng);
+            let run = || {
+                let (out, cache) = layer.forward(&g, &h);
+                let (grad_h, grads) = layer.backward(&g, &h, &cache, out.clone());
+                (out, grad_h, grads)
+            };
+            let (out1, gh1, g1) = with_threads(1, run);
+            for threads in [2usize, 4, 8] {
+                let (out, gh, gp) = with_threads(threads, run);
+                prop_assert_eq!(out.data(), out1.data(), "out threads={}", threads);
+                prop_assert_eq!(gh.data(), gh1.data(), "grad_h threads={}", threads);
+                prop_assert_eq!(gp.w_self.data(), g1.w_self.data());
+                for (a, b) in gp.w_fwd.iter().zip(&g1.w_fwd) {
+                    prop_assert_eq!(a.data(), b.data());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! A shared mutable slice for scatter writes at precomputed disjoint
+//! positions (the parallel counting-sort fill phase of CSR construction).
+
+use std::marker::PhantomData;
+
+/// A `&mut [T]` that several scoped workers may write concurrently, used
+/// when slot disjointness is established by construction rather than by
+/// the type system (each edge of a counting sort owns exactly one slot).
+///
+/// The borrow is held for `'a`, so the underlying buffer cannot move or be
+/// read while workers write.
+pub struct SharedSliceMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the wrapper only allows writes through `write`, whose contract
+// requires callers to target disjoint indices from different threads; the
+// data pointer itself is safe to move between threads for T: Send.
+unsafe impl<T: Send> Send for SharedSliceMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSliceMut<'_, T> {}
+
+impl<'a, T> SharedSliceMut<'a, T> {
+    /// Wraps an exclusive slice borrow for the duration of a parallel
+    /// region.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the wrapped slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wrapped slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at index `i`.
+    ///
+    /// # Safety
+    ///
+    /// While the parallel region runs, no two calls (from any thread) may
+    /// pass the same `i`, and nothing may read the slice. Bounds are
+    /// checked: out-of-range `i` panics rather than writing wild.
+    pub unsafe fn write(&self, i: usize, value: T) {
+        assert!(i < self.len, "SharedSliceMut index {i} out of range {}", self.len);
+        // SAFETY: in-bounds per the assert; exclusivity per the contract.
+        unsafe { self.ptr.add(i).write(value) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pool;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut buf = vec![0u32; 4096];
+        let shared = SharedSliceMut::new(&mut buf);
+        let ids: Vec<usize> = (0..4096).collect();
+        Pool::new(8).par_map_collect("test.shared", &ids, |_, &i| {
+            // SAFETY: every worker writes a distinct index.
+            unsafe { shared.write(i, i as u32 * 3) };
+        });
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i as u32 * 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_bounds_panics() {
+        let mut buf = vec![0u8; 4];
+        let shared = SharedSliceMut::new(&mut buf);
+        // SAFETY: single-threaded; the call panics on bounds before writing.
+        unsafe { shared.write(4, 1) };
+    }
+}

@@ -15,7 +15,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use kgtosa_kg::Triple;
-use parking_lot::Mutex;
+use kgtosa_par::Pool;
 
 use crate::ast::Query;
 use crate::error::RdfError;
@@ -118,7 +118,10 @@ impl SparqlEndpoint for InProcessEndpoint<'_, '_> {
 pub struct FetchConfig {
     /// Page size per request (`bs`).
     pub batch_size: usize,
-    /// Number of request-handler workers (`P`).
+    /// Number of request-handler workers (`P`). The default follows the
+    /// process-wide thread count (`--threads` / `KGTOSA_THREADS` /
+    /// available parallelism), capped at 16 — past that, extra request
+    /// handlers only contend on the store.
     pub threads: usize,
 }
 
@@ -126,7 +129,7 @@ impl Default for FetchConfig {
     fn default() -> Self {
         Self {
             batch_size: 100_000,
-            threads: 4,
+            threads: kgtosa_par::current_threads().min(16),
         }
     }
 }
@@ -135,10 +138,10 @@ impl Default for FetchConfig {
 ///
 /// Each subquery must bind the three `triple_vars` to the subject,
 /// predicate and object of a matched triple. Subqueries are distributed
-/// over `cfg.threads` workers; each worker pages its subquery with
-/// `LIMIT`/`OFFSET` until exhaustion. Rows with unbound triple variables or
-/// synthetic `rdf:type` components are skipped; the merged result is
-/// deduplicated (Algorithm 3 line 10).
+/// over `cfg.threads` request handlers on the shared pool; each handler
+/// pages its subquery with `LIMIT`/`OFFSET` until exhaustion. Rows with
+/// unbound triple variables or synthetic `rdf:type` components are
+/// skipped; the merged result is deduplicated (Algorithm 3 line 10).
 pub fn fetch_triples<E: SparqlEndpoint>(
     endpoint: &E,
     store: &RdfStore<'_>,
@@ -146,51 +149,15 @@ pub fn fetch_triples<E: SparqlEndpoint>(
     triple_vars: (&str, &str, &str),
     cfg: &FetchConfig,
 ) -> Result<Vec<Triple>, RdfError> {
-    let guard = kgtosa_obs::span!("rdf.fetch");
-    let next = AtomicUsize::new(0);
-    let merged: Mutex<Vec<Triple>> = Mutex::new(Vec::new());
-    let first_error: Mutex<Option<RdfError>> = Mutex::new(None);
-    let workers = cfg.threads.max(1).min(subqueries.len().max(1));
-    // Subqueries handled per worker: a flat distribution means the `P`
-    // request handlers of Algorithm 3 were evenly utilized.
-    let utilization = kgtosa_obs::histogram_with_bounds(
-        "rdf.fetch.worker_subqueries",
-        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
-    );
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
-                let mut local: Vec<Triple> = Vec::new();
-                let mut handled = 0u64;
-                loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= subqueries.len() {
-                        break;
-                    }
-                    handled += 1;
-                    if let Err(e) =
-                        page_subquery(endpoint, store, &subqueries[idx], triple_vars, cfg, &mut local)
-                    {
-                        let mut slot = first_error.lock();
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
-                        break;
-                    }
-                }
-                utilization.observe(handled as f64);
-                merged.lock().append(&mut local);
-            });
-        }
-    })
-    .expect("fetch worker panicked");
-    drop(guard);
-
-    if let Some(e) = first_error.into_inner() {
-        return Err(e);
+    let _guard = kgtosa_obs::span!("rdf.fetch");
+    let per_subquery = Pool::new(cfg.threads).par_map_collect("rdf.fetch", subqueries, |_, q| {
+        let mut local: Vec<Triple> = Vec::new();
+        page_subquery(endpoint, store, q, triple_vars, cfg, &mut local).map(|()| local)
+    });
+    let mut triples = Vec::new();
+    for result in per_subquery {
+        triples.append(&mut result?);
     }
-    let mut triples = merged.into_inner();
     triples.sort_unstable();
     triples.dedup();
     Ok(triples)

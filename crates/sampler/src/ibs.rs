@@ -7,10 +7,8 @@
 //! and parallelized across worker threads (the paper parallelizes lines 2-4
 //! with multi-threading).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use kgtosa_kg::{HeteroGraph, NodeSet, Vid};
-use parking_lot::Mutex;
+use kgtosa_par::Pool;
 
 use crate::ppr::{approximate_ppr, top_k, PprConfig};
 
@@ -24,7 +22,9 @@ pub struct IbsConfig {
     pub batch_size: usize,
     /// PPR parameters.
     pub ppr: PprConfig,
-    /// Worker threads for the per-target PPR runs.
+    /// Worker threads for the per-target PPR runs. Defaults to the
+    /// process-wide thread count (`--threads` / `KGTOSA_THREADS` /
+    /// available parallelism).
     pub threads: usize,
 }
 
@@ -34,7 +34,7 @@ impl Default for IbsConfig {
             k: 16,
             batch_size: 20_000,
             ppr: PprConfig::default(),
-            threads: 4,
+            threads: kgtosa_par::current_threads(),
         }
     }
 }
@@ -54,34 +54,16 @@ pub fn ibs_partitions(g: &HeteroGraph, targets: &[Vid], cfg: &IbsConfig) -> Vec<
     let _span = kgtosa_obs::span!("sample.ibs");
     kgtosa_obs::counter("sample.ibs.ppr_runs").add(targets.len() as u64);
     // Lines 2-3: per-target influence scores → top-k pairs, in parallel.
-    let next = AtomicUsize::new(0);
-    let threads = cfg.threads.max(1).min(targets.len().max(1));
-    let collected: Mutex<Vec<(usize, Vec<Vid>)>> = Mutex::new(Vec::with_capacity(targets.len()));
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                let mut local: Vec<(usize, Vec<Vid>)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= targets.len() {
-                        break;
-                    }
-                    let scores = approximate_ppr(g, targets[i], &cfg.ppr);
-                    let picked: Vec<Vid> = top_k(&scores, targets[i], cfg.k)
-                        .into_iter()
-                        .map(|(v, _)| v)
-                        .collect();
-                    local.push((i, picked));
-                }
-                collected.lock().append(&mut local);
-            });
-        }
-    })
-    .expect("IBS worker panicked");
-    let mut per_target: Vec<Vec<Vid>> = vec![Vec::new(); targets.len()];
-    for (i, picked) in collected.into_inner() {
-        per_target[i] = picked;
-    }
+    // Per-target runs are independent, so the shared pool's dynamically
+    // scheduled, order-restoring map keeps the result deterministic.
+    let per_target: Vec<Vec<Vid>> =
+        Pool::new(cfg.threads).par_map_collect("sampler.ibs", targets, |_, &target| {
+            let scores = approximate_ppr(g, target, &cfg.ppr);
+            top_k(&scores, target, cfg.k)
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect()
+        });
 
     // Line 4: group bs targets per partition.
     let bs = cfg.batch_size.max(1);

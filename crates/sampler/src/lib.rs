@@ -21,7 +21,7 @@ pub mod walk;
 
 pub use edge::edge_sample;
 pub use ibs::{ibs_partitions, ibs_sample, IbsConfig, Partition};
-pub use ppr::{approximate_ppr, top_k, PprConfig};
+pub use ppr::{approximate_ppr, approximate_ppr_batch, top_k, PprConfig};
 pub use saint::node_norm_weights;
 pub use shadow::{ego_subgraph, ShadowConfig};
 pub use walk::{biased_random_walk, uniform_random_walk, WalkConfig};

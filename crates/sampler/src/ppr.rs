@@ -81,6 +81,22 @@ pub fn approximate_ppr(g: &HeteroGraph, seed: Vid, cfg: &PprConfig) -> Vec<(Vid,
     p.into_iter().map(|(v, s)| (Vid(v), s)).collect()
 }
 
+/// Sparse PPR vectors for many seeds at once, parallelized over seeds on
+/// the shared pool. Each seed's push computation is independent and fully
+/// deterministic, and results come back in seed order, so the output is
+/// identical to mapping [`approximate_ppr`] serially — at any thread count.
+pub fn approximate_ppr_batch(
+    g: &HeteroGraph,
+    seeds: &[Vid],
+    cfg: &PprConfig,
+) -> Vec<Vec<(Vid, f32)>> {
+    // A push run touches O(1/(ε·α)) residual entries — the per-seed work
+    // estimate that decides whether spawning workers pays off.
+    let per_seed = (1.0 / (f64::from(cfg.epsilon) * f64::from(cfg.alpha))).ceil() as usize;
+    let pool = kgtosa_par::Pool::for_work(seeds.len().saturating_mul(per_seed));
+    pool.par_map_collect("sampler.ppr", seeds, |_, &seed| approximate_ppr(g, seed, cfg))
+}
+
 /// The `k` highest-scoring vertices (excluding the seed itself) from a
 /// sparse PPR vector — the `SelectTopK-Nodes` step of Algorithm 2.
 pub fn top_k(scores: &[(Vid, f32)], seed: Vid, k: usize) -> Vec<(Vid, f32)> {
@@ -184,6 +200,22 @@ mod tests {
         ];
         let top = top_k(&scores, Vid(0), 2);
         assert_eq!(top.iter().map(|(v, _)| v.raw()).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn batch_matches_serial_map_at_any_thread_count() {
+        let g = line_graph(60);
+        let seeds: Vec<Vid> = (0..60).map(Vid).collect();
+        let cfg = PprConfig::default();
+        let expect: Vec<Vec<(Vid, f32)>> = seeds
+            .iter()
+            .map(|&s| approximate_ppr(&g, s, &cfg))
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let got =
+                kgtosa_par::with_threads(threads, || approximate_ppr_batch(&g, &seeds, &cfg));
+            assert_eq!(got, expect, "threads={threads}");
+        }
     }
 
     #[test]

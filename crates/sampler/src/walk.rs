@@ -9,10 +9,22 @@
 //! * **BRW** draws roots uniformly from the task's target vertices
 //!   (`getInitialVertices(bs, V_T)`, Algorithm 1 line 2), biasing coverage
 //!   toward task-relevant regions (Figure 5).
+//!
+//! Walks from different roots are independent, so they run on the shared
+//! pool with **per-walker RNG streams**: the caller's generator draws one
+//! `u64` seed per root (in root order), each walker steps its own
+//! `SmallRng` from that seed, and the visited sets union into a bitset —
+//! commutative, so the sample is bit-identical at any thread count.
 
 use kgtosa_kg::{HeteroGraph, NodeSet, Vid};
+use kgtosa_par::Pool;
+use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+
+/// Rough element-operations per walk hop (neighbour lookup + RNG step),
+/// used to size the work estimate against the pool's spawn threshold.
+const HOP_WORK: usize = 64;
 
 /// Configuration shared by the walk samplers.
 #[derive(Debug, Clone, Copy)]
@@ -41,10 +53,10 @@ pub fn uniform_random_walk(g: &HeteroGraph, cfg: &WalkConfig, rng: &mut impl Rng
     if n == 0 {
         return visited;
     }
-    for _ in 0..cfg.roots {
-        let root = Vid(rng.gen_range(0..n) as u32);
-        walk_from(g, root, cfg.walk_length, rng, &mut visited);
-    }
+    let roots: Vec<Vid> = (0..cfg.roots)
+        .map(|_| Vid(rng.gen_range(0..n) as u32))
+        .collect();
+    run_walks(g, &roots, cfg.walk_length, rng, &mut visited);
     visited
 }
 
@@ -70,23 +82,42 @@ pub fn biased_random_walk(
             .copied()
             .collect()
     };
-    for root in initial {
-        visited.insert(root);
-        walk_from(g, root, cfg.walk_length, rng, &mut visited);
-    }
+    run_walks(g, &initial, cfg.walk_length, rng, &mut visited);
     visited
 }
 
-/// One random walk of `len` steps from `root` over the undirected view,
-/// inserting every visited vertex.
-fn walk_from(
+/// Runs one walk per root, in parallel when the total work warrants it,
+/// and inserts every visited vertex. `rng` only hands out one stream seed
+/// per root; the hops themselves draw from per-walker generators.
+fn run_walks(
     g: &HeteroGraph,
-    root: Vid,
+    roots: &[Vid],
     len: usize,
     rng: &mut impl Rng,
     visited: &mut NodeSet,
 ) {
-    visited.insert(root);
+    let streams: Vec<(Vid, u64)> = roots.iter().map(|&r| (r, rng.gen())).collect();
+    let work = roots
+        .len()
+        .saturating_mul(len.max(1))
+        .saturating_mul(HOP_WORK);
+    let paths = Pool::for_work(work).par_map_collect("sampler.walk", &streams, |_, &(root, seed)| {
+        walk_path(g, root, len, seed)
+    });
+    for path in paths {
+        for v in path {
+            visited.insert(Vid(v));
+        }
+    }
+}
+
+/// One random walk of `len` steps from `root` over the undirected view,
+/// stepping a dedicated generator seeded with this walker's stream seed.
+/// Returns the visited path (root included).
+fn walk_path(g: &HeteroGraph, root: Vid, len: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut path = Vec::with_capacity(len + 1);
+    path.push(root.raw());
     let mut current = root;
     for _ in 0..len {
         let nbrs = g.undirected().neighbors(current);
@@ -94,8 +125,9 @@ fn walk_from(
             break;
         }
         current = Vid(nbrs[rng.gen_range(0..nbrs.len())]);
-        visited.insert(current);
+        path.push(current.raw());
     }
+    path
 }
 
 #[cfg(test)]
@@ -161,6 +193,41 @@ mod tests {
         let a = biased_random_walk(&g, &targets, &cfg, &mut StdRng::seed_from_u64(9));
         let b = biased_random_walk(&g, &targets, &cfg, &mut StdRng::seed_from_u64(9));
         assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn walks_bit_identical_across_thread_counts() {
+        let (kg, targets) = two_components();
+        let g = HeteroGraph::build(&kg);
+        // Enough root·hop work to cross the pool's spawn threshold.
+        let cfg = WalkConfig {
+            roots: 400,
+            walk_length: 4,
+        };
+        let base = kgtosa_par::with_threads(1, || {
+            biased_random_walk(&g, &targets, &cfg, &mut StdRng::seed_from_u64(3))
+        });
+        for threads in [2usize, 4, 8] {
+            let vs = kgtosa_par::with_threads(threads, || {
+                biased_random_walk(&g, &targets, &cfg, &mut StdRng::seed_from_u64(3))
+            });
+            assert_eq!(
+                vs.iter().collect::<Vec<_>>(),
+                base.iter().collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            let us = kgtosa_par::with_threads(threads, || {
+                uniform_random_walk(&g, &cfg, &mut StdRng::seed_from_u64(3))
+            });
+            let ubase = kgtosa_par::with_threads(1, || {
+                uniform_random_walk(&g, &cfg, &mut StdRng::seed_from_u64(3))
+            });
+            assert_eq!(
+                us.iter().collect::<Vec<_>>(),
+                ubase.iter().collect::<Vec<_>>(),
+                "urw threads={threads}"
+            );
+        }
     }
 
     #[test]

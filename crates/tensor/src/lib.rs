@@ -22,5 +22,6 @@ pub use init::{normalize_rows, uniform, xavier_uniform};
 pub use matrix::Matrix;
 pub use ops::{
     argmax_rows, dropout_backward, dropout_inplace, relu_backward, relu_inplace, sigmoid,
-    softmax_cross_entropy, softmax_rows, IGNORE_LABEL,
+    softmax_cross_entropy, softmax_cross_entropy_into, softmax_rows, softmax_rows_into,
+    IGNORE_LABEL,
 };

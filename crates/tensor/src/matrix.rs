@@ -4,7 +4,15 @@
 //! storage, cache-friendly `ikj` matmul, explicit transpose-variant products
 //! (needed by hand-written backward passes), and no hidden allocation in the
 //! hot paths (`*_into` variants reuse output buffers).
+//!
+//! The products are row-blocked over the `kgtosa-par` pool. `matmul_into`
+//! and `matmul_t` write disjoint output rows, so their parallel results are
+//! bit-identical to serial at any thread count. `t_matmul` reduces across
+//! input rows; it uses fixed shape-derived chunks merged in chunk order, and
+//! runs the *same* chunked structure serially, so thread count never changes
+//! its floating-point association either.
 
+use kgtosa_par::Pool;
 use std::fmt;
 
 /// Dense row-major matrix.
@@ -104,33 +112,66 @@ impl Matrix {
         out
     }
 
-    /// `out = self @ other`, reusing `out`'s buffer.
+    /// `out = self @ other`, reusing `out`'s buffer. Row-blocked parallel:
+    /// each worker owns a disjoint band of output rows, so the result is
+    /// bit-identical to the serial loop at any thread count.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "inner dimension mismatch");
         assert_eq!(out.shape(), (self.rows, other.cols), "output shape");
         out.fill_zero();
         let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a * b_row[j];
+        let block = kgtosa_par::chunk_rows(n.max(self.cols));
+        let pool = Pool::for_work(self.rows * self.cols * n);
+        pool.par_chunks_mut("tensor.matmul", &mut out.data, block * n, |ci, band| {
+            for (off, out_row) in band.chunks_mut(n).enumerate() {
+                let a_row = self.row(ci * block + off);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[k * n..(k + 1) * n];
+                    for j in 0..n {
+                        out_row[j] += a * b_row[j];
+                    }
                 }
             }
-        }
+        });
     }
 
     /// `selfᵀ @ other` (e.g. `Xᵀ·G` for weight gradients).
+    ///
+    /// The reduction runs over `self.rows`, so it cannot be row-blocked on
+    /// the (small) output. Instead the input rows are cut into fixed
+    /// shape-derived chunks, each chunk accumulates a partial product, and
+    /// partials merge **in chunk order** — the same structure serially and
+    /// in parallel, so results match bit-for-bit at every thread count.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "row mismatch for t_matmul");
+        let n = other.cols;
+        let chunk = kgtosa_par::chunk_rows(self.cols.max(n));
+        if self.rows <= chunk {
+            return self.t_matmul_range(other, 0, self.rows);
+        }
+        let chunk_ids: Vec<usize> = (0..self.rows.div_ceil(chunk)).collect();
+        let pool = Pool::for_work(self.rows * self.cols * n);
+        let partials = pool.par_map_collect("tensor.t_matmul", &chunk_ids, |_, &ci| {
+            let lo = ci * chunk;
+            let hi = (lo + chunk).min(self.rows);
+            self.t_matmul_range(other, lo, hi)
+        });
+        let mut partials = partials.into_iter();
+        let mut out = partials.next().expect("at least one chunk");
+        for p in partials {
+            out.add_assign(&p);
+        }
+        out
+    }
+
+    /// Serial `selfᵀ @ other` restricted to input rows `lo..hi`.
+    fn t_matmul_range(&self, other: &Matrix, lo: usize, hi: usize) -> Matrix {
         let mut out = Matrix::zeros(self.cols, other.cols);
         let n = other.cols;
-        for r in 0..self.rows {
+        for r in lo..hi {
             let a_row = self.row(r);
             let b_row = other.row(r);
             for (i, &a) in a_row.iter().enumerate() {
@@ -146,21 +187,27 @@ impl Matrix {
         out
     }
 
-    /// `self @ otherᵀ` (e.g. `G·Wᵀ` for input gradients).
+    /// `self @ otherᵀ` (e.g. `G·Wᵀ` for input gradients). Row-blocked
+    /// parallel with disjoint output bands, like [`Matrix::matmul_into`].
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "col mismatch for matmul_t");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for k in 0..self.cols {
-                    acc += a_row[k] * b_row[k];
+        let n = other.rows;
+        let block = kgtosa_par::chunk_rows(n.max(self.cols));
+        let pool = Pool::for_work(self.rows * self.cols * n);
+        pool.par_chunks_mut("tensor.matmul_t", &mut out.data, block * n, |ci, band| {
+            for (off, out_row) in band.chunks_mut(n).enumerate() {
+                let a_row = self.row(ci * block + off);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0f32;
+                    for k in 0..self.cols {
+                        acc += a_row[k] * b_row[k];
+                    }
+                    *o = acc;
                 }
-                out.data[i * other.rows + j] = acc;
             }
-        }
+        });
         out
     }
 

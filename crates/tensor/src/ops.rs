@@ -28,13 +28,22 @@ pub fn relu_backward(grad: &mut Matrix, mask: &[bool]) {
 
 /// Numerically-stable row-wise softmax (out of place).
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
-    let mut out = logits.clone();
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    softmax_rows_into(logits, &mut out);
+    out
+}
+
+/// `out = softmax(logits)` row-wise, reusing `out`'s buffer (no hidden
+/// allocation; `out` may alias a scratch matrix kept across steps).
+pub fn softmax_rows_into(logits: &Matrix, out: &mut Matrix) {
+    assert_eq!(logits.shape(), out.shape(), "softmax output shape");
     for r in 0..out.rows() {
+        let src = logits.row(r);
         let row = out.row_mut(r);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let max = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
+        for (v, &s) in row.iter_mut().zip(src) {
+            *v = (s - max).exp();
             sum += *v;
         }
         let inv = 1.0 / sum;
@@ -42,7 +51,6 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
             *v *= inv;
         }
     }
-    out
 }
 
 /// Softmax + cross-entropy over rows with integer labels.
@@ -51,9 +59,20 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
 /// by the batch size. Rows whose label is `IGNORE_LABEL` contribute neither
 /// loss nor gradient (used for unlabeled vertices inside a subgraph batch).
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// Softmax + cross-entropy writing the logit gradient into `grad` (one
+/// buffer serves as both the probability scratch and the output — the
+/// `probs.clone()` the out-of-place version used to pay is gone).
+///
+/// Returns the mean loss; `grad` holds `∂L/∂logits`, already divided by
+/// the number of counted rows.
+pub fn softmax_cross_entropy_into(logits: &Matrix, labels: &[u32], grad: &mut Matrix) -> f32 {
     assert_eq!(logits.rows(), labels.len(), "one label per row");
-    let probs = softmax_rows(logits);
-    let mut grad = probs.clone();
+    softmax_rows_into(logits, grad);
     let mut loss = 0.0f64;
     let mut counted = 0usize;
     for (r, &label) in labels.iter().enumerate() {
@@ -62,14 +81,14 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
             continue;
         }
         counted += 1;
-        let p = probs.get(r, label as usize).max(1e-12);
-        loss -= (p as f64).ln();
         let g = grad.row_mut(r);
+        let p = g[label as usize].max(1e-12);
+        loss -= (p as f64).ln();
         g[label as usize] -= 1.0;
     }
     let denom = counted.max(1) as f32;
     grad.scale(1.0 / denom);
-    ((loss / counted.max(1) as f64) as f32, grad)
+    (loss / counted.max(1) as f64) as f32
 }
 
 /// Label sentinel excluded from the loss.

@@ -109,3 +109,94 @@ proptest! {
         assert_close(&dense, &sparse, 1e-5)?;
     }
 }
+
+/// Determinism contract of the `kgtosa-par` row-blocked kernels: at every
+/// thread count (including 1) the products must be **bit-identical**, and
+/// for the disjoint-write kernels also bit-identical to a naive serial
+/// reference that never chunked at all.
+mod parallel_determinism {
+    use super::*;
+    use kgtosa_par::with_threads;
+
+    /// Naive triple-loop reference, the pre-parallel serial semantics.
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let av = a.get(i, k);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out.set(i, j, out.get(i, j) + av * b.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    fn big_matrix(rows: usize, cols: usize, salt: f32) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| (i as f32 * salt).sin()).collect(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// matmul: all thread counts agree bitwise with the naive reference.
+        /// Shapes straddle the parallel threshold and chunk boundary.
+        #[test]
+        fn matmul_bit_identical(rows in 1usize..400, inner in 1usize..24, cols in 1usize..24) {
+            let a = big_matrix(rows, inner, 0.37);
+            let b = big_matrix(inner, cols, 0.61);
+            let expect = reference_matmul(&a, &b);
+            for threads in [1usize, 2, 3, 4, 8] {
+                let got = with_threads(threads, || a.matmul(&b));
+                prop_assert_eq!(got.data(), expect.data(), "threads={}", threads);
+            }
+        }
+
+        /// matmul_t: bitwise-stable across thread counts.
+        #[test]
+        fn matmul_t_bit_identical(rows in 1usize..400, inner in 1usize..24, orows in 1usize..24) {
+            let a = big_matrix(rows, inner, 0.29);
+            let b = big_matrix(orows, inner, 0.53);
+            let expect = with_threads(1, || a.matmul_t(&b));
+            for threads in [2usize, 4, 8] {
+                let got = with_threads(threads, || a.matmul_t(&b));
+                prop_assert_eq!(got.data(), expect.data(), "threads={}", threads);
+            }
+        }
+
+        /// t_matmul: the fixed-chunk ordered reduction gives the same bits
+        /// at every thread count (serial runs the same chunked structure).
+        #[test]
+        fn t_matmul_bit_identical(rows in 1usize..6000, cols in 1usize..12, ocols in 1usize..12) {
+            let a = big_matrix(rows, cols, 0.41);
+            let b = big_matrix(rows, ocols, 0.23);
+            let expect = with_threads(1, || a.t_matmul(&b));
+            for threads in [2usize, 4, 8] {
+                let got = with_threads(threads, || a.t_matmul(&b));
+                prop_assert_eq!(got.data(), expect.data(), "threads={}", threads);
+            }
+        }
+    }
+
+    /// _into variants match their allocating counterparts exactly.
+    #[test]
+    fn softmax_into_matches_out_of_place() {
+        let logits = big_matrix(17, 9, 0.77);
+        let labels: Vec<u32> = (0..17).map(|i| (i % 9) as u32).collect();
+        let (loss, grad) = kgtosa_tensor::softmax_cross_entropy(&logits, &labels);
+        let mut grad2 = Matrix::zeros(17, 9);
+        let loss2 = kgtosa_tensor::softmax_cross_entropy_into(&logits, &labels, &mut grad2);
+        assert_eq!(loss.to_bits(), loss2.to_bits());
+        assert_eq!(grad.data(), grad2.data());
+        let mut sm = Matrix::zeros(17, 9);
+        kgtosa_tensor::softmax_rows_into(&logits, &mut sm);
+        assert_eq!(sm.data(), softmax_rows(&logits).data());
+    }
+}
