@@ -47,10 +47,12 @@ pub struct Env {
 
 impl Env {
     /// Reads `KGTOSA_*` variables with bench-friendly defaults. Also arms
-    /// the JSONL trace sink when `KGTOSA_TRACE` names a file, so every
-    /// bench binary can be traced without code changes.
+    /// the JSONL trace sink when `KGTOSA_TRACE` names a file and the live
+    /// metrics endpoint when `KGTOSA_METRICS_ADDR` names an address, so
+    /// every bench binary can be traced and scraped without code changes.
     pub fn from_env() -> Self {
         kgtosa_obs::init_trace_from_env();
+        kgtosa_obs::init_serve_from_env();
         let get = |k: &str, d: f64| -> f64 {
             std::env::var(k)
                 .ok()

@@ -246,6 +246,37 @@ pub fn trace_summary(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `kgtosa trace-diff OLD NEW`: per-span comparison of two JSONL traces or
+/// BENCH_*.json reports; errors (exit 1) when any span regresses beyond the
+/// threshold so CI can gate on it.
+pub fn trace_diff(args: &Args) -> Result<(), String> {
+    let (old_path, new_path) = match args.positionals.as_slice() {
+        [old, new] => (old.as_str(), new.as_str()),
+        _ => return Err("usage: kgtosa trace-diff <old> <new> [--threshold PCT]".into()),
+    };
+    let base = kgtosa_obs::DiffOptions::default();
+    let opts = kgtosa_obs::DiffOptions {
+        threshold_pct: args.parse_or("threshold", base.threshold_pct)?,
+        min_seconds: args.parse_or("min-seconds", base.min_seconds)?,
+        ..base
+    };
+    let old_text =
+        std::fs::read_to_string(old_path).map_err(|e| format!("cannot read {old_path}: {e}"))?;
+    let new_text =
+        std::fs::read_to_string(new_path).map_err(|e| format!("cannot read {new_path}: {e}"))?;
+    let report = kgtosa_obs::diff_trace_texts(&old_text, &new_text, &opts)
+        .map_err(|e| format!("trace-diff {old_path} vs {new_path}: {e}"))?;
+    print!("{}", report.render());
+    let regressions = report.regressions();
+    if regressions > 0 {
+        return Err(format!(
+            "{regressions} span(s) regressed beyond {:.0}% (old: {old_path}, new: {new_path})",
+            report.threshold_pct
+        ));
+    }
+    Ok(())
+}
+
 fn print_report(label: &str, r: &TrainReport) {
     println!(
         "{label:<8} {:<12} metric {:.4} | train {:.2}s | infer {:.3}s | {} params",

@@ -44,11 +44,19 @@ COMMANDS:
   trace-summary
              Aggregate a JSONL trace into a per-span table
                kgtosa trace-summary trace.jsonl
+  trace-diff Compare two JSONL traces (or BENCH_*.json reports) per span
+             and exit nonzero on regressions beyond the threshold
+               kgtosa trace-diff OLD NEW [--threshold 25]
+               [--min-seconds 0.001]
   help       Show this message
 
 GLOBAL OPTIONS (any command):
   --trace-out FILE   Write a JSONL event trace (spans, train.epoch, logs,
                      final metrics); KGTOSA_TRACE=FILE does the same
+  --metrics-addr H:P Serve live Prometheus /metrics plus /spans and
+                     /progress JSON on HOST:PORT while the command runs;
+                     KGTOSA_METRICS_ADDR=H:P does the same (port 0 picks
+                     a free port and prints it)
   --threads N        Worker threads for parallel kernels (matmul, sampling,
                      CSR build, SPARQL fetch); KGTOSA_THREADS=N does the
                      same; defaults to the machine's available parallelism.
@@ -82,7 +90,16 @@ fn main() {
             .map_err(|e| format!("cannot open trace file {path:?}: {e}")),
         None => Ok(kgtosa_obs::init_trace_from_env()),
     };
-    let result = traced.and_then(|_| match args.command.as_str() {
+    let served = match args.options.get("metrics-addr") {
+        Some(addr) => kgtosa_obs::serve_metrics(addr)
+            .map(|bound| eprintln!("metrics: serving on http://{bound}/metrics"))
+            .map_err(|e| format!("cannot bind metrics server on {addr:?}: {e}")),
+        None => {
+            kgtosa_obs::init_serve_from_env();
+            Ok(())
+        }
+    };
+    let result = traced.and(served).and_then(|_| match args.command.as_str() {
         "generate" => commands::generate(&args),
         "stats" => commands::stats(&args),
         "query" => commands::query(&args),
@@ -90,6 +107,7 @@ fn main() {
         "train" => commands::train(&args, false),
         "compare" => commands::train(&args, true),
         "trace-summary" => commands::trace_summary(&args),
+        "trace-diff" => commands::trace_diff(&args),
         "help" | "" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -171,6 +171,76 @@ fn trace_out_emits_parseable_jsonl_and_summary_renders() {
 }
 
 #[test]
+fn trace_diff_identical_passes_and_regression_fails() {
+    let old = tmp("diff-old.jsonl");
+    let new_ok = tmp("diff-new-ok.jsonl");
+    let new_bad = tmp("diff-new-bad.jsonl");
+    let span = |wall: f64| {
+        format!(
+            "{{\"ev\":\"span\",\"t\":0.1,\"name\":\"kernel.spmm\",\"wall_s\":{wall},\
+             \"live_bytes\":0,\"peak_delta_bytes\":1024,\"allocs\":10}}\n"
+        )
+    };
+    std::fs::write(&old, span(1.0)).unwrap();
+    std::fs::write(&new_ok, span(1.0)).unwrap();
+    std::fs::write(&new_bad, span(3.0)).unwrap();
+
+    // Identical traces: exit 0, every span OK.
+    let out = kgtosa()
+        .args(["trace-diff", old.to_str().unwrap(), new_ok.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kernel.spmm"), "{stdout}");
+    assert!(!stdout.contains("REGRESSED"), "{stdout}");
+
+    // 3x wall time: exit nonzero with the regression named.
+    let out = kgtosa()
+        .args([
+            "trace-diff", old.to_str().unwrap(), new_bad.to_str().unwrap(),
+            "--threshold", "25",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "3x slowdown must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED(wall)"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("regressed"), "{stderr}");
+
+    // A generous threshold lets the same pair pass.
+    let out = kgtosa()
+        .args([
+            "trace-diff", old.to_str().unwrap(), new_bad.to_str().unwrap(),
+            "--threshold", "400",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn metrics_addr_binds_and_reports_endpoint() {
+    // Port 0 picks a free port; the CLI prints the bound address so the
+    // user (and this test) can find the scrape endpoint.
+    let out = kgtosa()
+        .args([
+            "stats", "--kg", "/nonexistent-but-flag-parses.nt",
+            "--metrics-addr", "127.0.0.1:0",
+        ])
+        .output()
+        .unwrap();
+    // The command itself fails (missing file) but the server must have
+    // bound first and reported where it listens.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("metrics: serving on http://127.0.0.1:"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = kgtosa().args(["bogus"]).output().unwrap();
     assert!(!out.status.success());

@@ -62,6 +62,10 @@ impl ExtractionResult {
         let triples = subgraph.kg.num_triples();
         kgtosa_obs::counter("extract.sampled_nodes").add(sampled_nodes as u64);
         kgtosa_obs::counter("extract.triples").add(triples as u64);
+        if kgtosa_obs::telemetry_active() {
+            let q = kgtosa_kg::quality(&subgraph.kg, &targets);
+            crate::quality::record_quality_metrics(&method, &q);
+        }
         Self {
             subgraph,
             targets,

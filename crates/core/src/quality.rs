@@ -36,6 +36,41 @@ pub struct QualityRow {
     pub extraction_s: f64,
 }
 
+/// Publishes a finished extraction's quality indicators into the obs
+/// layer: `extract.quality.*` gauges (scraped on `/metrics`) and one
+/// `extract.quality` JSONL event, so TOSG quality lands in every trace
+/// without an ad-hoc stats call. Percentages and distances are scaled
+/// ×1000 in the gauges (the registry stores integers).
+pub fn record_quality_metrics(method: &str, q: &SubgraphQuality) {
+    let milli = |v: f64| (v * 1000.0).round() as i64;
+    kgtosa_obs::gauge("extract.quality.target_count").set(q.target_count as i64);
+    kgtosa_obs::gauge("extract.quality.target_ratio_milli_pct").set(milli(q.target_ratio_pct));
+    kgtosa_obs::gauge("extract.quality.disconnected_milli_pct")
+        .set(milli(q.target_disconnected_pct));
+    kgtosa_obs::gauge("extract.quality.avg_dist_milli").set(milli(q.avg_dist_to_target));
+    kgtosa_obs::gauge("extract.quality.entropy_milli").set(milli(q.avg_entropy));
+    kgtosa_obs::gauge("extract.quality.num_nodes").set(q.num_nodes as i64);
+    kgtosa_obs::gauge("extract.quality.num_triples").set(q.num_triples as i64);
+    kgtosa_obs::emit_event(
+        "extract.quality",
+        vec![
+            ("method".into(), kgtosa_obs::Json::Str(method.to_string())),
+            ("num_nodes".into(), kgtosa_obs::Json::Num(q.num_nodes as f64)),
+            ("num_triples".into(), kgtosa_obs::Json::Num(q.num_triples as f64)),
+            ("target_count".into(), kgtosa_obs::Json::Num(q.target_count as f64)),
+            ("target_ratio_pct".into(), kgtosa_obs::Json::Num(q.target_ratio_pct)),
+            ("num_classes".into(), kgtosa_obs::Json::Num(q.num_classes as f64)),
+            ("num_relations".into(), kgtosa_obs::Json::Num(q.num_relations as f64)),
+            (
+                "disconnected_pct".into(),
+                kgtosa_obs::Json::Num(q.target_disconnected_pct),
+            ),
+            ("avg_dist".into(), kgtosa_obs::Json::Num(q.avg_dist_to_target)),
+            ("entropy".into(), kgtosa_obs::Json::Num(q.avg_entropy)),
+        ],
+    );
+}
+
 impl QualityRow {
     /// Builds the row for a finished extraction.
     pub fn from_extraction(res: &ExtractionResult) -> Self {

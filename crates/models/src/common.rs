@@ -155,26 +155,35 @@ pub fn restrict_labels(labels: &[u32], keep: &[Vid], n: usize) -> Vec<u32> {
 }
 
 /// Per-epoch bookkeeping shared by all trainers: builds the convergence
-/// [`TracePoint`] and fires the config's telemetry observer with loss,
-/// timing, and heap statistics. One call per reported epoch.
+/// [`TracePoint`], fires the config's telemetry observer with loss,
+/// timing, and heap statistics, and — when a live telemetry consumer
+/// exists — advances a `train[<method>]` progress task so `/progress`
+/// reports rate and ETA for the epoch loop. One call per reported epoch.
 pub(crate) struct EpochLog {
     method: &'static str,
     epochs: usize,
     start: std::time::Instant,
     last_elapsed_s: f64,
+    progress: Option<kgtosa_obs::Progress>,
 }
 
 impl EpochLog {
     /// `start` is the trainer's epoch-loop start instant, so trace points
     /// keep the exact timing semantics trainers had before telemetry.
     pub fn new(method: &'static str, epochs: usize, start: std::time::Instant) -> Self {
-        EpochLog { method, epochs, start, last_elapsed_s: 0.0 }
+        let progress = kgtosa_obs::telemetry_active().then(|| {
+            kgtosa_obs::progress_task(&format!("train[{method}]"), Some(epochs as u64))
+        });
+        EpochLog { method, epochs, start, last_elapsed_s: 0.0, progress }
     }
 
     /// Records epoch `epoch` (1-based, matching `TracePoint.epoch`) with
     /// its mean loss and validation metric.
     pub fn epoch(&mut self, cfg: &TrainConfig, epoch: usize, loss: f64, metric: f64) -> TracePoint {
         let elapsed_s = self.start.elapsed().as_secs_f64();
+        if let Some(progress) = &self.progress {
+            progress.set_done(epoch as u64);
+        }
         if cfg.observer.enabled() {
             let mem = kgtosa_memtrack::snapshot();
             cfg.observer.on_epoch(&kgtosa_obs::EpochEvent {

@@ -15,6 +15,17 @@
 //! * **Training telemetry** — a [`TrainObserver`] hook threaded through
 //!   the model trainers' config so every epoch reports loss, wall time,
 //!   and heap without touching the math.
+//! * **Progress / ETA** — long phases register [`Progress`] tasks
+//!   (epochs, fetch pages, sampler roots); the snapshot derives
+//!   throughput and an ETA, and a background heartbeat periodically
+//!   flushes it into the trace so killed runs stay inspectable.
+//! * **Live serving** — an embedded std-only HTTP server
+//!   ([`serve_metrics`], `--metrics-addr` / `KGTOSA_METRICS_ADDR`)
+//!   exposes `/metrics` in Prometheus text format plus `/spans` and
+//!   `/progress` as JSON while a job runs.
+//! * **Regression diffing** — [`diff_trace_texts`] compares two JSONL
+//!   traces or `BENCH_*.json` reports per span on wall time, peak heap,
+//!   and allocations; `kgtosa trace-diff` and the CI gate sit on top.
 //! * **Sinks** — a machine-readable JSONL event stream (enabled with
 //!   `--trace-out` or `KGTOSA_TRACE=<path>`) and a human-readable stderr
 //!   summary tree ([`render_summary_tree`]).
@@ -23,18 +34,29 @@
 //! required. With no sink installed, a span costs two `Instant::now`
 //! calls, four atomic loads, and one registry update.
 
+mod diff;
 mod json;
+mod progress;
+mod prometheus;
 mod registry;
+mod serve;
 mod sink;
 mod span;
 mod summary;
 mod train;
 
+pub use diff::{diff_spans, diff_trace_texts, parse_trace_or_bench, DiffOptions, DiffReport, DiffRow};
 pub use json::Json;
+pub use progress::{
+    emit_heartbeat, progress_json, progress_snapshot, progress_task, reset_progress,
+    start_heartbeat, start_heartbeat_from_env, Progress, ProgressSnapshot,
+};
+pub use prometheus::render_prometheus;
 pub use registry::{
     counter, gauge, histogram, histogram_with_bounds, metrics_snapshot, reset_registry,
     span_stats, Counter, Gauge, Histogram, SpanStat,
 };
+pub use serve::{init_serve_from_env, serve_addr, serve_metrics};
 pub use sink::{
     emit_event, info_str, init_trace_from_env, init_trace_to, is_quiet, set_quiet, shutdown,
     trace_enabled,
@@ -42,6 +64,14 @@ pub use sink::{
 pub use span::{span, SpanGuard, SpanRecord};
 pub use summary::{render_summary_tree, render_trace_table, summarize_jsonl, SpanAgg};
 pub use train::{EpochEvent, Observer, TelemetryObserver, TrainObserver};
+
+/// Whether any live telemetry consumer exists — a JSONL trace sink or the
+/// embedded metrics server. Instrumentation sites with a non-trivial cost
+/// (e.g. computing subgraph quality indicators, registering progress
+/// tasks) gate on this so silent runs stay untouched.
+pub fn telemetry_active() -> bool {
+    trace_enabled() || serve_addr().is_some()
+}
 
 /// Opens a hierarchical span: `let _s = span!("extract.brw");`.
 ///

@@ -1,0 +1,284 @@
+//! Prometheus text exposition (format version 0.0.4) of the live
+//! registry: counters, gauges, histograms, per-span aggregates, and the
+//! progress tasks — what the embedded server returns on `/metrics`.
+//!
+//! Naming follows the Prometheus conventions: every family is prefixed
+//! `kgtosa_`, dots become underscores, counters end in `_total`, and
+//! histograms expose cumulative `_bucket{le="..."}` series plus `_sum`
+//! and `_count`.
+
+use std::fmt::Write as _;
+
+use crate::progress::progress_snapshot;
+use crate::registry;
+
+/// Maps an internal dotted metric name onto a Prometheus metric name.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' if i > 0 => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Escapes a label value (`\`, `"`, and newline per the exposition spec).
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an f64 the way Prometheus expects (`+Inf` / `-Inf` / `NaN`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders the entire registry + progress state in exposition format.
+pub fn render_prometheus() -> String {
+    let mut out = String::with_capacity(4096);
+
+    for (name, value) in registry::counter_values() {
+        let metric = format!("kgtosa_{}_total", sanitize_name(&name));
+        family(&mut out, &metric, "counter", "kgtosa counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+
+    for (name, value) in registry::gauge_values() {
+        let metric = format!("kgtosa_{}", sanitize_name(&name));
+        family(&mut out, &metric, "gauge", "kgtosa gauge");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+
+    for (name, hist) in registry::histogram_handles() {
+        let metric = format!("kgtosa_{}", sanitize_name(&name));
+        family(&mut out, &metric, "histogram", "kgtosa histogram");
+        let mut cumulative = 0u64;
+        for (edge, count) in hist.bucket_counts() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{{le=\"{}\"}} {cumulative}",
+                fmt_f64(edge)
+            );
+        }
+        let _ = writeln!(out, "{metric}_sum {}", fmt_f64(hist.sum()));
+        let _ = writeln!(out, "{metric}_count {}", hist.count());
+    }
+
+    let spans = registry::span_stats();
+    if !spans.is_empty() {
+        family(
+            &mut out,
+            "kgtosa_span_seconds_total",
+            "counter",
+            "Cumulative wall time per span",
+        );
+        for (name, stat) in &spans {
+            let _ = writeln!(
+                out,
+                "kgtosa_span_seconds_total{{span=\"{}\"}} {}",
+                escape_label(name),
+                fmt_f64(stat.total_s)
+            );
+        }
+        family(
+            &mut out,
+            "kgtosa_span_executions_total",
+            "counter",
+            "Completed executions per span",
+        );
+        for (name, stat) in &spans {
+            let _ = writeln!(
+                out,
+                "kgtosa_span_executions_total{{span=\"{}\"}} {}",
+                escape_label(name),
+                stat.count
+            );
+        }
+        family(
+            &mut out,
+            "kgtosa_span_peak_heap_delta_bytes",
+            "gauge",
+            "Largest single-execution peak-heap growth per span",
+        );
+        for (name, stat) in &spans {
+            let _ = writeln!(
+                out,
+                "kgtosa_span_peak_heap_delta_bytes{{span=\"{}\"}} {}",
+                escape_label(name),
+                stat.peak_delta_max
+            );
+        }
+        family(
+            &mut out,
+            "kgtosa_span_allocs_total",
+            "counter",
+            "Heap allocations per span",
+        );
+        for (name, stat) in &spans {
+            let _ = writeln!(
+                out,
+                "kgtosa_span_allocs_total{{span=\"{}\"}} {}",
+                escape_label(name),
+                stat.allocs
+            );
+        }
+    }
+
+    let progress = progress_snapshot();
+    if !progress.is_empty() {
+        family(
+            &mut out,
+            "kgtosa_progress_done",
+            "gauge",
+            "Completed units per progress task",
+        );
+        for task in &progress {
+            let _ = writeln!(
+                out,
+                "kgtosa_progress_done{{task=\"{}\"}} {}",
+                escape_label(&task.name),
+                task.done
+            );
+        }
+        family(
+            &mut out,
+            "kgtosa_progress_total",
+            "gauge",
+            "Declared total units per progress task (absent while unknown)",
+        );
+        for task in &progress {
+            if let Some(total) = task.total {
+                let _ = writeln!(
+                    out,
+                    "kgtosa_progress_total{{task=\"{}\"}} {total}",
+                    escape_label(&task.name)
+                );
+            }
+        }
+        family(
+            &mut out,
+            "kgtosa_progress_eta_seconds",
+            "gauge",
+            "Estimated seconds to completion per running task",
+        );
+        for task in &progress {
+            if let Some(eta) = task.eta_s {
+                let _ = writeln!(
+                    out,
+                    "kgtosa_progress_eta_seconds{{task=\"{}\"}} {}",
+                    escape_label(&task.name),
+                    fmt_f64(eta)
+                );
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(sanitize_name("rdf.fetch.pages"), "rdf_fetch_pages");
+        assert_eq!(sanitize_name("train.epoch_s"), "train_epoch_s");
+        assert_eq!(sanitize_name("9lives"), "_lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn counters_and_gauges_render_with_types() {
+        crate::counter("test.prom.counter").add(3);
+        crate::gauge("test.prom.gauge").set(-4);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE kgtosa_test_prom_counter_total counter"));
+        assert!(text.contains("kgtosa_test_prom_counter_total 3"));
+        assert!(text.contains("# TYPE kgtosa_test_prom_gauge gauge"));
+        assert!(text.contains("kgtosa_test_prom_gauge -4"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = crate::histogram_with_bounds("test.prom.hist", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE kgtosa_test_prom_hist histogram"), "{text}");
+        // Cumulative: le=1 → 1, le=2 → 2, le=4 → 3, le=+Inf → 4.
+        assert!(text.contains("kgtosa_test_prom_hist_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("kgtosa_test_prom_hist_bucket{le=\"2\"} 2"), "{text}");
+        assert!(text.contains("kgtosa_test_prom_hist_bucket{le=\"4\"} 3"), "{text}");
+        assert!(text.contains("kgtosa_test_prom_hist_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("kgtosa_test_prom_hist_sum 105"), "{text}");
+        assert!(text.contains("kgtosa_test_prom_hist_count 4"), "{text}");
+    }
+
+    #[test]
+    fn spans_render_as_labelled_series() {
+        crate::span("test_prom_span").finish();
+        let text = render_prometheus();
+        assert!(
+            text.contains("kgtosa_span_executions_total{span=\"test_prom_span\"}"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE kgtosa_span_seconds_total counter"));
+    }
+
+    #[test]
+    fn progress_tasks_render() {
+        let p = crate::progress_task("test.prom.progress", Some(10));
+        p.advance(4);
+        let text = render_prometheus();
+        assert!(
+            text.contains("kgtosa_progress_done{task=\"test.prom.progress\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("kgtosa_progress_total{task=\"test.prom.progress\"} 10"),
+            "{text}"
+        );
+    }
+}

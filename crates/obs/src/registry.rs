@@ -238,6 +238,45 @@ pub(crate) fn record_span(name: &str, wall_s: f64, peak_delta: usize, allocs: u6
     stat.allocs += allocs;
 }
 
+/// All counters as `(name, value)`, sorted by name (Prometheus renderer).
+pub(crate) fn counter_values() -> Vec<(String, u64)> {
+    let mut rows: Vec<_> = registry()
+        .counters
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.get()))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// All gauges as `(name, value)`, sorted by name.
+pub(crate) fn gauge_values() -> Vec<(String, i64)> {
+    let mut rows: Vec<_> = registry()
+        .gauges
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.get()))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// All histogram handles, sorted by name.
+pub(crate) fn histogram_handles() -> Vec<(String, Arc<Histogram>)> {
+    let mut rows: Vec<_> = registry()
+        .histograms
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), Arc::clone(v)))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
 /// All span aggregates, sorted by name for stable output.
 pub fn span_stats() -> Vec<(String, SpanStat)> {
     let mut rows: Vec<_> = registry()

@@ -1,0 +1,220 @@
+//! Embedded metrics HTTP server (std-only, no framework).
+//!
+//! `serve_metrics("127.0.0.1:9464")` binds a listener and answers on a
+//! background thread:
+//!
+//! * `GET /metrics`  — the live registry in Prometheus text exposition
+//!   format ([`crate::render_prometheus`]),
+//! * `GET /spans`    — per-span aggregates as JSON,
+//! * `GET /progress` — progress tasks with rate and ETA as JSON,
+//! * `GET /`         — a plain-text index of the routes.
+//!
+//! The server exists for *introspection of long runs* (scrape cadence:
+//! seconds), so one accept loop handling requests sequentially is the
+//! right weight — there is no worker pool to interfere with the
+//! deterministic kernels being measured.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::progress::progress_json;
+use crate::prometheus::render_prometheus;
+use crate::registry;
+
+static BOUND: OnceLock<SocketAddr> = OnceLock::new();
+
+/// Where the metrics server is listening, if it was started.
+pub fn serve_addr() -> Option<SocketAddr> {
+    BOUND.get().copied()
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9464`; port `0` picks a free port) and
+/// serves metrics on a detached background thread. Returns the bound
+/// address. Idempotent: a second call returns the first server's address.
+pub fn serve_metrics(addr: &str) -> std::io::Result<SocketAddr> {
+    if let Some(existing) = serve_addr() {
+        return Ok(existing);
+    }
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let _ = BOUND.set(local);
+    std::thread::Builder::new()
+        .name("kgtosa-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let _ = handle_connection(stream);
+            }
+        })?;
+    Ok(local)
+}
+
+/// Starts the server from `KGTOSA_METRICS_ADDR` when set and non-empty.
+/// Bind failures are reported on stderr, not fatal: a long job should not
+/// die because its observer port is taken.
+pub fn init_serve_from_env() -> Option<SocketAddr> {
+    match std::env::var("KGTOSA_METRICS_ADDR") {
+        Ok(addr) if !addr.is_empty() => match serve_metrics(&addr) {
+            Ok(local) => {
+                crate::info!("metrics server listening on http://{local}/metrics");
+                Some(local)
+            }
+            Err(e) => {
+                eprintln!("kgtosa-obs: cannot bind KGTOSA_METRICS_ADDR={addr}: {e}");
+                None
+            }
+        },
+        _ => None,
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the end of the request head (or a small cap — GET only).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+    // Strip any query string.
+    let path = path.split('?').next().unwrap_or("/");
+
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
+    }
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &render_prometheus(),
+        ),
+        "/spans" => respond(&mut stream, 200, "application/json", &spans_json().to_string()),
+        "/progress" => respond(&mut stream, 200, "application/json", &progress_json().to_string()),
+        "/" | "/healthz" => respond(
+            &mut stream,
+            200,
+            "text/plain; charset=utf-8",
+            "kgtosa metrics server\nroutes: /metrics /spans /progress\n",
+        ),
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The `/spans` payload: `{"spans": {<name>: {...}}}` mirroring the final
+/// `metrics` trace event's span section.
+fn spans_json() -> Json {
+    let spans: Vec<(String, Json)> = registry::span_stats()
+        .into_iter()
+        .map(|(name, s)| {
+            (
+                name,
+                Json::Obj(vec![
+                    ("count".into(), Json::Num(s.count as f64)),
+                    ("total_s".into(), Json::Num(s.total_s)),
+                    ("max_s".into(), Json::Num(s.max_s)),
+                    ("peak_delta_max".into(), Json::Num(s.peak_delta_max as f64)),
+                    ("allocs".into(), Json::Num(s.allocs as f64)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![("spans".into(), Json::Obj(spans))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let content_type = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Type: "))
+            .unwrap_or("")
+            .to_string();
+        (status, content_type, body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_spans_progress() {
+        crate::counter("test.serve.hits").add(2);
+        let p = crate::progress_task("test.serve.task", Some(5));
+        p.advance(1);
+        crate::span("test_serve_span").finish();
+        let addr = serve_metrics("127.0.0.1:0").expect("bind loopback");
+        // Idempotent: second start returns the same address.
+        assert_eq!(serve_metrics("127.0.0.1:0").unwrap(), addr);
+        assert_eq!(serve_addr(), Some(addr));
+
+        let (status, ctype, body) = http_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(ctype.contains("version=0.0.4"), "{ctype}");
+        assert!(body.contains("kgtosa_test_serve_hits_total 2"), "{body}");
+        assert!(body.contains("# TYPE kgtosa_test_serve_hits_total counter"));
+
+        let (status, ctype, body) = http_get(addr, "/spans");
+        assert_eq!(status, 200);
+        assert!(ctype.contains("application/json"));
+        let json = Json::parse(&body).expect("spans is valid JSON");
+        assert!(json.get("spans").unwrap().get("test_serve_span").is_some());
+
+        let (status, _, body) = http_get(addr, "/progress");
+        assert_eq!(status, 200);
+        let json = Json::parse(&body).expect("progress is valid JSON");
+        let tasks = match json.get("tasks") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("expected tasks array, got {other:?}"),
+        };
+        assert!(tasks
+            .iter()
+            .any(|t| t.get("name").and_then(Json::as_str) == Some("test.serve.task")));
+
+        let (status, _, _) = http_get(addr, "/nope");
+        assert_eq!(status, 404);
+        let (status, _, body) = http_get(addr, "/");
+        assert_eq!(status, 200);
+        assert!(body.contains("/metrics"));
+    }
+}

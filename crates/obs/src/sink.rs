@@ -11,6 +11,8 @@
 //! | `span` | `name`, `wall_s`, `live_bytes`, `peak_delta_bytes`, `allocs` |
 //! | `train.epoch` | `method`, `epoch`, `epochs`, `loss`, `metric`, `elapsed_s`, `epoch_s`, `live_bytes`, `peak_bytes`, `allocs` |
 //! | `log` | `msg` |
+//! | `heartbeat` | `active_tasks`, `progress` (periodic snapshot + flush, written by the background flusher so interrupted runs keep a usable trace) |
+//! | `extract.quality` | `method`, the Table III quality indicators of the finished extraction |
 //! | `metrics` | `counters`, `gauges`, `histograms`, `spans` (final snapshot, written by [`shutdown`]) |
 
 use std::fs::File;
@@ -36,13 +38,24 @@ fn trace_epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Installs a JSONL trace stream writing to `path` (truncates).
+/// Installs a JSONL trace stream writing to `path` (truncates), and arms
+/// the heartbeat flusher (`KGTOSA_HEARTBEAT_MS`, default 1 s) so the
+/// stream reaches disk periodically even if the process never exits
+/// cleanly.
 pub fn init_trace_to(path: &str) -> std::io::Result<()> {
     let file = File::create(path)?;
     trace_epoch(); // pin t=0 at install time
     *trace_writer().lock().unwrap() = Some(BufWriter::new(file));
     TRACE_ON.store(true, Ordering::Release);
+    crate::progress::start_heartbeat_from_env();
     Ok(())
+}
+
+/// Flushes the trace stream to disk (heartbeat ticks call this).
+pub(crate) fn flush_trace() {
+    if let Some(w) = trace_writer().lock().unwrap().as_mut() {
+        let _ = w.flush();
+    }
 }
 
 /// Installs a trace stream from `KGTOSA_TRACE=<path>` if set and
@@ -133,9 +146,11 @@ pub fn info_str(msg: &str) {
     emit_event("log", vec![("msg".into(), Json::Str(msg.to_string()))]);
 }
 
-/// Writes the final `metrics` snapshot and flushes the stream. Safe to
-/// call multiple times or with tracing disabled.
+/// Writes the final `metrics` snapshot, stops the heartbeat thread, and
+/// flushes the stream. Safe to call multiple times or with tracing
+/// disabled.
 pub fn shutdown() {
+    crate::progress::stop_heartbeat();
     if trace_enabled() {
         let snapshot = registry::metrics_snapshot();
         let fields = match snapshot {

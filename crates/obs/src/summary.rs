@@ -22,7 +22,10 @@ pub struct SpanAgg {
 /// Parses a JSONL trace and aggregates `span` and `train.epoch` events
 /// per name. Epoch events aggregate as `train.epoch[<method>]` with the
 /// per-epoch wall time as their duration. Blank lines are skipped;
-/// malformed lines are an error (the stream is machine-generated).
+/// malformed lines are an error (the stream is machine-generated) —
+/// except on the *final* line, where a parse failure is treated as a
+/// crash- or kill-truncated write and the line is dropped, so traces of
+/// interrupted runs stay summarizable up to the last complete event.
 pub fn summarize_jsonl(text: &str) -> Result<Vec<SpanAgg>, String> {
     struct Acc {
         durations: Vec<f64>,
@@ -39,12 +42,17 @@ pub fn summarize_jsonl(text: &str) -> Result<Vec<SpanAgg>, String> {
         }
     }
 
+    let line_count = text.lines().count();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let event =
-            Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let event = match Json::parse(line) {
+            Ok(event) => event,
+            // Tolerate a truncated final line (interrupted mid-write).
+            Err(_) if lineno + 1 == line_count => continue,
+            Err(e) => return Err(format!("line {}: {e}", lineno + 1)),
+        };
         let kind = event
             .get("ev")
             .and_then(Json::as_str)
@@ -208,9 +216,24 @@ mod tests {
     }
 
     #[test]
-    fn malformed_line_is_an_error() {
-        assert!(summarize_jsonl("{\"ev\":\"span\"").is_err());
+    fn malformed_interior_line_is_an_error() {
+        // A broken line with complete events after it is corruption, not
+        // truncation: the whole file is rejected.
+        let text = format!("{{\"ev\":\"span\"\n{TRACE}");
+        assert!(summarize_jsonl(&text).is_err());
+        // Well-formed JSON missing the schema's `ev` is an error anywhere.
         assert!(summarize_jsonl("{\"t\":1}").is_err());
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated() {
+        // Simulate a kill -9 mid-write: the last line is cut off.
+        let full = format!("{TRACE}{{\"ev\":\"span\",\"t\":0.9,\"name\":\"pipeline.tra");
+        let rows = summarize_jsonl(&full).expect("truncated tail is dropped");
+        let transform = rows.iter().find(|r| r.name == "pipeline.transform").unwrap();
+        assert_eq!(transform.count, 2, "complete events before the cut survive");
+        // A file that is nothing but one truncated line yields no rows.
+        assert!(summarize_jsonl("{\"ev\":\"span\"").unwrap().is_empty());
     }
 
     #[test]

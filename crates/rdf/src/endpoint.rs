@@ -150,9 +150,17 @@ pub fn fetch_triples<E: SparqlEndpoint>(
     cfg: &FetchConfig,
 ) -> Result<Vec<Triple>, RdfError> {
     let _guard = kgtosa_obs::span!("rdf.fetch");
+    // Live progress: one unit per subquery (page counts are unknown until
+    // each handler exhausts its pagination).
+    let progress = kgtosa_obs::telemetry_active()
+        .then(|| kgtosa_obs::progress_task("rdf.fetch", Some(subqueries.len() as u64)));
     let per_subquery = Pool::new(cfg.threads).par_map_collect("rdf.fetch", subqueries, |_, q| {
         let mut local: Vec<Triple> = Vec::new();
-        page_subquery(endpoint, store, q, triple_vars, cfg, &mut local).map(|()| local)
+        let result = page_subquery(endpoint, store, q, triple_vars, cfg, &mut local).map(|()| local);
+        if let Some(progress) = &progress {
+            progress.advance(1);
+        }
+        result
     });
     let mut triples = Vec::new();
     for result in per_subquery {

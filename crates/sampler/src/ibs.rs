@@ -53,16 +53,23 @@ pub struct Partition {
 pub fn ibs_partitions(g: &HeteroGraph, targets: &[Vid], cfg: &IbsConfig) -> Vec<Partition> {
     let _span = kgtosa_obs::span!("sample.ibs");
     kgtosa_obs::counter("sample.ibs.ppr_runs").add(targets.len() as u64);
+    // Live rate/ETA over completed per-target PPR runs.
+    let progress = kgtosa_obs::telemetry_active()
+        .then(|| kgtosa_obs::progress_task("sample.ibs", Some(targets.len() as u64)));
     // Lines 2-3: per-target influence scores → top-k pairs, in parallel.
     // Per-target runs are independent, so the shared pool's dynamically
     // scheduled, order-restoring map keeps the result deterministic.
     let per_target: Vec<Vec<Vid>> =
         Pool::new(cfg.threads).par_map_collect("sampler.ibs", targets, |_, &target| {
             let scores = approximate_ppr(g, target, &cfg.ppr);
-            top_k(&scores, target, cfg.k)
+            let selected: Vec<Vid> = top_k(&scores, target, cfg.k)
                 .into_iter()
                 .map(|(v, _)| v)
-                .collect()
+                .collect();
+            if let Some(progress) = &progress {
+                progress.advance(1);
+            }
+            selected
         });
 
     // Line 4: group bs targets per partition.
