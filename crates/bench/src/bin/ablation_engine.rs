@@ -50,7 +50,7 @@ fn main() {
             &store,
             &queries,
             (&vars.0, &vars.1, &vars.2),
-            &FetchConfig { batch_size: bs, threads: 2 },
+            &FetchConfig { batch_size: bs, threads: 2, ..FetchConfig::default() },
         )
         .unwrap();
         let secs = start.elapsed().as_secs_f64();
@@ -80,7 +80,7 @@ fn main() {
             &store,
             &queries,
             (&vars.0, &vars.1, &vars.2),
-            &FetchConfig { batch_size: 4096, threads },
+            &FetchConfig { batch_size: 4096, threads, ..FetchConfig::default() },
         )
         .unwrap();
         let secs = start.elapsed().as_secs_f64();

@@ -1,0 +1,148 @@
+//! Chaos scenario — SPARQL-based extraction under injected endpoint
+//! faults, quantifying what the fault-tolerance layer costs and proving
+//! what it guarantees:
+//!
+//! 1. **baseline** — fault-free extraction.
+//! 2. **transient+retry** — every request fails up to `burst` times before
+//!    succeeding; the retry layer must absorb all of it and produce a
+//!    subgraph *bit-identical* to the baseline (asserted).
+//! 3. **fatal+partial** — a fraction of requests fail permanently; partial
+//!    mode degrades to an incomplete subgraph with an explicit
+//!    completeness fraction instead of aborting.
+//!
+//! Prints a per-regime table (seconds, retries, completeness) and writes
+//! `results/chaos.json`.
+
+use kgtosa_bench::{measure, save_json, Env};
+use kgtosa_core::{extract_sparql, ExtractionResult, GraphPattern};
+use kgtosa_rdf::{FaultPlan, FetchConfig, FetchMode, RdfStore, RetryPolicy};
+use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: kgtosa_memtrack::TrackingAllocator = kgtosa_memtrack::TrackingAllocator;
+
+#[derive(Debug, Clone, Serialize)]
+struct ChaosRow {
+    regime: String,
+    seconds: f64,
+    triples: usize,
+    requests: usize,
+    completeness: f64,
+    retries: u64,
+    giveups: u64,
+    faults_injected: u64,
+}
+
+/// Cumulative fault-layer counters (diffed around each run).
+fn counters() -> (u64, u64, u64) {
+    (
+        kgtosa_obs::counter("rdf.retries").get(),
+        kgtosa_obs::counter("rdf.giveups").get(),
+        kgtosa_obs::counter("rdf.faults").get(),
+    )
+}
+
+fn main() {
+    let env = Env::from_env();
+    println!(
+        "Chaos — KG-TOSA_d2h1 extraction on PV/MAG under injected endpoint faults (scale {})",
+        env.scale
+    );
+
+    let dataset = kgtosa_datagen::mag(env.scale, env.seed);
+    let task = &dataset.nc[0];
+    let ext_task = kgtosa_bench::nc_extraction_task(task);
+    let store = RdfStore::new(&dataset.gen.kg);
+    let pattern = GraphPattern::D2H1;
+    // Small pages so the fault schedule has many requests to hit even at
+    // bench scales.
+    let base_fetch = FetchConfig { batch_size: 256, ..Default::default() };
+
+    let mut rows: Vec<ChaosRow> = Vec::new();
+    let mut run = |regime: &str, fetch: &FetchConfig| -> ExtractionResult {
+        let before = counters();
+        let (res, seconds, _) = measure(|| {
+            extract_sparql(&store, &ext_task, &pattern, fetch)
+                .unwrap_or_else(|e| panic!("{regime} extraction failed: {e}"))
+        });
+        let after = counters();
+        rows.push(ChaosRow {
+            regime: regime.to_string(),
+            seconds,
+            triples: res.report.triples,
+            requests: res.report.requests,
+            completeness: res.report.completeness,
+            retries: after.0 - before.0,
+            giveups: after.1 - before.1,
+            faults_injected: after.2 - before.2,
+        });
+        res
+    };
+
+    let clean = run("baseline", &base_fetch);
+
+    let transient = run(
+        "transient+retry",
+        &FetchConfig {
+            fault: Some(FaultPlan {
+                seed: env.seed,
+                fault_rate: 1.0,
+                max_burst: 2,
+                ..Default::default()
+            }),
+            retry: Some(RetryPolicy { jitter_seed: env.seed, ..Default::default() }),
+            ..base_fetch.clone()
+        },
+    );
+    assert_eq!(
+        transient.subgraph.kg.triples(),
+        clean.subgraph.kg.triples(),
+        "transient faults below the retry budget must not change the extraction"
+    );
+    assert_eq!(transient.report.completeness, 1.0);
+
+    let partial = run(
+        "fatal+partial",
+        &FetchConfig {
+            fault: Some(FaultPlan {
+                seed: env.seed,
+                fault_rate: 0.3,
+                fatal_rate: 0.3,
+                ..Default::default()
+            }),
+            retry: Some(RetryPolicy { jitter_seed: env.seed, ..Default::default() }),
+            mode: FetchMode::Partial,
+            ..base_fetch
+        },
+    );
+    assert!(
+        partial.report.triples <= clean.report.triples,
+        "a degraded extraction cannot contain more than the full one"
+    );
+
+    println!(
+        "\n{:<16} {:>9} {:>9} {:>9} {:>13} {:>8} {:>8} {:>8}",
+        "regime", "secs", "triples", "requests", "completeness", "faults", "retries", "giveups"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>9.3} {:>9} {:>9} {:>12.1}% {:>8} {:>8} {:>8}",
+            r.regime,
+            r.seconds,
+            r.triples,
+            r.requests,
+            100.0 * r.completeness,
+            r.faults_injected,
+            r.retries,
+            r.giveups
+        );
+    }
+    let overhead = if rows[0].seconds > 0.0 {
+        100.0 * (rows[1].seconds - rows[0].seconds) / rows[0].seconds
+    } else {
+        0.0
+    };
+    println!("\nretry-layer overhead under 100% transient fault rate: {overhead:+.1}%");
+
+    save_json("chaos", &rows);
+}

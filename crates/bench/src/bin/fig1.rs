@@ -66,6 +66,7 @@ fn handcrafted_ogbn_mag(
             sampled_nodes,
             triples: triples_count,
             requests: 0,
+            completeness: 1.0,
         },
     }
 }

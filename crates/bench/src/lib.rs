@@ -50,7 +50,10 @@ impl Env {
     /// the JSONL trace sink when `KGTOSA_TRACE` names a file and the live
     /// metrics endpoint when `KGTOSA_METRICS_ADDR` names an address, so
     /// every bench binary can be traced and scraped without code changes.
+    /// A panic hook flushes the trace on crash, so a failed bench run
+    /// still leaves an inspectable JSONL file behind.
     pub fn from_env() -> Self {
+        kgtosa_obs::install_panic_hook();
         kgtosa_obs::init_trace_from_env();
         kgtosa_obs::init_serve_from_env();
         let get = |k: &str, d: f64| -> f64 {
@@ -86,6 +89,7 @@ impl Env {
             negatives: 4,
             margin: 2.0,
             observer,
+            checkpoint: None,
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
 use std::time::Instant;
 
 use kgtosa_core::{
@@ -13,10 +14,13 @@ use kgtosa_datagen::Dataset;
 use kgtosa_kg::{HeteroGraph, KnowledgeGraph, Vid};
 use kgtosa_models::{
     train_graphsaint_nc, train_lhgnn_lp, train_morse_lp, train_rgcn_lp, train_rgcn_nc,
-    train_sehgnn_nc, train_shadowsaint_nc, LpDataset, NcDataset, SaintSampler, TrainConfig,
-    TrainReport,
+    train_sehgnn_nc, train_shadowsaint_nc, CheckpointConfig, LpDataset, NcDataset, SaintSampler,
+    TrainConfig, TrainReport,
 };
-use kgtosa_rdf::{read_ntriples, write_ntriples, FetchConfig, RdfStore, SparqlEngine};
+use kgtosa_rdf::{
+    read_ntriples, write_ntriples, FaultPlan, FetchConfig, FetchMode, RdfStore, RetryPolicy,
+    SparqlEngine,
+};
 use kgtosa_sampler::{IbsConfig, WalkConfig};
 
 use crate::args::Args;
@@ -56,6 +60,47 @@ fn dataset_by_name(name: &str, scale: f64, seed: u64) -> Result<Dataset, String>
             "unknown dataset {other:?} (expected mag|yago30|dblp|wikikg2|yago3-10)"
         )),
     }
+}
+
+/// `--checkpoint-dir DIR`, the root under which both fetch page
+/// checkpoints and training epoch checkpoints are kept.
+fn checkpoint_dir(args: &Args) -> Option<PathBuf> {
+    args.options.get("checkpoint-dir").map(PathBuf::from)
+}
+
+/// Builds the fetch-layer fault-tolerance config from the CLI flags:
+/// `--fault-spec` (deterministic fault injection), `--retry` (backoff
+/// policy), `--partial` (degrade instead of aborting), plus an optional
+/// page-checkpoint file so an interrupted extraction resumes.
+fn fetch_config(args: &Args, checkpoint: Option<PathBuf>) -> Result<FetchConfig, String> {
+    let mut cfg = FetchConfig::default();
+    if let Some(spec) = args.options.get("fault-spec") {
+        cfg.fault = Some(FaultPlan::parse(spec).map_err(|e| format!("--fault-spec: {e}"))?);
+    }
+    if let Some(spec) = args.options.get("retry") {
+        cfg.retry = Some(RetryPolicy::parse(spec).map_err(|e| format!("--retry: {e}"))?);
+    }
+    if args.flag("partial") {
+        cfg.mode = FetchMode::Partial;
+    }
+    cfg.checkpoint = checkpoint;
+    Ok(cfg)
+}
+
+/// Epoch checkpointing for one training run. `run` names a subdirectory
+/// (`fg`, `tosg-d1h1`, …) so the FG and TOSG runs of a single
+/// `train`/`compare` invocation keep separate snapshots.
+fn train_checkpoint(args: &Args, run: &str) -> Result<Option<CheckpointConfig>, String> {
+    let Some(dir) = checkpoint_dir(args) else {
+        return Ok(None);
+    };
+    let interval = args.parse_or("checkpoint-interval", 1usize)?;
+    if interval == 0 {
+        return Err("--checkpoint-interval must be >= 1".into());
+    }
+    let mut cfg = CheckpointConfig::new(dir.join(run));
+    cfg.interval = interval;
+    Ok(Some(cfg))
 }
 
 fn pattern_by_name(name: &str) -> Result<GraphPattern, String> {
@@ -178,8 +223,8 @@ pub fn extract(args: &Args) -> Result<(), String> {
         "sparql" => {
             let pattern = pattern_by_name(args.get_or("pattern", "d1h1"))?;
             let store = RdfStore::new(&kg);
-            extract_sparql(&store, &task, &pattern, &FetchConfig::default())
-                .map_err(|e| e.to_string())?
+            let fetch = fetch_config(args, checkpoint_dir(args).map(|d| d.join("fetch.ckpt")))?;
+            extract_sparql(&store, &task, &pattern, &fetch).map_err(|e| e.to_string())?
         }
         "brw" => {
             let g = HeteroGraph::build(&kg);
@@ -222,6 +267,12 @@ pub fn extract(args: &Args) -> Result<(), String> {
         result.report.seconds,
         100.0 * result.report.triples as f64 / kg.num_triples().max(1) as f64
     );
+    if result.report.completeness < 1.0 {
+        println!(
+            "WARNING: partial extraction — {:.1}% of planned fetch pages retrieved",
+            100.0 * result.report.completeness
+        );
+    }
     save_kg(&result.subgraph.kg, out)?;
     kgtosa_obs::info!("wrote {out}");
     Ok(())
@@ -306,7 +357,8 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
 
     // NC task?
     if let Some(task) = d.nc.iter().find(|t| t.name == task_name) {
-        let run_nc = |kg: &KnowledgeGraph,
+        let run_nc = |cfg: &TrainConfig,
+                      kg: &KnowledgeGraph,
                       labels: &[u32],
                       train: &[Vid],
                       valid: &[Vid],
@@ -323,16 +375,18 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
                 test,
             };
             Ok(match method {
-                "rgcn" => train_rgcn_nc(&data, &cfg),
-                "graphsaint" => train_graphsaint_nc(&data, &cfg, SaintSampler::Uniform),
-                "graphsaint-brw" => train_graphsaint_nc(&data, &cfg, SaintSampler::Biased),
-                "shadowsaint" => train_shadowsaint_nc(&data, &cfg),
-                "sehgnn" => train_sehgnn_nc(&data, &cfg),
+                "rgcn" => train_rgcn_nc(&data, cfg),
+                "graphsaint" => train_graphsaint_nc(&data, cfg, SaintSampler::Uniform),
+                "graphsaint-brw" => train_graphsaint_nc(&data, cfg, SaintSampler::Biased),
+                "shadowsaint" => train_shadowsaint_nc(&data, cfg),
+                "sehgnn" => train_sehgnn_nc(&data, cfg),
                 other => return Err(format!("{other:?} is not an NC method")),
             })
         };
         if compare || !args.options.contains_key("tosg") {
-            let r = run_nc(&d.gen.kg, &task.labels, &task.train, &task.valid, &task.test)?;
+            let fg_cfg = TrainConfig { checkpoint: train_checkpoint(args, "fg")?, ..cfg.clone() };
+            let r =
+                run_nc(&fg_cfg, &d.gen.kg, &task.labels, &task.train, &task.valid, &task.test)?;
             print_report("FG", &r);
         }
         if compare || args.options.contains_key("tosg") {
@@ -343,8 +397,12 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
                 &task.target_class,
                 task.targets(),
             );
-            let tosg = extract_sparql(&store, &ext, &pattern, &FetchConfig::default())
-                .map_err(|e| e.to_string())?;
+            let fetch = fetch_config(
+                args,
+                checkpoint_dir(args)
+                    .map(|dir| dir.join(format!("tosg-{}.fetch.ckpt", pattern.label()))),
+            )?;
+            let tosg = extract_sparql(&store, &ext, &pattern, &fetch).map_err(|e| e.to_string())?;
             let sub = &tosg.subgraph;
             let mut labels = vec![u32::MAX; sub.kg.num_nodes()];
             for v in 0..sub.kg.num_nodes() as u32 {
@@ -353,7 +411,12 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
             let map = |ns: &[Vid]| -> Vec<Vid> {
                 ns.iter().filter_map(|&v| sub.map_down(v)).collect()
             };
+            let tosg_cfg = TrainConfig {
+                checkpoint: train_checkpoint(args, &format!("tosg-{}", pattern.label()))?,
+                ..cfg.clone()
+            };
             let r = run_nc(
+                &tosg_cfg,
                 &sub.kg,
                 &labels,
                 &map(&task.train),
@@ -367,7 +430,8 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
 
     // LP task?
     if let Some(task) = d.lp.iter().find(|t| t.name == task_name) {
-        let run_lp = |kg: &KnowledgeGraph,
+        let run_lp = |cfg: &TrainConfig,
+                      kg: &KnowledgeGraph,
                       train: &[kgtosa_kg::Triple],
                       valid: &[kgtosa_kg::Triple],
                       test: &[kgtosa_kg::Triple]|
@@ -375,14 +439,15 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
             let (graph, _) = transform(kg);
             let data = LpDataset { kg, graph: &graph, train, valid, test };
             Ok(match method {
-                "rgcn" | "rgcn-lp" => train_rgcn_lp(&data, &cfg),
-                "morse" => train_morse_lp(&data, &cfg),
-                "lhgnn" => train_lhgnn_lp(&data, &cfg),
+                "rgcn" | "rgcn-lp" => train_rgcn_lp(&data, cfg),
+                "morse" => train_morse_lp(&data, cfg),
+                "lhgnn" => train_lhgnn_lp(&data, cfg),
                 other => return Err(format!("{other:?} is not an LP method")),
             })
         };
         if compare || !args.options.contains_key("tosg") {
-            let r = run_lp(&d.gen.kg, &task.train, &task.valid, &task.test)?;
+            let fg_cfg = TrainConfig { checkpoint: train_checkpoint(args, "fg")?, ..cfg.clone() };
+            let r = run_lp(&fg_cfg, &d.gen.kg, &task.train, &task.valid, &task.test)?;
             print_report("FG", &r);
         }
         if compare || args.options.contains_key("tosg") {
@@ -394,8 +459,12 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
                 task.target_nodes(&d.gen),
                 &task.predicate,
             );
-            let tosg = extract_sparql(&store, &ext, &pattern, &FetchConfig::default())
-                .map_err(|e| e.to_string())?;
+            let fetch = fetch_config(
+                args,
+                checkpoint_dir(args)
+                    .map(|dir| dir.join(format!("tosg-{}.fetch.ckpt", pattern.label()))),
+            )?;
+            let tosg = extract_sparql(&store, &ext, &pattern, &fetch).map_err(|e| e.to_string())?;
             let sub = &tosg.subgraph;
             let remap = |ts: &[kgtosa_kg::Triple]| -> Vec<kgtosa_kg::Triple> {
                 ts.iter()
@@ -408,7 +477,17 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
                     })
                     .collect()
             };
-            let r = run_lp(&sub.kg, &remap(&task.train), &remap(&task.valid), &remap(&task.test))?;
+            let tosg_cfg = TrainConfig {
+                checkpoint: train_checkpoint(args, &format!("tosg-{}", pattern.label()))?,
+                ..cfg.clone()
+            };
+            let r = run_lp(
+                &tosg_cfg,
+                &sub.kg,
+                &remap(&task.train),
+                &remap(&task.valid),
+                &remap(&task.test),
+            )?;
             print_report(&format!("KG'({})", pattern.label()), &r);
         }
         return Ok(());

@@ -36,6 +36,7 @@ COMMANDS:
                --kg FILE --target-class CLASS --out FILE
                [--method sparql|brw|ibs|metapath] [--pattern d1h1|d2h1|d1h2|d2h2]
                [--walk-length 3] [--roots 2000] [--top-k 16] [--seed 7]
+               (sparql method also honours the fault-tolerance options)
   train      Train a GNN method on a generated benchmark task
                --dataset NAME --task NAME --method rgcn|graphsaint|shadowsaint|sehgnn|rgcn-lp|morse|lhgnn
                [--tosg d1h1] [--scale 0.1] [--epochs 15] [--dim 16] [--seed 7]
@@ -63,9 +64,32 @@ GLOBAL OPTIONS (any command):
                      Results are bit-identical at any thread count.
   --quiet            Silence progress chatter on stderr (result lines on
                      stdout are unaffected)
+
+FAULT TOLERANCE (extract with --method sparql; train/compare TOSG runs):
+  --fault-spec SPEC  Inject a deterministic endpoint fault schedule, e.g.
+                     'seed=7,rate=0.3,burst=2' (keys: seed, rate, burst,
+                     fatal-rate, latency-rate, latency-us)
+  --retry SPEC       Retry transient endpoint failures with seeded-jitter
+                     exponential backoff, e.g. 'attempts=5,base-us=200'
+                     (keys: attempts, base-us, max-us, seed,
+                     request-deadline-ms, fetch-deadline-ms)
+  --partial          Degrade to a partial subgraph (with a reported
+                     completeness fraction) instead of aborting when a
+                     page permanently fails
+  --checkpoint-dir DIR
+                     Persist fetch page checkpoints and per-epoch training
+                     snapshots under DIR; re-running the same command
+                     resumes both. train/compare keep per-run
+                     subdirectories (fg/, tosg-<pattern>/)
+  --checkpoint-interval N
+                     Save a training snapshot every N epochs (default 1)
 ";
 
 fn main() {
+    // Crash-path telemetry: a panic emits a final `panic` event (message,
+    // location, live span stack) and flushes the JSONL trace before the
+    // default hook prints its backtrace.
+    kgtosa_obs::install_panic_hook();
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {

@@ -220,6 +220,109 @@ fn trace_diff_identical_passes_and_regression_fails() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 }
 
+/// The `metric X.XXXX` token from a train run's stdout — the part of the
+/// output that must be invariant across fault regimes (wall times are not).
+fn metric_of(stdout: &str) -> String {
+    stdout
+        .split_whitespace()
+        .skip_while(|w| *w != "metric")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no metric in output: {stdout}"))
+        .to_string()
+}
+
+/// Does the trace record a strictly positive value for `counter`?
+fn trace_counter_positive(trace_text: &str, counter: &str) -> bool {
+    let needle = format!("\"{counter}\":");
+    trace_text.find(&needle).is_some_and(|i| {
+        trace_text[i + needle.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() && c != '0')
+    })
+}
+
+#[test]
+fn chaos_train_with_retry_matches_fault_free_metric() {
+    let trace = tmp("chaos-trace.jsonl");
+    let run = |extra: &[&str]| {
+        let out = kgtosa()
+            .args([
+                "train", "--dataset", "dblp", "--task", "PV/DBLP",
+                "--method", "rgcn", "--scale", "0.02", "--epochs", "2",
+                "--tosg", "d1h1", "--quiet",
+            ])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+
+    let clean = run(&[]);
+    // Every request fails twice before succeeding; the retry budget (5)
+    // absorbs all of it, so training must see an identical ToSG.
+    let faulted = run(&[
+        "--fault-spec", "seed=11,rate=1.0,burst=2",
+        "--retry", "attempts=5,base-us=50",
+        "--trace-out", trace.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        metric_of(&clean),
+        metric_of(&faulted),
+        "transient faults below the retry budget must not change the metric"
+    );
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        trace_counter_positive(&text, "rdf.retries"),
+        "the trace must record the retries the run survived:\n{text}"
+    );
+    assert!(
+        !trace_counter_positive(&text, "rdf.giveups"),
+        "no request may exhaust the retry budget:\n{text}"
+    );
+}
+
+#[test]
+fn checkpointed_rerun_resumes_and_reproduces_the_metric() {
+    let dir = tmp("resume-ckpt");
+    let _ = std::fs::remove_dir_all(&dir); // fresh run, not a stale resume
+    let trace = tmp("resume-trace.jsonl");
+    let run = |extra: &[&str]| {
+        let out = kgtosa()
+            .args([
+                "train", "--dataset", "dblp", "--task", "PV/DBLP",
+                "--method", "rgcn", "--scale", "0.02", "--epochs", "2",
+                "--tosg", "d1h1", "--quiet",
+                "--checkpoint-dir", dir.to_str().unwrap(),
+            ])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+
+    let first = run(&[]);
+    let second = run(&["--trace-out", trace.to_str().unwrap()]);
+    assert_eq!(
+        metric_of(&first),
+        metric_of(&second),
+        "a resumed run must reproduce the original metric bit-for-bit"
+    );
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        trace_counter_positive(&text, "train.checkpoint.resumes"),
+        "the rerun must actually resume from the snapshot:\n{text}"
+    );
+    assert!(
+        trace_counter_positive(&text, "rdf.fetch.pages.resumed"),
+        "the rerun must reuse the fetch checkpoint:\n{text}"
+    );
+}
+
 #[test]
 fn metrics_addr_binds_and_reports_endpoint() {
     // Port 0 picks a free port; the CLI prints the bound address so the

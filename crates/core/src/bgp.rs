@@ -90,8 +90,12 @@ fn branch_patterns(class: &str, seq: &[Step]) -> Vec<TriplePattern> {
 /// step. Outgoing final hop: `(v_{L-1}, p, o_end)`; incoming: the subject
 /// is the new vertex.
 fn branch_triple_vars(seq: &[Step]) -> (String, String, String) {
-    let from = format!("v{}", seq.len() - 1);
-    match seq.last().unwrap() {
+    // `direction_sequences` never yields an empty sequence; treating one
+    // as a final outgoing hop from the anchor keeps this function total
+    // instead of panicking on a malformed caller.
+    let (last, init) = seq.split_last().unwrap_or((&Step::Out, &[]));
+    let from = format!("v{}", init.len());
+    match last {
         Step::Out => (from, "p".to_string(), "o_end".to_string()),
         Step::In => ("s_end".to_string(), "p".to_string(), from),
     }

@@ -13,7 +13,7 @@ use kgtosa_kg::{
     induced_subgraph, map_targets, subgraph_from_triples_and_nodes, HeteroGraph, InducedSubgraph,
     KnowledgeGraph, Vid,
 };
-use kgtosa_rdf::{fetch_triples, FetchConfig, InProcessEndpoint, RdfError, RdfStore};
+use kgtosa_rdf::{fetch_triples_robust, FetchConfig, InProcessEndpoint, RdfError, RdfStore};
 use kgtosa_sampler::{biased_random_walk, ibs_sample, uniform_random_walk, IbsConfig, WalkConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,6 +35,11 @@ pub struct ExtractionReport {
     pub triples: usize,
     /// Endpoint requests issued (SPARQL method only).
     pub requests: usize,
+    /// Fraction of planned fetch pages actually retrieved, in `[0, 1]`.
+    /// `1.0` for the in-memory methods and for complete SPARQL fetches;
+    /// below `1.0` only when [`kgtosa_rdf::FetchMode::Partial`] degraded
+    /// the extraction past endpoint failures.
+    pub completeness: f64,
 }
 
 /// A completed extraction: the compacted subgraph, the targets that
@@ -57,6 +62,7 @@ impl ExtractionResult {
         seconds: f64,
         sampled_nodes: usize,
         requests: usize,
+        completeness: f64,
     ) -> Self {
         let targets = map_targets(&subgraph, parent_targets);
         let triples = subgraph.kg.num_triples();
@@ -64,7 +70,7 @@ impl ExtractionResult {
         kgtosa_obs::counter("extract.triples").add(triples as u64);
         if kgtosa_obs::telemetry_active() {
             let q = kgtosa_kg::quality(&subgraph.kg, &targets);
-            crate::quality::record_quality_metrics(&method, &q);
+            crate::quality::record_quality_metrics(&method, &q, completeness);
         }
         Self {
             subgraph,
@@ -75,6 +81,7 @@ impl ExtractionResult {
                 sampled_nodes,
                 triples,
                 requests,
+                completeness,
             },
         }
     }
@@ -100,6 +107,7 @@ pub fn extract_urw(
         guard.finish().wall_s,
         sampled,
         0,
+        1.0,
     )
 }
 
@@ -123,6 +131,7 @@ pub fn extract_brw(
         guard.finish().wall_s,
         sampled,
         0,
+        1.0,
     )
 }
 
@@ -144,6 +153,7 @@ pub fn extract_ibs(
         guard.finish().wall_s,
         sampled,
         0,
+        1.0,
     )
 }
 
@@ -174,10 +184,23 @@ pub fn extract_sparql(
             None => grouped.push((sq.triple_vars.clone(), vec![q])),
         }
     }
-    for ((s, p, o), qs) in &grouped {
-        let mut fetched = fetch_triples(&endpoint, store, qs, (s, p, o), fetch)?;
-        triples.append(&mut fetched);
+    let mut planned_pages = 0usize;
+    let mut completed_pages = 0usize;
+    for (gi, ((s, p, o), qs)) in grouped.iter().enumerate() {
+        // Each var group is an independent fetch with its own page
+        // checkpoint: the fetch key binds a checkpoint file to one exact
+        // subquery set, so groups must not share a file.
+        let cfg = group_fetch_config(fetch, gi, grouped.len());
+        let outcome = fetch_triples_robust(&endpoint, store, qs, (s, p, o), &cfg)?;
+        planned_pages += outcome.planned_pages;
+        completed_pages += outcome.completed_pages;
+        triples.extend(outcome.triples);
     }
+    let completeness = if planned_pages == 0 {
+        1.0
+    } else {
+        completed_pages as f64 / planned_pages as f64
+    };
     triples.sort_unstable();
     triples.dedup();
     let sub = subgraph_from_triples_and_nodes(kg, &triples, &task.targets);
@@ -189,7 +212,26 @@ pub fn extract_sparql(
         guard.finish().wall_s,
         sampled,
         endpoint.stats().requests(),
+        completeness,
     ))
+}
+
+/// Per-group fetch config: with a single var group the user's checkpoint
+/// path is used as-is; with several, each group gets a `.g<i>`-suffixed
+/// sibling file so their checkpoints do not clobber each other.
+fn group_fetch_config(fetch: &FetchConfig, group: usize, groups: usize) -> FetchConfig {
+    let mut cfg = fetch.clone();
+    if groups > 1 {
+        if let Some(path) = &cfg.checkpoint {
+            let mut name = path
+                .file_name()
+                .map(|n| n.to_os_string())
+                .unwrap_or_else(|| "fetch.ckpt".into());
+            name.push(format!(".g{group}"));
+            cfg.checkpoint = Some(path.with_file_name(name));
+        }
+    }
+    cfg
 }
 
 #[cfg(test)]
@@ -239,6 +281,52 @@ mod tests {
         // Every target must survive extraction.
         assert_eq!(res.targets.len(), task.targets.len());
         assert!(res.report.requests > 0);
+    }
+
+    #[test]
+    fn sparql_transient_faults_with_retry_match_fault_free() {
+        use kgtosa_rdf::{FaultPlan, RetryPolicy};
+        let (kg, task) = academic_kg();
+        let store = RdfStore::new(&kg);
+        let clean =
+            extract_sparql(&store, &task, &GraphPattern::D2H1, &FetchConfig::default()).unwrap();
+        let fetch = FetchConfig {
+            batch_size: 4,
+            retry: Some(RetryPolicy::default()),
+            fault: Some(FaultPlan {
+                fault_rate: 1.0,
+                max_burst: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let faulty = extract_sparql(&store, &task, &GraphPattern::D2H1, &fetch).unwrap();
+        assert_eq!(faulty.report.triples, clean.report.triples);
+        assert_eq!(faulty.report.completeness, 1.0);
+        assert_eq!(clean.report.completeness, 1.0);
+    }
+
+    #[test]
+    fn sparql_partial_mode_reports_degraded_completeness() {
+        use kgtosa_rdf::{FaultPlan, FetchMode};
+        let (kg, task) = academic_kg();
+        let store = RdfStore::new(&kg);
+        let fetch = FetchConfig {
+            batch_size: 4,
+            fault: Some(FaultPlan {
+                fault_rate: 1.0,
+                fatal_rate: 1.0,
+                ..Default::default()
+            }),
+            mode: FetchMode::Partial,
+            ..Default::default()
+        };
+        let res = extract_sparql(&store, &task, &GraphPattern::D1H1, &fetch).unwrap();
+        assert!(
+            res.report.completeness < 1.0,
+            "all pages fatally failed, completeness {}",
+            res.report.completeness
+        );
     }
 
     #[test]

@@ -98,6 +98,7 @@ pub fn extract_metapath(
             sampled_nodes,
             triples: triples_count,
             requests: 0,
+            completeness: 1.0,
         },
     }
 }

@@ -41,9 +41,10 @@ pub struct QualityRow {
 /// `extract.quality` JSONL event, so TOSG quality lands in every trace
 /// without an ad-hoc stats call. Percentages and distances are scaled
 /// ×1000 in the gauges (the registry stores integers).
-pub fn record_quality_metrics(method: &str, q: &SubgraphQuality) {
+pub fn record_quality_metrics(method: &str, q: &SubgraphQuality, completeness: f64) {
     let milli = |v: f64| (v * 1000.0).round() as i64;
     kgtosa_obs::gauge("extract.quality.target_count").set(q.target_count as i64);
+    kgtosa_obs::gauge("extract.quality.completeness_milli").set(milli(completeness));
     kgtosa_obs::gauge("extract.quality.target_ratio_milli_pct").set(milli(q.target_ratio_pct));
     kgtosa_obs::gauge("extract.quality.disconnected_milli_pct")
         .set(milli(q.target_disconnected_pct));
@@ -67,6 +68,7 @@ pub fn record_quality_metrics(method: &str, q: &SubgraphQuality) {
             ),
             ("avg_dist".into(), kgtosa_obs::Json::Num(q.avg_dist_to_target)),
             ("entropy".into(), kgtosa_obs::Json::Num(q.avg_entropy)),
+            ("completeness".into(), kgtosa_obs::Json::Num(completeness)),
         ],
     );
 }

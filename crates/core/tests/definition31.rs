@@ -70,7 +70,7 @@ proptest! {
         let store = RdfStore::new(&kg);
         for pattern in GraphPattern::VARIANTS {
             let res = extract_sparql(&store, &task, &pattern, &FetchConfig {
-                batch_size: 7, threads: 2,
+                batch_size: 7, threads: 2, ..FetchConfig::default()
             }).unwrap();
             let q = quality(&res.subgraph.kg, &res.targets);
             prop_assert_eq!(q.target_disconnected_pct, 0.0, "pattern {}", pattern.label());

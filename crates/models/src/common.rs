@@ -63,6 +63,8 @@ pub struct TrainConfig {
     /// Per-epoch telemetry hook; [`kgtosa_obs::Observer::none`] (the
     /// default) makes it a no-op.
     pub observer: kgtosa_obs::Observer,
+    /// Epoch checkpoint/resume; `None` (the default) disables it.
+    pub checkpoint: Option<crate::checkpoint::CheckpointConfig>,
 }
 
 impl Default for TrainConfig {
@@ -76,6 +78,7 @@ impl Default for TrainConfig {
             negatives: 4,
             margin: 1.0,
             observer: kgtosa_obs::Observer::none(),
+            checkpoint: None,
         }
     }
 }
@@ -108,6 +111,10 @@ pub struct TrainReport {
     pub param_count: usize,
     /// Final test metric (accuracy for NC, Hits@10 for LP).
     pub metric: f64,
+    /// FNV fingerprint of the final trainable state (parameters +
+    /// optimizer moments). Two runs ended bit-identically iff these match;
+    /// the checkpoint/resume property tests compare exactly this.
+    pub param_hash: u64,
     /// Convergence trace on the validation split.
     pub trace: Vec<TracePoint>,
 }

@@ -11,20 +11,46 @@
 //! the method's cost profile (densest per-edge work of the three LP
 //! methods) and its qualitative behaviour on typed KGs.
 
+use std::io::{self, Read, Write};
 use std::time::Instant;
 
-use kgtosa_kg::{HeteroGraph, Vid};
+use kgtosa_kg::{HeteroGraph, Triple, Vid};
 use kgtosa_nn::{bce_negative, bce_positive};
 use kgtosa_tensor::{
-    relu_backward, relu_inplace, xavier_uniform, Adam, AdamConfig, Matrix,
+    relu_backward, relu_inplace, xavier_uniform, Adam, AdamConfig, Matrix, StateIo,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::checkpoint::{
+    lp_data_key, read_rng, read_triples_into, state_fingerprint, write_rng, write_triples,
+    Checkpointer,
+};
 use crate::common::{EpochLog, LpDataset, TrainConfig, TrainReport};
 use crate::lp_common::{corrupt_entity, evaluate_ranking, Decoder};
 use crate::stack::EmbeddingTable;
+
+/// All mutable state of one LHGNN run, in checkpoint order (the latent
+/// type assignment `z` is a fixed function of the seed and is rebuilt).
+fn save_all(
+    w: &mut dyn Write,
+    rng: &StdRng,
+    embed: &EmbeddingTable,
+    mats: [&Matrix; 4],
+    adams: [&Adam; 4],
+    train_triples: &[Triple],
+) -> io::Result<()> {
+    write_rng(w, rng)?;
+    embed.save_state(w)?;
+    for m in mats {
+        m.save_state(w)?;
+    }
+    for a in adams {
+        a.save_state(w)?;
+    }
+    write_triples(w, train_triples)
+}
 
 /// Number of latent node types.
 const K: usize = 4;
@@ -174,11 +200,29 @@ pub fn train_lhgnn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
     let mut o_c = Adam::new(compat.param_count(), adam);
     let mut o_rel = Adam::new(rel_emb.param_count(), adam);
 
+    let ckpt = Checkpointer::from_cfg(cfg, "LHGNN", lp_data_key(data));
     let start = Instant::now();
     let mut elog = EpochLog::new("LHGNN", cfg.epochs, start);
     let mut train_triples = data.train.to_vec();
     let mut trace = Vec::with_capacity(cfg.epochs);
-    for epoch in 1..=cfg.epochs {
+    let mut first_epoch = 1;
+    if let Some(c) = &ckpt {
+        if let Some((done, t)) = c.resume(|r: &mut dyn Read| {
+            read_rng(r, &mut rng)?;
+            embed.load_state(r)?;
+            for m in [&mut w0, &mut w1, &mut compat, &mut rel_emb] {
+                m.load_state(r)?;
+            }
+            for a in [&mut o_w0, &mut o_w1, &mut o_c, &mut o_rel] {
+                a.load_state(r)?;
+            }
+            read_triples_into(r, &mut train_triples)
+        }) {
+            first_epoch = done + 1;
+            trace = t;
+        }
+    }
+    for epoch in first_epoch..=cfg.epochs {
         train_triples.shuffle(&mut rng);
         let (h, m, mask) = LatentConv::forward(g, &embed.weight, &z, &compat, &w0, &w1);
         let mut grad_h = Matrix::zeros(n, cfg.dim);
@@ -227,6 +271,18 @@ pub fn train_lhgnn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         };
         let mean_loss = epoch_loss * scale as f64;
         trace.push(elog.epoch(cfg, epoch, mean_loss, metric));
+        if let Some(c) = &ckpt {
+            c.maybe_save(epoch, cfg.epochs, &trace, |w| {
+                save_all(
+                    w,
+                    &rng,
+                    &embed,
+                    [&w0, &w1, &compat, &rel_emb],
+                    [&o_w0, &o_w1, &o_c, &o_rel],
+                    &train_triples,
+                )
+            });
+        }
     }
     let training_s = start.elapsed().as_secs_f64();
 
@@ -246,6 +302,16 @@ pub fn train_lhgnn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
             + compat.param_count()
             + rel_emb.param_count(),
         metric: metrics.hits_at_10,
+        param_hash: state_fingerprint(|w| {
+            save_all(
+                w,
+                &rng,
+                &embed,
+                [&w0, &w1, &compat, &rel_emb],
+                [&o_w0, &o_w1, &o_c, &o_rel],
+                &train_triples,
+            )
+        }),
         trace,
     }
 }

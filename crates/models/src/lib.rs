@@ -18,6 +18,7 @@
 //! inference time, parameter count, and a convergence trace — the exact
 //! quantities Figures 1/6/7/9 and Table IV report.
 
+pub mod checkpoint;
 pub mod common;
 pub mod lhgnn;
 pub mod lp_common;
@@ -33,6 +34,7 @@ mod testutil;
 mod testutil_lp;
 pub mod view;
 
+pub use checkpoint::{state_fingerprint, CheckpointConfig};
 pub use common::{LpDataset, NcDataset, TracePoint, TrainConfig, TrainReport};
 pub use lhgnn::train_lhgnn_lp;
 pub use lp_common::{

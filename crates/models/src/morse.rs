@@ -8,17 +8,51 @@
 //! The meta-learning outer loop of the original paper is a no-op in the
 //! single-KG setting reproduced here and is omitted (DESIGN.md §7).
 
+use std::io::{self, Read, Write};
 use std::time::Instant;
 
-use kgtosa_kg::{HeteroGraph, Rid};
+use kgtosa_kg::{HeteroGraph, Rid, Triple};
 use kgtosa_nn::{margin_loss, transe_grad, RgcnLayer};
-use kgtosa_tensor::{xavier_uniform, Adam, AdamConfig, Matrix};
+use kgtosa_tensor::{xavier_uniform, Adam, AdamConfig, Matrix, StateIo};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::checkpoint::{
+    lp_data_key, read_rng, read_triples_into, state_fingerprint, write_rng, write_triples,
+    Checkpointer,
+};
 use crate::common::{EpochLog, LpDataset, TrainConfig, TrainReport};
 use crate::lp_common::{corrupt_entity, evaluate_ranking, Decoder};
+use crate::stack::RgcnLayerOpt;
+
+/// All mutable state of one MorsE run, in checkpoint order: relation
+/// embeddings, refinement layers, their optimizers, RNG stream, and the
+/// cumulative training-triple shuffle.
+fn save_all(
+    w: &mut dyn Write,
+    rng: &StdRng,
+    mats: [&Matrix; 3],
+    layers: [&RgcnLayer; 2],
+    adams: [&Adam; 3],
+    layer_opts: [&RgcnLayerOpt; 2],
+    train_triples: &[Triple],
+) -> io::Result<()> {
+    write_rng(w, rng)?;
+    for m in mats {
+        m.save_state(w)?;
+    }
+    for l in layers {
+        l.save_state(w)?;
+    }
+    for a in adams {
+        a.save_state(w)?;
+    }
+    for o in layer_opts {
+        o.save_state(w)?;
+    }
+    write_triples(w, train_triples)
+}
 
 /// Entity initializer: `e_v = (Σ_r deg_out_r(v)·R_out[r] +
 /// Σ_r deg_in_r(v)·R_in[r]) / deg(v)`.
@@ -122,11 +156,34 @@ pub fn train_morse_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
     let mut opt_refine1 = crate::stack::RgcnLayerOpt::new(&refine1, adam);
     let mut opt_refine2 = crate::stack::RgcnLayerOpt::new(&refine2, adam);
 
+    let ckpt = Checkpointer::from_cfg(cfg, "MorsE", lp_data_key(data));
     let start = Instant::now();
     let mut elog = EpochLog::new("MorsE", cfg.epochs, start);
     let mut train_triples = data.train.to_vec();
     let mut trace = Vec::with_capacity(cfg.epochs);
-    for epoch in 1..=cfg.epochs {
+    let mut first_epoch = 1;
+    if let Some(c) = &ckpt {
+        if let Some((done, t)) = c.resume(|r: &mut dyn Read| {
+            read_rng(r, &mut rng)?;
+            for m in [&mut r_out, &mut r_in, &mut trans] {
+                m.load_state(r)?;
+            }
+            for l in [&mut refine1, &mut refine2] {
+                l.load_state(r)?;
+            }
+            for a in [&mut opt_out, &mut opt_in, &mut opt_trans] {
+                a.load_state(r)?;
+            }
+            for o in [&mut opt_refine1, &mut opt_refine2] {
+                o.load_state(r)?;
+            }
+            read_triples_into(r, &mut train_triples)
+        }) {
+            first_epoch = done + 1;
+            trace = t;
+        }
+    }
+    for epoch in first_epoch..=cfg.epochs {
         train_triples.shuffle(&mut rng);
         let e_init = init_entities(g, &r_out, &r_in);
         let (h1, cache1) = refine1.forward(g, &e_init);
@@ -177,6 +234,19 @@ pub fn train_morse_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         };
         let mean_loss = epoch_loss / train_triples.len().max(1) as f64;
         trace.push(elog.epoch(cfg, epoch, mean_loss, metric));
+        if let Some(c) = &ckpt {
+            c.maybe_save(epoch, cfg.epochs, &trace, |w| {
+                save_all(
+                    w,
+                    &rng,
+                    [&r_out, &r_in, &trans],
+                    [&refine1, &refine2],
+                    [&opt_out, &opt_in, &opt_trans],
+                    [&opt_refine1, &opt_refine2],
+                    &train_triples,
+                )
+            });
+        }
     }
     let training_s = start.elapsed().as_secs_f64();
 
@@ -199,6 +269,17 @@ pub fn train_morse_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
             + refine1.param_count()
             + refine2.param_count(),
         metric: metrics.hits_at_10,
+        param_hash: state_fingerprint(|w| {
+            save_all(
+                w,
+                &rng,
+                [&r_out, &r_in, &trans],
+                [&refine1, &refine2],
+                [&opt_out, &opt_in, &opt_trans],
+                [&opt_refine1, &opt_refine2],
+                &train_triples,
+            )
+        }),
         trace,
     }
 }

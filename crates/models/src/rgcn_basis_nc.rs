@@ -3,13 +3,16 @@
 //! problem by shrinking the relation set itself; the `ablation_basis`
 //! bench puts the two side by side (and shows they compose).
 
+use std::io::{self, Read, Write};
 use std::time::Instant;
 
 use kgtosa_nn::RgcnBasisLayer;
-use kgtosa_tensor::{softmax_cross_entropy, Adam, AdamConfig, Matrix};
+use kgtosa_tensor::state::{expect_u64, write_u64};
+use kgtosa_tensor::{softmax_cross_entropy, Adam, AdamConfig, Matrix, StateIo};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::checkpoint::{nc_data_key, state_fingerprint, Checkpointer};
 use crate::common::{restrict_labels, EpochLog, NcDataset, TrainConfig, TrainReport};
 use crate::rgcn_nc::accuracy_at;
 use crate::stack::EmbeddingTable;
@@ -46,6 +49,45 @@ impl BasisOpt {
     }
 }
 
+impl StateIo for BasisOpt {
+    fn save_state(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_u64(w, self.bases.len() as u64)?;
+        for opt in &self.bases {
+            opt.save_state(w)?;
+        }
+        self.coeffs.save_state(w)?;
+        self.w_self.save_state(w)?;
+        self.b.save_state(w)
+    }
+
+    fn load_state(&mut self, r: &mut dyn Read) -> io::Result<()> {
+        expect_u64(r, self.bases.len() as u64, "optimizer basis count")?;
+        for opt in &mut self.bases {
+            opt.load_state(r)?;
+        }
+        self.coeffs.load_state(r)?;
+        self.w_self.load_state(r)?;
+        self.b.load_state(r)
+    }
+}
+
+/// All mutable state of one basis-RGCN run, in checkpoint order.
+#[allow(clippy::too_many_arguments)]
+fn save_all(
+    w: &mut dyn Write,
+    embed: &EmbeddingTable,
+    layer1: &RgcnBasisLayer,
+    layer2: &RgcnBasisLayer,
+    opt1: &BasisOpt,
+    opt2: &BasisOpt,
+) -> io::Result<()> {
+    embed.save_state(w)?;
+    layer1.save_state(w)?;
+    layer2.save_state(w)?;
+    opt1.save_state(w)?;
+    opt2.save_state(w)
+}
+
 /// Trains a two-layer basis-decomposed RGCN classifier.
 pub fn train_rgcn_basis_nc(
     data: &NcDataset<'_>,
@@ -64,10 +106,25 @@ pub fn train_rgcn_basis_nc(
     let mut opt2 = BasisOpt::new(&layer2, adam);
     let train_labels = restrict_labels(data.labels, data.train, n);
 
+    let method = format!("RGCN-basis{num_bases}");
+    let ckpt = Checkpointer::from_cfg(cfg, &method, nc_data_key(data));
     let start = Instant::now();
     let mut elog = EpochLog::new("RGCN-basis", cfg.epochs, start);
     let mut trace = Vec::with_capacity(cfg.epochs);
-    for epoch in 1..=cfg.epochs {
+    let mut first_epoch = 1;
+    if let Some(c) = &ckpt {
+        if let Some((done, t)) = c.resume(|r: &mut dyn Read| {
+            embed.load_state(r)?;
+            layer1.load_state(r)?;
+            layer2.load_state(r)?;
+            opt1.load_state(r)?;
+            opt2.load_state(r)
+        }) {
+            first_epoch = done + 1;
+            trace = t;
+        }
+    }
+    for epoch in first_epoch..=cfg.epochs {
         let (h1, c1) = layer1.forward(data.graph, &embed.weight);
         let (logits, c2) = layer2.forward(data.graph, &h1);
         let (loss, grad) = softmax_cross_entropy(&logits, &train_labels);
@@ -78,6 +135,11 @@ pub fn train_rgcn_basis_nc(
         embed.step(&grad_x);
         let metric = accuracy_at(&logits, data.labels, data.valid);
         trace.push(elog.epoch(cfg, epoch, loss as f64, metric));
+        if let Some(c) = &ckpt {
+            c.maybe_save(epoch, cfg.epochs, &trace, |w| {
+                save_all(w, &embed, &layer1, &layer2, &opt1, &opt2)
+            });
+        }
     }
     let training_s = start.elapsed().as_secs_f64();
 
@@ -88,12 +150,15 @@ pub fn train_rgcn_basis_nc(
     let inference_s = infer_start.elapsed().as_secs_f64();
 
     TrainReport {
-        method: format!("RGCN-basis{num_bases}"),
+        method,
         epochs: cfg.epochs,
         training_s,
         inference_s,
         param_count: embed.param_count() + layer1.param_count() + layer2.param_count(),
         metric,
+        param_hash: state_fingerprint(|w| {
+            save_all(w, &embed, &layer1, &layer2, &opt1, &opt2)
+        }),
         trace,
     }
 }

@@ -1,17 +1,44 @@
 //! RGCN link prediction: RGCN encoder + DistMult decoder with negative
 //! sampling (the RGCN-PYG configuration the paper uses for LP tasks).
 
+use std::io::{self, Read, Write};
 use std::time::Instant;
 
-use kgtosa_tensor::{xavier_uniform, Adam, AdamConfig, Matrix};
+use kgtosa_kg::Triple;
+use kgtosa_tensor::{xavier_uniform, Adam, AdamConfig, Matrix, StateIo};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::checkpoint::{
+    lp_data_key, read_rng, read_triples_into, state_fingerprint, write_rng, write_triples,
+    Checkpointer,
+};
 use crate::common::{EpochLog, LpDataset, TrainConfig, TrainReport};
 use crate::lp_common::{corrupt_entity, evaluate_ranking, Decoder};
-use crate::stack::EmbeddingTable;
+use crate::stack::{EmbeddingTable, RgcnLayerOpt};
 use kgtosa_nn::{bce_negative, bce_positive, distmult_grad, RgcnLayer};
+
+/// All mutable state of one RGCN-LP run, in checkpoint order.
+#[allow(clippy::too_many_arguments)]
+fn save_all(
+    w: &mut dyn Write,
+    rng: &StdRng,
+    embed: &EmbeddingTable,
+    encoder: &RgcnLayer,
+    rel_emb: &Matrix,
+    enc_opt: &RgcnLayerOpt,
+    rel_opt: &Adam,
+    train_triples: &[Triple],
+) -> io::Result<()> {
+    write_rng(w, rng)?;
+    embed.save_state(w)?;
+    encoder.save_state(w)?;
+    rel_emb.save_state(w)?;
+    enc_opt.save_state(w)?;
+    rel_opt.save_state(w)?;
+    write_triples(w, train_triples)
+}
 
 /// Trains RGCN-LP and reports Hits@10/time/size (Figure 7 rows).
 pub fn train_rgcn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
@@ -25,11 +52,27 @@ pub fn train_rgcn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
     let mut enc_opt = crate::stack::RgcnLayerOpt::new(&encoder, adam_cfg);
     let mut rel_opt = Adam::new(rel_emb.param_count(), adam_cfg);
 
+    let ckpt = Checkpointer::from_cfg(cfg, "RGCN-LP", lp_data_key(data));
     let start = Instant::now();
     let mut elog = EpochLog::new("RGCN", cfg.epochs, start);
     let mut train_triples = data.train.to_vec();
     let mut trace = Vec::with_capacity(cfg.epochs);
-    for epoch in 1..=cfg.epochs {
+    let mut first_epoch = 1;
+    if let Some(c) = &ckpt {
+        if let Some((done, t)) = c.resume(|r: &mut dyn Read| {
+            read_rng(r, &mut rng)?;
+            embed.load_state(r)?;
+            encoder.load_state(r)?;
+            rel_emb.load_state(r)?;
+            enc_opt.load_state(r)?;
+            rel_opt.load_state(r)?;
+            read_triples_into(r, &mut train_triples)
+        }) {
+            first_epoch = done + 1;
+            trace = t;
+        }
+    }
+    for epoch in first_epoch..=cfg.epochs {
         train_triples.shuffle(&mut rng);
         // Full-graph encoder forward.
         let (z, cache) = encoder.forward(g, &embed.weight);
@@ -80,6 +123,11 @@ pub fn train_rgcn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         };
         let mean_loss = epoch_loss * scale as f64;
         trace.push(elog.epoch(cfg, epoch, mean_loss, metric));
+        if let Some(c) = &ckpt {
+            c.maybe_save(epoch, cfg.epochs, &trace, |w| {
+                save_all(w, &rng, &embed, &encoder, &rel_emb, &enc_opt, &rel_opt, &train_triples)
+            });
+        }
     }
     let training_s = start.elapsed().as_secs_f64();
 
@@ -95,6 +143,9 @@ pub fn train_rgcn_lp(data: &LpDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         inference_s,
         param_count: embed.param_count() + encoder.param_count() + rel_emb.param_count(),
         metric: metrics.hits_at_10,
+        param_hash: state_fingerprint(|w| {
+            save_all(w, &rng, &embed, &encoder, &rel_emb, &enc_opt, &rel_opt, &train_triples)
+        }),
         trace,
     }
 }

@@ -5,11 +5,13 @@
 //! RGCN shows the shortest training time but the largest memory footprint
 //! in Figure 6 — and why KG-TOSA's smaller `KG'` shrinks its memory most.
 
+use std::io::{self, Read, Write};
 use std::time::Instant;
 
 use kgtosa_kg::Vid;
-use kgtosa_tensor::{argmax_rows, softmax_cross_entropy, Matrix};
+use kgtosa_tensor::{argmax_rows, softmax_cross_entropy, Matrix, StateIo};
 
+use crate::checkpoint::{nc_data_key, state_fingerprint, Checkpointer};
 use crate::common::{restrict_labels, EpochLog, NcDataset, TrainConfig, TrainReport};
 use crate::stack::{EmbeddingTable, RgcnStack};
 
@@ -40,16 +42,35 @@ pub fn train_rgcn_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainReport {
     );
     let train_labels = restrict_labels(data.labels, data.train, n);
 
+    fn save_all(w: &mut dyn Write, embed: &EmbeddingTable, stack: &RgcnStack) -> io::Result<()> {
+        embed.save_state(w)?;
+        stack.save_state(w)
+    }
+
+    let ckpt = Checkpointer::from_cfg(cfg, "RGCN", nc_data_key(data));
     let start = Instant::now();
     let mut elog = EpochLog::new("RGCN", cfg.epochs, start);
     let mut trace = Vec::with_capacity(cfg.epochs);
-    for epoch in 1..=cfg.epochs {
+    let mut first_epoch = 1;
+    if let Some(c) = &ckpt {
+        if let Some((done, t)) = c.resume(|r: &mut dyn Read| {
+            embed.load_state(r)?;
+            stack.load_state(r)
+        }) {
+            first_epoch = done + 1;
+            trace = t;
+        }
+    }
+    for epoch in first_epoch..=cfg.epochs {
         let (logits, cache) = stack.forward(data.graph, &embed.weight);
         let (loss, grad) = softmax_cross_entropy(&logits, &train_labels);
         let grad_x = stack.backward_step(data.graph, &embed.weight, &cache, grad);
         embed.step(&grad_x);
         let metric = accuracy_at(&logits, data.labels, data.valid);
         trace.push(elog.epoch(cfg, epoch, loss as f64, metric));
+        if let Some(c) = &ckpt {
+            c.maybe_save(epoch, cfg.epochs, &trace, |w| save_all(w, &embed, &stack));
+        }
     }
     let training_s = start.elapsed().as_secs_f64();
 
@@ -65,6 +86,7 @@ pub fn train_rgcn_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         inference_s,
         param_count: embed.param_count() + stack.param_count(),
         metric,
+        param_hash: state_fingerprint(|w| save_all(w, &embed, &stack)),
         trace,
     }
 }

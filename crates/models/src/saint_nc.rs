@@ -6,15 +6,17 @@
 //! Algorithm 1), trains the shared RGCN weights on it, and updates only
 //! the embedding rows the subgraph touched.
 
+use std::io::{self, Read, Write};
 use std::time::Instant;
 
 use kgtosa_sampler::{
     biased_random_walk, edge_sample, node_norm_weights, uniform_random_walk, WalkConfig,
 };
-use kgtosa_tensor::{AdamConfig, SparseAdam};
+use kgtosa_tensor::{AdamConfig, SparseAdam, StateIo};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::checkpoint::{nc_data_key, read_rng, state_fingerprint, write_rng, Checkpointer};
 use crate::common::{weighted_cross_entropy, EpochLog, NcDataset, TrainConfig, TrainReport};
 use crate::rgcn_nc::accuracy_at;
 use crate::stack::{EmbeddingTable, RgcnStack};
@@ -87,9 +89,37 @@ pub fn train_graphsaint_nc(
         in_train[v.idx()] = true;
     }
 
+    // The RNG stream is part of the state: on resume it continues exactly
+    // where the interrupted run's sampler left off.
+    fn save_all(
+        w: &mut dyn Write,
+        rng: &StdRng,
+        embed: &EmbeddingTable,
+        embed_opt: &SparseAdam,
+        stack: &RgcnStack,
+    ) -> io::Result<()> {
+        write_rng(w, rng)?;
+        embed.save_state(w)?;
+        embed_opt.save_state(w)?;
+        stack.save_state(w)
+    }
+
+    let ckpt = Checkpointer::from_cfg(cfg, sampler.label(), nc_data_key(data));
     let mut elog = EpochLog::new(sampler.label(), cfg.epochs, start);
     let mut trace = Vec::with_capacity(cfg.epochs);
-    for epoch in 1..=cfg.epochs {
+    let mut first_epoch = 1;
+    if let Some(c) = &ckpt {
+        if let Some((done, t)) = c.resume(|r: &mut dyn Read| {
+            read_rng(r, &mut rng)?;
+            embed.load_state(r)?;
+            embed_opt.load_state(r)?;
+            stack.load_state(r)
+        }) {
+            first_epoch = done + 1;
+            trace = t;
+        }
+    }
+    for epoch in first_epoch..=cfg.epochs {
         let nodes = sample(&mut rng);
         let mut loss = 0.0f32;
         // An empty sample (degenerate graph) skips the update but still
@@ -118,6 +148,11 @@ pub fn train_graphsaint_nc(
         let (full_logits, _) = stack.forward(data.graph, &embed.weight);
         let metric = accuracy_at(&full_logits, data.labels, data.valid);
         trace.push(elog.epoch(cfg, epoch, loss as f64, metric));
+        if let Some(c) = &ckpt {
+            c.maybe_save(epoch, cfg.epochs, &trace, |w| {
+                save_all(w, &rng, &embed, &embed_opt, &stack)
+            });
+        }
     }
     let training_s = start.elapsed().as_secs_f64();
 
@@ -133,6 +168,7 @@ pub fn train_graphsaint_nc(
         inference_s,
         param_count: embed.param_count() + stack.param_count(),
         metric,
+        param_hash: state_fingerprint(|w| save_all(w, &rng, &embed, &embed_opt, &stack)),
         trace,
     }
 }

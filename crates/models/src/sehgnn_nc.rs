@@ -10,17 +10,19 @@
 //! which preserves the method's defining cost profile — heavy one-shot
 //! preprocessing, very cheap epochs, tiny inference time.
 
+use std::io::{self, Read, Write};
 use std::time::Instant;
 
 use kgtosa_kg::{Csr, FxHashMap, HeteroGraph, Rid, Vid};
 use kgtosa_nn::{mean_aggregate, Linear};
 use kgtosa_tensor::{
     argmax_rows, relu_backward, relu_inplace, softmax_cross_entropy, xavier_uniform, Adam,
-    AdamConfig, Matrix,
+    AdamConfig, Matrix, StateIo,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::checkpoint::{nc_data_key, state_fingerprint, Checkpointer};
 use crate::common::{EpochLog, NcDataset, TrainConfig, TrainReport};
 
 /// One step of a metapath: a relation traversed in a direction.
@@ -132,16 +134,49 @@ pub fn train_sehgnn_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         (h, logits, mask)
     };
 
+    // MLP weights + moments are the whole mutable state: the heavy
+    // metapath features are recomputed deterministically on resume.
+    #[allow(clippy::too_many_arguments)]
+    fn save_all(
+        w: &mut dyn Write,
+        l1: &Linear,
+        l2: &Linear,
+        opts: [&Adam; 4],
+    ) -> io::Result<()> {
+        l1.save_state(w)?;
+        l2.save_state(w)?;
+        for o in opts {
+            o.save_state(w)?;
+        }
+        Ok(())
+    }
+
     // SeHGNN epochs are plain MLP passes — orders of magnitude cheaper
     // than a message-passing epoch — so the method's tuned default runs
     // many more of them within the same budget.
     const EPOCH_MULTIPLIER: usize = 20;
     let total_epochs = cfg.epochs * EPOCH_MULTIPLIER;
     // Telemetry follows the reporting cadence (one event per logical
-    // epoch), not the 20× inner MLP passes.
+    // epoch), not the 20× inner MLP passes; checkpoints land on the same
+    // logical-epoch boundaries.
+    let ckpt = Checkpointer::from_cfg(cfg, "SeHGNN", nc_data_key(data));
     let mut elog = EpochLog::new("SeHGNN", cfg.epochs, start);
     let mut trace = Vec::with_capacity(cfg.epochs);
-    for epoch in 1..=total_epochs {
+    let mut first_epoch = 1;
+    if let Some(c) = &ckpt {
+        if let Some((done, t)) = c.resume(|r: &mut dyn Read| {
+            l1.load_state(r)?;
+            l2.load_state(r)?;
+            for o in [&mut o1w, &mut o1b, &mut o2w, &mut o2b] {
+                o.load_state(r)?;
+            }
+            Ok(())
+        }) {
+            first_epoch = done * EPOCH_MULTIPLIER + 1;
+            trace = t;
+        }
+    }
+    for epoch in first_epoch..=total_epochs {
         let (h, logits, mask) = forward(&l1, &l2, &features);
         let (loss, grad) = softmax_cross_entropy(&logits, &train_labels);
         let (mut grad_h, g2) = l2.backward(&h, &grad);
@@ -155,7 +190,13 @@ pub fn train_sehgnn_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         if epoch % EPOCH_MULTIPLIER == 0 {
             let preds = argmax_rows(&logits);
             let metric = split_accuracy(&preds, data, &row_of, data.valid);
-            trace.push(elog.epoch(cfg, epoch / EPOCH_MULTIPLIER, loss as f64, metric));
+            let lepoch = epoch / EPOCH_MULTIPLIER;
+            trace.push(elog.epoch(cfg, lepoch, loss as f64, metric));
+            if let Some(c) = &ckpt {
+                c.maybe_save(lepoch, cfg.epochs, &trace, |w| {
+                    save_all(w, &l1, &l2, [&o1w, &o1b, &o2w, &o2b])
+                });
+            }
         }
     }
     let training_s = start.elapsed().as_secs_f64();
@@ -173,6 +214,7 @@ pub fn train_sehgnn_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainReport {
         inference_s,
         param_count: l1.param_count() + l2.param_count(),
         metric,
+        param_hash: state_fingerprint(|w| save_all(w, &l1, &l2, [&o1w, &o1b, &o2w, &o2b])),
         trace,
     }
 }

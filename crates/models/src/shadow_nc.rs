@@ -7,16 +7,22 @@
 //! prediction. Gradients from a mini-batch of roots are accumulated and
 //! applied once, and only the touched embedding rows update.
 
+use std::io::{self, Read, Write};
 use std::time::Instant;
 
 use kgtosa_kg::{FxHashMap, Vid};
 use kgtosa_nn::RgcnGrads;
 use kgtosa_sampler::{ego_subgraph, ShadowConfig};
-use kgtosa_tensor::{argmax_rows, softmax_cross_entropy, AdamConfig, Matrix, SparseAdam};
+use kgtosa_tensor::{
+    argmax_rows, softmax_cross_entropy, AdamConfig, Matrix, SparseAdam, StateIo,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::checkpoint::{
+    nc_data_key, read_rng, read_vids_into, state_fingerprint, write_rng, write_vids, Checkpointer,
+};
 use crate::common::{EpochLog, NcDataset, TrainConfig, TrainReport};
 use crate::stack::{EmbeddingTable, RgcnStack};
 use crate::view::SubgraphView;
@@ -96,11 +102,42 @@ pub fn train_shadowsaint_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainRep
         cfg.seed + 1,
     );
 
+    // The in-place shuffle of `train_nodes` accumulates across epochs, so
+    // the current order is resumable state alongside the RNG stream.
+    fn save_all(
+        w: &mut dyn Write,
+        rng: &StdRng,
+        embed: &EmbeddingTable,
+        embed_opt: &SparseAdam,
+        stack: &RgcnStack,
+        train_nodes: &[Vid],
+    ) -> io::Result<()> {
+        write_rng(w, rng)?;
+        embed.save_state(w)?;
+        embed_opt.save_state(w)?;
+        stack.save_state(w)?;
+        write_vids(w, train_nodes)
+    }
+
+    let ckpt = Checkpointer::from_cfg(cfg, "ShaDowSAINT", nc_data_key(data));
     let start = Instant::now();
     let mut elog = EpochLog::new("ShaDowSAINT", cfg.epochs, start);
     let mut train_nodes: Vec<Vid> = data.train.to_vec();
     let mut trace = Vec::with_capacity(cfg.epochs);
-    for epoch in 1..=cfg.epochs {
+    let mut first_epoch = 1;
+    if let Some(c) = &ckpt {
+        if let Some((done, t)) = c.resume(|r: &mut dyn Read| {
+            read_rng(r, &mut rng)?;
+            embed.load_state(r)?;
+            embed_opt.load_state(r)?;
+            stack.load_state(r)?;
+            read_vids_into(r, &mut train_nodes)
+        }) {
+            first_epoch = done + 1;
+            trace = t;
+        }
+    }
+    for epoch in first_epoch..=cfg.epochs {
         train_nodes.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
         for batch in train_nodes.chunks(cfg.batch_size.max(1)) {
@@ -158,6 +195,11 @@ pub fn train_shadowsaint_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainRep
         let metric = eval_accuracy(data, &stack, &embed.weight, data.valid, &shadow, &mut eval_rng);
         let mean_loss = epoch_loss / train_nodes.len().max(1) as f64;
         trace.push(elog.epoch(cfg, epoch, mean_loss, metric));
+        if let Some(c) = &ckpt {
+            c.maybe_save(epoch, cfg.epochs, &trace, |w| {
+                save_all(w, &rng, &embed, &embed_opt, &stack, &train_nodes)
+            });
+        }
     }
     let training_s = start.elapsed().as_secs_f64();
 
@@ -173,6 +215,9 @@ pub fn train_shadowsaint_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainRep
         inference_s,
         param_count: embed.param_count() + stack.param_count(),
         metric,
+        param_hash: state_fingerprint(|w| {
+            save_all(w, &rng, &embed, &embed_opt, &stack, &train_nodes)
+        }),
         trace,
     }
 }

@@ -2,9 +2,12 @@
 //! with its optimizer state — the encoder shared by the RGCN, GraphSAINT
 //! and ShaDowSAINT trainers.
 
+use std::io::{self, Read, Write};
+
 use kgtosa_kg::HeteroGraph;
 use kgtosa_nn::{RgcnCache, RgcnGrads, RgcnLayer};
-use kgtosa_tensor::{xavier_uniform, Adam, AdamConfig, Matrix};
+use kgtosa_tensor::state::{expect_u64, write_u64};
+use kgtosa_tensor::{xavier_uniform, Adam, AdamConfig, Matrix, StateIo};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,6 +58,26 @@ impl RgcnLayerOpt {
         }
         self.w_self.step(&mut layer.w_self, &grads.w_self);
         self.b.step_slice(&mut layer.b, &grads.b);
+    }
+}
+
+impl StateIo for RgcnLayerOpt {
+    fn save_state(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_u64(w, self.w_fwd.len() as u64)?;
+        for opt in self.w_fwd.iter().chain(&self.w_rev) {
+            opt.save_state(w)?;
+        }
+        self.w_self.save_state(w)?;
+        self.b.save_state(w)
+    }
+
+    fn load_state(&mut self, r: &mut dyn Read) -> io::Result<()> {
+        expect_u64(r, self.w_fwd.len() as u64, "optimizer relation count")?;
+        for opt in self.w_fwd.iter_mut().chain(&mut self.w_rev) {
+            opt.load_state(r)?;
+        }
+        self.w_self.load_state(r)?;
+        self.b.load_state(r)
     }
 }
 
@@ -147,6 +170,22 @@ impl RgcnStack {
     }
 }
 
+impl StateIo for RgcnStack {
+    fn save_state(&self, w: &mut dyn Write) -> io::Result<()> {
+        self.layer1.save_state(w)?;
+        self.layer2.save_state(w)?;
+        self.opt1.save_state(w)?;
+        self.opt2.save_state(w)
+    }
+
+    fn load_state(&mut self, r: &mut dyn Read) -> io::Result<()> {
+        self.layer1.load_state(r)?;
+        self.layer2.load_state(r)?;
+        self.opt1.load_state(r)?;
+        self.opt2.load_state(r)
+    }
+}
+
 /// A learnable node-embedding table with dense Adam (full-batch methods).
 pub struct EmbeddingTable {
     /// The table, one row per vertex.
@@ -173,6 +212,18 @@ impl EmbeddingTable {
     /// Parameter count.
     pub fn param_count(&self) -> usize {
         self.weight.param_count()
+    }
+}
+
+impl StateIo for EmbeddingTable {
+    fn save_state(&self, w: &mut dyn Write) -> io::Result<()> {
+        self.weight.save_state(w)?;
+        self.opt.save_state(w)
+    }
+
+    fn load_state(&mut self, r: &mut dyn Read) -> io::Result<()> {
+        self.weight.load_state(r)?;
+        self.opt.load_state(r)
     }
 }
 

@@ -1,0 +1,240 @@
+//! The checkpoint/resume determinism contract, property-tested per trainer:
+//! train to epoch `k` with checkpointing on (the "killed" run), re-invoke
+//! with the full epoch budget so it resumes from the snapshot, and require
+//! the final state fingerprint and convergence trace to match an
+//! uninterrupted run *bit for bit*.
+
+use std::fs;
+use std::path::PathBuf;
+
+use kgtosa_kg::HeteroGraph;
+use kgtosa_models::{
+    train_graphsaint_nc, train_lhgnn_lp, train_morse_lp, train_rgcn_basis_nc, train_rgcn_lp,
+    train_rgcn_nc, train_sehgnn_nc, train_shadowsaint_nc, CheckpointConfig, LpDataset, NcDataset,
+    SaintSampler, TrainConfig, TrainReport,
+};
+
+// Fixtures mirroring the crate's internal test datasets (src/testutil*.rs,
+// which are `cfg(test)`-private): a separable two-venue NC task and a
+// two-hop-implied affiliation LP task.
+mod fixtures {
+    use kgtosa_kg::{KnowledgeGraph, Triple, Vid};
+    use kgtosa_tensor::IGNORE_LABEL;
+
+    pub fn toy_nc() -> (KnowledgeGraph, Vec<u32>, Vec<Vid>) {
+        let mut kg = KnowledgeGraph::new();
+        for i in 0..20 {
+            let venue = if i % 2 == 0 { "v0" } else { "v1" };
+            kg.add_triple_terms(&format!("p{i}"), "Paper", "publishedIn", venue, "Venue");
+            kg.add_triple_terms(
+                &format!("a{}", i % 5),
+                "Author",
+                "writes",
+                &format!("p{i}"),
+                "Paper",
+            );
+        }
+        let papers = kg.nodes_of_class(kg.find_class("Paper").unwrap());
+        let mut labels = vec![IGNORE_LABEL; kg.num_nodes()];
+        for &p in &papers {
+            let term = kg.node_term(p);
+            let i: usize = term[1..].parse().unwrap();
+            labels[p.idx()] = (i % 2) as u32;
+        }
+        (kg, labels, papers)
+    }
+
+    pub fn toy_lp() -> (KnowledgeGraph, Vec<Triple>) {
+        let mut kg = KnowledgeGraph::new();
+        let aff = kg.add_relation("affiliatedWith");
+        let mut triples = Vec::new();
+        for o in 0..3 {
+            let org = kg.add_node(&format!("org{o}"), "Org");
+            for d in 0..2 {
+                let dept = kg.add_node(&format!("dept{o}_{d}"), "Dept");
+                let part_of = kg.add_relation("partOf");
+                kg.add_triple(dept, part_of, org);
+                for a in 0..5 {
+                    let author = kg.add_node(&format!("auth{o}_{d}_{a}"), "Author");
+                    let works_in = kg.add_relation("worksIn");
+                    kg.add_triple(author, works_in, dept);
+                    triples.push(Triple::new(author, aff, org));
+                }
+            }
+        }
+        let held_out: Vec<Triple> = triples.iter().copied().skip(4).step_by(5).take(6).collect();
+        let train: Vec<Triple> = triples
+            .iter()
+            .copied()
+            .filter(|t| !held_out.contains(t))
+            .collect();
+        for t in &train {
+            kg.add_triple(t.s, t.p, t.o);
+        }
+        let mut ordered = train;
+        ordered.extend(held_out);
+        (kg, ordered)
+    }
+}
+
+const TOTAL_EPOCHS: usize = 8;
+const KILL_AT: usize = 3;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kgtosa-resume-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn base_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: TOTAL_EPOCHS,
+        dim: 8,
+        lr: 0.05,
+        batch_size: 6,
+        ..Default::default()
+    }
+}
+
+/// Runs `train` three ways — uninterrupted, killed at `KILL_AT`, resumed —
+/// and asserts the resumed run ends bit-identical to the uninterrupted one.
+fn assert_resumable(tag: &str, train: impl Fn(&TrainConfig) -> TrainReport) {
+    let dir = temp_dir(tag);
+
+    let straight = train(&base_cfg());
+
+    // "Kill" at epoch KILL_AT: run with a truncated epoch budget so the
+    // last completed epoch's checkpoint is what a crash would leave behind.
+    let killed_cfg = TrainConfig {
+        epochs: KILL_AT,
+        checkpoint: Some(CheckpointConfig::new(&dir)),
+        ..base_cfg()
+    };
+    let killed = train(&killed_cfg);
+    assert_eq!(killed.trace.len(), KILL_AT, "{tag}: killed run trace");
+
+    // Resume with the full budget; must pick up at KILL_AT + 1.
+    let resume_cfg = TrainConfig {
+        checkpoint: Some(CheckpointConfig::new(&dir)),
+        ..base_cfg()
+    };
+    let resumed = train(&resume_cfg);
+
+    assert_eq!(
+        resumed.param_hash, straight.param_hash,
+        "{tag}: resumed weights diverge from uninterrupted run"
+    );
+    assert_eq!(resumed.trace.len(), straight.trace.len(), "{tag}: trace length");
+    for (a, b) in resumed.trace.iter().zip(&straight.trace) {
+        assert_eq!(a.epoch, b.epoch, "{tag}: trace epoch");
+        assert_eq!(
+            a.metric.to_bits(),
+            b.metric.to_bits(),
+            "{tag}: epoch {} metric diverges",
+            a.epoch
+        );
+    }
+
+    // A second resume from the final checkpoint trains zero epochs and
+    // still reproduces the same fingerprint.
+    let again = train(&resume_cfg);
+    assert_eq!(again.param_hash, straight.param_hash, "{tag}: idempotent resume");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+fn with_nc_data<T>(f: impl FnOnce(&NcDataset<'_>) -> T) -> T {
+    let (kg, labels, papers) = fixtures::toy_nc();
+    let graph = HeteroGraph::build(&kg);
+    let (train, rest) = papers.split_at(12);
+    let (valid, test) = rest.split_at(4);
+    f(&NcDataset {
+        kg: &kg,
+        graph: &graph,
+        labels: &labels,
+        num_labels: 2,
+        train,
+        valid,
+        test,
+    })
+}
+
+fn with_lp_data<T>(f: impl FnOnce(&LpDataset<'_>) -> T) -> T {
+    let (kg, triples) = fixtures::toy_lp();
+    let graph = HeteroGraph::build(&kg);
+    let (train, rest) = triples.split_at(triples.len() - 6);
+    let (valid, test) = rest.split_at(3);
+    f(&LpDataset { kg: &kg, graph: &graph, train, valid, test })
+}
+
+#[test]
+fn rgcn_nc_resumes_bit_identical() {
+    with_nc_data(|data| assert_resumable("rgcn-nc", |cfg| train_rgcn_nc(data, cfg)));
+}
+
+#[test]
+fn rgcn_basis_nc_resumes_bit_identical() {
+    with_nc_data(|data| {
+        assert_resumable("rgcn-basis-nc", |cfg| train_rgcn_basis_nc(data, cfg, 2))
+    });
+}
+
+#[test]
+fn graphsaint_resumes_bit_identical() {
+    with_nc_data(|data| {
+        for (tag, sampler) in [
+            ("saint-urw", SaintSampler::Uniform),
+            ("saint-brw", SaintSampler::Biased),
+            ("saint-edge", SaintSampler::Edge),
+        ] {
+            assert_resumable(tag, |cfg| train_graphsaint_nc(data, cfg, sampler));
+        }
+    });
+}
+
+#[test]
+fn shadowsaint_resumes_bit_identical() {
+    with_nc_data(|data| assert_resumable("shadow-nc", |cfg| train_shadowsaint_nc(data, cfg)));
+}
+
+#[test]
+fn sehgnn_resumes_bit_identical() {
+    with_nc_data(|data| assert_resumable("sehgnn-nc", |cfg| train_sehgnn_nc(data, cfg)));
+}
+
+#[test]
+fn rgcn_lp_resumes_bit_identical() {
+    with_lp_data(|data| assert_resumable("rgcn-lp", |cfg| train_rgcn_lp(data, cfg)));
+}
+
+#[test]
+fn morse_resumes_bit_identical() {
+    with_lp_data(|data| assert_resumable("morse-lp", |cfg| train_morse_lp(data, cfg)));
+}
+
+#[test]
+fn lhgnn_resumes_bit_identical() {
+    with_lp_data(|data| assert_resumable("lhgnn-lp", |cfg| train_lhgnn_lp(data, cfg)));
+}
+
+/// A checkpoint left by one config must not leak into a different config's
+/// run: changing the seed starts fresh instead of resuming.
+#[test]
+fn mismatched_seed_starts_fresh() {
+    with_nc_data(|data| {
+        let dir = temp_dir("mismatch-seed");
+        let ck = Some(CheckpointConfig::new(&dir));
+        let cfg_a = TrainConfig { checkpoint: ck.clone(), ..base_cfg() };
+        train_rgcn_nc(data, &cfg_a);
+
+        let cfg_b = TrainConfig { seed: 99, checkpoint: ck, ..base_cfg() };
+        let fresh = TrainConfig { seed: 99, ..base_cfg() };
+        assert_eq!(
+            train_rgcn_nc(data, &cfg_b).param_hash,
+            train_rgcn_nc(data, &fresh).param_hash,
+            "stale checkpoint must be ignored on config change"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    });
+}

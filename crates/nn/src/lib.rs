@@ -18,6 +18,7 @@ pub mod metrics;
 pub mod rgcn;
 pub mod rgcn_basis;
 pub mod scoring;
+pub mod state;
 
 pub use linear::{Linear, LinearGrads};
 pub use metrics::{accuracy, rank_of, ranking_metrics, RankingMetrics};

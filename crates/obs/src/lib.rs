@@ -29,6 +29,9 @@
 //! * **Sinks** — a machine-readable JSONL event stream (enabled with
 //!   `--trace-out` or `KGTOSA_TRACE=<path>`) and a human-readable stderr
 //!   summary tree ([`render_summary_tree`]).
+//! * **Crash-path telemetry** — [`install_panic_hook`] arms a panic hook
+//!   that emits a final `panic` event (message, location, live span
+//!   stack) and flushes the trace before the process dies.
 //!
 //! Everything is std-only: no external dependencies, no global setup
 //! required. With no sink installed, a span costs two `Instant::now`
@@ -36,6 +39,7 @@
 
 mod diff;
 mod json;
+mod panic_hook;
 mod progress;
 mod prometheus;
 mod registry;
@@ -51,6 +55,7 @@ pub use progress::{
     emit_heartbeat, progress_json, progress_snapshot, progress_task, reset_progress,
     start_heartbeat, start_heartbeat_from_env, Progress, ProgressSnapshot,
 };
+pub use panic_hook::{install_panic_hook, panic_hook_installed};
 pub use prometheus::render_prometheus;
 pub use registry::{
     counter, gauge, histogram, histogram_with_bounds, metrics_snapshot, reset_registry,

@@ -134,7 +134,7 @@ pub fn progress_task(name: &str, total: Option<u64>) -> Progress {
         started: Instant::now(),
         end_s_bits: AtomicU64::new(RUNNING),
     });
-    let mut list = tasks().write().unwrap();
+    let mut list = tasks().write().unwrap_or_else(std::sync::PoisonError::into_inner);
     if list.len() >= MAX_TASKS {
         if let Some(i) = list.iter().position(|t| t.finished()) {
             list.remove(i);
@@ -148,7 +148,7 @@ pub fn progress_task(name: &str, total: Option<u64>) -> Progress {
 pub fn progress_snapshot() -> Vec<ProgressSnapshot> {
     tasks()
         .read()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|t| {
             let done = t.done.load(Ordering::Relaxed);
@@ -209,7 +209,7 @@ pub fn progress_json() -> Json {
 
 /// Clears the task list (tests only; live handles keep working detached).
 pub fn reset_progress() {
-    tasks().write().unwrap().clear();
+    tasks().write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
 }
 
 /// Writes one `heartbeat` event (progress + instrument counts) into the

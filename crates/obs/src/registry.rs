@@ -189,18 +189,18 @@ fn registry() -> &'static Registry {
 }
 
 pub fn counter(name: &str) -> Arc<Counter> {
-    if let Some(c) = registry().counters.read().unwrap().get(name) {
+    if let Some(c) = registry().counters.read().unwrap_or_else(std::sync::PoisonError::into_inner).get(name) {
         return Arc::clone(c);
     }
-    let mut map = registry().counters.write().unwrap();
+    let mut map = registry().counters.write().unwrap_or_else(std::sync::PoisonError::into_inner);
     Arc::clone(map.entry(name.to_string()).or_default())
 }
 
 pub fn gauge(name: &str) -> Arc<Gauge> {
-    if let Some(g) = registry().gauges.read().unwrap().get(name) {
+    if let Some(g) = registry().gauges.read().unwrap_or_else(std::sync::PoisonError::into_inner).get(name) {
         return Arc::clone(g);
     }
-    let mut map = registry().gauges.write().unwrap();
+    let mut map = registry().gauges.write().unwrap_or_else(std::sync::PoisonError::into_inner);
     Arc::clone(map.entry(name.to_string()).or_default())
 }
 
@@ -218,10 +218,10 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
 /// A histogram with explicit upper edges. The bounds are fixed on first
 /// registration; later calls with a different shape get the original.
 pub fn histogram_with_bounds(name: &str, bounds: &[f64]) -> Arc<Histogram> {
-    if let Some(h) = registry().histograms.read().unwrap().get(name) {
+    if let Some(h) = registry().histograms.read().unwrap_or_else(std::sync::PoisonError::into_inner).get(name) {
         return Arc::clone(h);
     }
-    let mut map = registry().histograms.write().unwrap();
+    let mut map = registry().histograms.write().unwrap_or_else(std::sync::PoisonError::into_inner);
     Arc::clone(
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(Histogram::new(bounds.to_vec()))),
@@ -229,7 +229,7 @@ pub fn histogram_with_bounds(name: &str, bounds: &[f64]) -> Arc<Histogram> {
 }
 
 pub(crate) fn record_span(name: &str, wall_s: f64, peak_delta: usize, allocs: u64) {
-    let mut map = registry().spans.write().unwrap();
+    let mut map = registry().spans.write().unwrap_or_else(std::sync::PoisonError::into_inner);
     let stat = map.entry(name.to_string()).or_default();
     stat.count += 1;
     stat.total_s += wall_s;
@@ -243,7 +243,7 @@ pub(crate) fn counter_values() -> Vec<(String, u64)> {
     let mut rows: Vec<_> = registry()
         .counters
         .read()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, v)| (k.clone(), v.get()))
         .collect();
@@ -256,7 +256,7 @@ pub(crate) fn gauge_values() -> Vec<(String, i64)> {
     let mut rows: Vec<_> = registry()
         .gauges
         .read()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, v)| (k.clone(), v.get()))
         .collect();
@@ -269,7 +269,7 @@ pub(crate) fn histogram_handles() -> Vec<(String, Arc<Histogram>)> {
     let mut rows: Vec<_> = registry()
         .histograms
         .read()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, v)| (k.clone(), Arc::clone(v)))
         .collect();
@@ -282,7 +282,7 @@ pub fn span_stats() -> Vec<(String, SpanStat)> {
     let mut rows: Vec<_> = registry()
         .spans
         .read()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, v)| (k.clone(), *v))
         .collect();
@@ -297,7 +297,7 @@ pub fn metrics_snapshot() -> Json {
     let mut counters: Vec<(String, Json)> = reg
         .counters
         .read()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, v)| (k.clone(), Json::Num(v.get() as f64)))
         .collect();
@@ -306,7 +306,7 @@ pub fn metrics_snapshot() -> Json {
     let mut gauges: Vec<(String, Json)> = reg
         .gauges
         .read()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, v)| (k.clone(), Json::Num(v.get() as f64)))
         .collect();
@@ -315,7 +315,7 @@ pub fn metrics_snapshot() -> Json {
     let mut histograms: Vec<(String, Json)> = reg
         .histograms
         .read()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, v)| {
             (
@@ -359,10 +359,10 @@ pub fn metrics_snapshot() -> Json {
 /// keep working but are detached from future lookups.
 pub fn reset_registry() {
     let reg = registry();
-    reg.counters.write().unwrap().clear();
-    reg.gauges.write().unwrap().clear();
-    reg.histograms.write().unwrap().clear();
-    reg.spans.write().unwrap().clear();
+    reg.counters.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    reg.gauges.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    reg.histograms.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    reg.spans.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
 }
 
 #[cfg(test)]

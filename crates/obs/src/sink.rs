@@ -14,6 +14,7 @@
 //! | `heartbeat` | `active_tasks`, `progress` (periodic snapshot + flush, written by the background flusher so interrupted runs keep a usable trace) |
 //! | `extract.quality` | `method`, the Table III quality indicators of the finished extraction |
 //! | `metrics` | `counters`, `gauges`, `histograms`, `spans` (final snapshot, written by [`shutdown`]) |
+//! | `panic` | `msg`, `location`, `spans` (last event of a crashed run, written by the panic hook) |
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -45,7 +46,7 @@ fn trace_epoch() -> Instant {
 pub fn init_trace_to(path: &str) -> std::io::Result<()> {
     let file = File::create(path)?;
     trace_epoch(); // pin t=0 at install time
-    *trace_writer().lock().unwrap() = Some(BufWriter::new(file));
+    *trace_writer().lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(BufWriter::new(file));
     TRACE_ON.store(true, Ordering::Release);
     crate::progress::start_heartbeat_from_env();
     Ok(())
@@ -53,7 +54,7 @@ pub fn init_trace_to(path: &str) -> std::io::Result<()> {
 
 /// Flushes the trace stream to disk (heartbeat ticks call this).
 pub(crate) fn flush_trace() {
-    if let Some(w) = trace_writer().lock().unwrap().as_mut() {
+    if let Some(w) = trace_writer().lock().unwrap_or_else(std::sync::PoisonError::into_inner).as_mut() {
         let _ = w.flush();
     }
 }
@@ -95,7 +96,7 @@ fn write_line(json: &Json) {
     let mut line = String::with_capacity(128);
     json.write(&mut line);
     line.push('\n');
-    if let Some(w) = trace_writer().lock().unwrap().as_mut() {
+    if let Some(w) = trace_writer().lock().unwrap_or_else(std::sync::PoisonError::into_inner).as_mut() {
         let _ = w.write_all(line.as_bytes());
     }
 }
@@ -115,6 +116,29 @@ pub fn emit_event(kind: &str, fields: Vec<(String, Json)>) {
         return;
     }
     write_line(&stamp(kind, fields));
+}
+
+/// Panic-path event write: never blocks and never panics. Uses `try_lock`
+/// so a panic raised *while the panicking thread holds the writer lock*
+/// degrades to dropping the event instead of deadlocking the hook, and
+/// flushes immediately because the process is about to die.
+pub(crate) fn emit_event_panic_safe(kind: &str, fields: Vec<(String, Json)>) {
+    if !trace_enabled() {
+        return;
+    }
+    let json = stamp(kind, fields);
+    let mut line = String::with_capacity(128);
+    json.write(&mut line);
+    line.push('\n');
+    let mut guard = match trace_writer().try_lock() {
+        Ok(g) => g,
+        Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => return,
+    };
+    if let Some(w) = guard.as_mut() {
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
 }
 
 pub(crate) fn emit_span(record: &SpanRecord) {
@@ -159,7 +183,7 @@ pub fn shutdown() {
         };
         write_line(&stamp("metrics", fields));
     }
-    if let Some(w) = trace_writer().lock().unwrap().as_mut() {
+    if let Some(w) = trace_writer().lock().unwrap_or_else(std::sync::PoisonError::into_inner).as_mut() {
         let _ = w.flush();
     }
 }

@@ -46,6 +46,18 @@ pub struct SpanGuard {
     done: bool,
 }
 
+/// Best-effort snapshot of the spans currently open on this thread,
+/// outermost first (each entry is a full dotted path). Returns `None`
+/// when the stack is unavailable — the thread-local was destroyed, or a
+/// panic unwound from inside span bookkeeping and the `RefCell` is still
+/// borrowed. Used by the panic hook; must never itself panic.
+pub(crate) fn live_stack() -> Option<Vec<String>> {
+    SPAN_STACK
+        .try_with(|stack| stack.try_borrow().ok().map(|s| s.clone()))
+        .ok()
+        .flatten()
+}
+
 /// Opens a span named `name` nested under any span already open on this
 /// thread.
 pub fn span(name: &str) -> SpanGuard {

@@ -12,14 +12,18 @@
 //!   with per-request accounting standing in for transfer/compression,
 //! * [`fetch_triples`] — the `initializeWorkers`/`RequestHandler` loop.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use kgtosa_kg::Triple;
 use kgtosa_par::Pool;
 
 use crate::ast::Query;
+use crate::checkpoint::FetchCheckpoint;
 use crate::error::RdfError;
 use crate::exec::{ResultSet, SparqlEngine, NULL_ID};
+use crate::fault::{fnv64, FaultPlan, FaultyEndpoint};
+use crate::retry::{RetryPolicy, RetryingEndpoint};
 use crate::store::RdfStore;
 
 /// A SPARQL SELECT endpoint.
@@ -28,14 +32,31 @@ pub trait SparqlEndpoint: Sync {
     fn select(&self, query: &Query) -> Result<ResultSet, RdfError>;
 
     /// Executes a count of the query's solutions (Algorithm 3's
-    /// `getGraphSize`, used to plan the pagination batches).
+    /// `getGraphSize`, used to plan the pagination batches). An empty
+    /// result set means zero solutions, not an error.
     fn count(&self, query: &Query) -> Result<usize, RdfError> {
         let mut counting = query.clone();
         counting.select = crate::ast::Selection::Count;
         counting.limit = None;
         counting.offset = None;
         let rs = self.select(&counting)?;
+        if rs.is_empty() {
+            return Ok(0);
+        }
         Ok(rs.row(0)[0] as usize)
+    }
+}
+
+/// Endpoint wrappers ([`FaultyEndpoint`], [`RetryingEndpoint`]) take their
+/// inner endpoint by value; this blanket impl lets them borrow one instead,
+/// and makes `&dyn SparqlEndpoint` an endpoint in its own right.
+impl<E: SparqlEndpoint + ?Sized> SparqlEndpoint for &E {
+    fn select(&self, query: &Query) -> Result<ResultSet, RdfError> {
+        (**self).select(query)
+    }
+
+    fn count(&self, query: &Query) -> Result<usize, RdfError> {
+        (**self).count(query)
     }
 }
 
@@ -112,8 +133,21 @@ impl SparqlEndpoint for InProcessEndpoint<'_, '_> {
     }
 }
 
+/// What a request-handler does when a page request ultimately fails
+/// (after any retry policy has been exhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FetchMode {
+    /// Abort the fetch on the first failed page (completed pages still
+    /// land in the checkpoint, so a re-run resumes).
+    #[default]
+    Strict,
+    /// Record the failure, keep fetching the remaining pages, and return
+    /// what was retrieved with an explicit completeness fraction.
+    Partial,
+}
+
 /// Configuration of the parallel paginated retrieval (Algorithm 3 inputs
-/// `bs` and `P`).
+/// `bs` and `P`), plus the fault-tolerance layer around it.
 #[derive(Debug, Clone)]
 pub struct FetchConfig {
     /// Page size per request (`bs`).
@@ -123,6 +157,17 @@ pub struct FetchConfig {
     /// available parallelism), capped at 16 — past that, extra request
     /// handlers only contend on the store.
     pub threads: usize,
+    /// Retry transient endpoint failures per this policy. `None` fails
+    /// fast on the first error.
+    pub retry: Option<RetryPolicy>,
+    /// Deterministic fault injection, for chaos testing the layer above.
+    pub fault: Option<FaultPlan>,
+    /// Failure handling: strict abort (default) or degrade to a partial
+    /// result with a completeness fraction.
+    pub mode: FetchMode,
+    /// Page checkpoint file: completed `(subquery, offset)` pages are
+    /// persisted here so a re-run skips them.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Default for FetchConfig {
@@ -130,8 +175,57 @@ impl Default for FetchConfig {
         Self {
             batch_size: 100_000,
             threads: kgtosa_par::current_threads().min(16),
+            retry: None,
+            fault: None,
+            mode: FetchMode::Strict,
+            checkpoint: None,
         }
     }
+}
+
+/// What a fetch produced, beyond the triples themselves: pagination
+/// accounting from which an explicit completeness fraction is derived.
+#[derive(Debug)]
+pub struct FetchOutcome {
+    /// The merged, deduplicated data triples.
+    pub triples: Vec<Triple>,
+    /// Pages the fetch believes exist (completed + failed, floored by the
+    /// `getGraphSize` estimate in partial mode).
+    pub planned_pages: usize,
+    /// Pages successfully retrieved (this run or resumed from the
+    /// checkpoint).
+    pub completed_pages: usize,
+    /// Pages that ultimately failed (after retries).
+    pub failed_pages: usize,
+    /// Pages skipped because a checkpoint already had them.
+    pub resumed_pages: usize,
+}
+
+impl FetchOutcome {
+    /// Fraction of planned pages that were actually retrieved, in
+    /// `[0, 1]`. `1.0` means the extraction is complete.
+    pub fn completeness(&self) -> f64 {
+        if self.planned_pages == 0 {
+            1.0
+        } else {
+            self.completed_pages as f64 / self.planned_pages as f64
+        }
+    }
+
+    /// Whether every planned page was retrieved.
+    pub fn is_complete(&self) -> bool {
+        self.failed_pages == 0 && self.completed_pages >= self.planned_pages
+    }
+}
+
+/// Per-subquery result of one request handler.
+struct SubFetch {
+    new_pages: Vec<(u64, Vec<Triple>)>,
+    exhausted: bool,
+    /// `getGraphSize`-based page estimate (0 when not queried/unknown).
+    estimate: usize,
+    failed_pages: usize,
+    error: Option<RdfError>,
 }
 
 /// Fetches all data triples matched by a set of subqueries.
@@ -142,6 +236,9 @@ impl Default for FetchConfig {
 /// pages its subquery with `LIMIT`/`OFFSET` until exhaustion. Rows with
 /// unbound triple variables or synthetic `rdf:type` components are
 /// skipped; the merged result is deduplicated (Algorithm 3 line 10).
+///
+/// This is the strict fail-fast entry point; [`fetch_triples_robust`]
+/// exposes retry, fault injection, checkpoint resume, and partial mode.
 pub fn fetch_triples<E: SparqlEndpoint>(
     endpoint: &E,
     store: &RdfStore<'_>,
@@ -149,69 +246,229 @@ pub fn fetch_triples<E: SparqlEndpoint>(
     triple_vars: (&str, &str, &str),
     cfg: &FetchConfig,
 ) -> Result<Vec<Triple>, RdfError> {
+    fetch_triples_robust(endpoint, store, subqueries, triple_vars, cfg).map(|o| o.triples)
+}
+
+/// Stable fingerprint of a fetch shape, binding checkpoints to the exact
+/// subqueries, page size, and projection they were written for.
+fn fetch_key(subqueries: &[Query], triple_vars: (&str, &str, &str), batch_size: usize) -> u64 {
+    let mut text = format!("bs={batch_size};vars={triple_vars:?}");
+    for q in subqueries {
+        text.push('\n');
+        text.push_str(&q.to_string());
+    }
+    fnv64(text.as_bytes())
+}
+
+/// [`fetch_triples`] with the full fault-tolerance layer engaged: wraps
+/// the endpoint per `cfg.fault` / `cfg.retry`, resumes completed pages
+/// from `cfg.checkpoint`, and in [`FetchMode::Partial`] degrades to an
+/// incomplete result (with an explicit completeness fraction) instead of
+/// aborting. Even in strict mode, pages completed before the failure are
+/// saved to the checkpoint so the re-run does not repeat them.
+pub fn fetch_triples_robust<E: SparqlEndpoint>(
+    endpoint: &E,
+    store: &RdfStore<'_>,
+    subqueries: &[Query],
+    triple_vars: (&str, &str, &str),
+    cfg: &FetchConfig,
+) -> Result<FetchOutcome, RdfError> {
     let _guard = kgtosa_obs::span!("rdf.fetch");
+    // Assemble the endpoint stack: faults innermost (they model the
+    // flaky engine), retries around them (they model our client).
+    let base: &dyn SparqlEndpoint = endpoint;
+    let faulty;
+    let base: &dyn SparqlEndpoint = match &cfg.fault {
+        Some(plan) => {
+            faulty = FaultyEndpoint::new(base, plan.clone());
+            &faulty
+        }
+        None => base,
+    };
+    let retrying;
+    let base: &dyn SparqlEndpoint = match &cfg.retry {
+        Some(policy) => {
+            retrying = RetryingEndpoint::new(base, policy.clone());
+            &retrying
+        }
+        None => base,
+    };
+
+    let key = fetch_key(subqueries, triple_vars, cfg.batch_size);
+    let mut ckpt = match &cfg.checkpoint {
+        Some(path) => FetchCheckpoint::load_or_new(path, key, subqueries.len()),
+        None => FetchCheckpoint::new(key, subqueries.len()),
+    };
+    let resumed_pages = ckpt.completed_pages();
+    if resumed_pages > 0 {
+        kgtosa_obs::counter("rdf.fetch.pages.resumed").add(resumed_pages as u64);
+        kgtosa_obs::info!("rdf.fetch: resuming past {resumed_pages} checkpointed pages");
+    }
+
     // Live progress: one unit per subquery (page counts are unknown until
     // each handler exhausts its pagination).
     let progress = kgtosa_obs::telemetry_active()
         .then(|| kgtosa_obs::progress_task("rdf.fetch", Some(subqueries.len() as u64)));
-    let per_subquery = Pool::new(cfg.threads).par_map_collect("rdf.fetch", subqueries, |_, q| {
-        let mut local: Vec<Triple> = Vec::new();
-        let result = page_subquery(endpoint, store, q, triple_vars, cfg, &mut local).map(|()| local);
-        if let Some(progress) = &progress {
-            progress.advance(1);
+    let ckpt_ref = &ckpt;
+    let per_subquery: Vec<SubFetch> =
+        Pool::new(cfg.threads).par_map_collect("rdf.fetch", subqueries, |i, q| {
+            let result = page_subquery(base, store, i, q, triple_vars, cfg, ckpt_ref);
+            if let Some(progress) = &progress {
+                progress.advance(1);
+            }
+            result
+        });
+    drop(progress);
+
+    // Merge handler results into the checkpoint and tally the accounting.
+    let (mut planned, mut completed, mut failed) = (0usize, 0usize, 0usize);
+    let mut first_error: Option<RdfError> = None;
+    for (i, sub) in per_subquery.into_iter().enumerate() {
+        for (offset, triples) in sub.new_pages {
+            ckpt.record_page(i, offset, triples);
         }
-        result
-    });
-    let mut triples = Vec::new();
-    for result in per_subquery {
-        triples.append(&mut result?);
+        if sub.exhausted {
+            ckpt.mark_exhausted(i);
+        }
+        let done = ckpt.pages_done(i);
+        completed += done;
+        failed += sub.failed_pages;
+        planned += if ckpt.is_exhausted(i) {
+            // Exhausted means the final short page was seen; any failed
+            // pages in between are still missing from the result.
+            done + sub.failed_pages
+        } else {
+            sub.estimate.max(done + sub.failed_pages)
+        };
+        if first_error.is_none() {
+            first_error = sub.error;
+        }
     }
+    if let Some(path) = &cfg.checkpoint {
+        if let Err(e) = ckpt.save(path) {
+            kgtosa_obs::info!("rdf.fetch: cannot save checkpoint {}: {e}", path.display());
+        }
+    }
+    if cfg.mode == FetchMode::Strict {
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+    }
+
+    let mut triples = ckpt.all_triples();
     triples.sort_unstable();
     triples.dedup();
-    Ok(triples)
+    Ok(FetchOutcome {
+        triples,
+        planned_pages: planned,
+        completed_pages: completed,
+        failed_pages: failed,
+        resumed_pages,
+    })
 }
 
-fn page_subquery<E: SparqlEndpoint>(
-    endpoint: &E,
+fn page_subquery(
+    endpoint: &dyn SparqlEndpoint,
     store: &RdfStore<'_>,
+    sub: usize,
     query: &Query,
     triple_vars: (&str, &str, &str),
     cfg: &FetchConfig,
-    out: &mut Vec<Triple>,
-) -> Result<(), RdfError> {
-    let mut offset = 0usize;
-    loop {
-        let page = endpoint.select(&query.with_page(cfg.batch_size, offset))?;
-        kgtosa_obs::counter("rdf.fetch.pages").inc();
-        let (cs, cp, co) = (
-            page.col(triple_vars.0),
-            page.col(triple_vars.1),
-            page.col(triple_vars.2),
-        );
-        let (cs, cp, co) = match (cs, cp, co) {
-            (Some(a), Some(b), Some(c)) => (a, b, c),
-            _ => {
-                return Err(RdfError::exec(format!(
-                    "subquery does not project triple vars {triple_vars:?}"
-                )))
-            }
-        };
-        let rows = page.len();
-        for i in 0..rows {
-            let row = page.row(i);
-            let (s, p, o) = (row[cs], row[cp], row[co]);
-            if s == NULL_ID || p == NULL_ID || o == NULL_ID {
-                continue;
-            }
-            if let Some(t) = store.to_data_triple(s, p, o) {
-                out.push(t);
-            }
-        }
-        if rows < cfg.batch_size {
-            return Ok(());
-        }
-        offset += cfg.batch_size;
+    ckpt: &FetchCheckpoint,
+) -> SubFetch {
+    let mut out = SubFetch {
+        new_pages: Vec::new(),
+        exhausted: ckpt.is_exhausted(sub),
+        estimate: 0,
+        failed_pages: 0,
+        error: None,
+    };
+    if out.exhausted {
+        return out;
     }
+    // Partial mode needs to know how far pagination reaches so it can step
+    // over a failed page instead of stopping; Algorithm 3's `getGraphSize`
+    // provides exactly that. The count is advisory: if it fails too, the
+    // handler just cannot continue past an error.
+    if cfg.mode == FetchMode::Partial {
+        match endpoint.count(query) {
+            Ok(rows) => out.estimate = rows.div_ceil(cfg.batch_size.max(1)),
+            Err(e) => kgtosa_obs::info!("rdf.fetch: getGraphSize failed: {e}"),
+        }
+    }
+    let mut page_idx = 0usize;
+    loop {
+        let offset = page_idx * cfg.batch_size;
+        if ckpt.has_page(sub, offset as u64) {
+            page_idx += 1;
+            continue;
+        }
+        match endpoint.select(&query.with_page(cfg.batch_size, offset)) {
+            Ok(page) => {
+                kgtosa_obs::counter("rdf.fetch.pages").inc();
+                let rows = page.len();
+                match page_triples(store, &page, triple_vars) {
+                    Ok(triples) => out.new_pages.push((offset as u64, triples)),
+                    Err(e) => {
+                        // Misprojected subquery: no page of it can succeed.
+                        out.failed_pages += 1;
+                        out.error = Some(e);
+                        return out;
+                    }
+                }
+                if rows < cfg.batch_size {
+                    out.exhausted = true;
+                    return out;
+                }
+                page_idx += 1;
+            }
+            Err(e) => {
+                kgtosa_obs::counter("rdf.fetch.pages.failed").inc();
+                out.failed_pages += 1;
+                if out.error.is_none() {
+                    out.error = Some(e);
+                }
+                page_idx += 1;
+                // Only partial mode continues past a failed page, and only
+                // while the size estimate says more pages exist.
+                if cfg.mode == FetchMode::Strict || page_idx >= out.estimate {
+                    return out;
+                }
+            }
+        }
+    }
+}
+
+fn page_triples(
+    store: &RdfStore<'_>,
+    page: &ResultSet,
+    triple_vars: (&str, &str, &str),
+) -> Result<Vec<Triple>, RdfError> {
+    let (cs, cp, co) = (
+        page.col(triple_vars.0),
+        page.col(triple_vars.1),
+        page.col(triple_vars.2),
+    );
+    let (cs, cp, co) = match (cs, cp, co) {
+        (Some(a), Some(b), Some(c)) => (a, b, c),
+        _ => {
+            return Err(RdfError::exec(format!(
+                "subquery does not project triple vars {triple_vars:?}"
+            )))
+        }
+    };
+    let mut out = Vec::new();
+    for i in 0..page.len() {
+        let row = page.row(i);
+        let (s, p, o) = (row[cs], row[cp], row[co]);
+        if s == NULL_ID || p == NULL_ID || o == NULL_ID {
+            continue;
+        }
+        if let Some(t) = store.to_data_triple(s, p, o) {
+            out.push(t);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -256,6 +513,7 @@ mod tests {
         let cfg = FetchConfig {
             batch_size: 4,
             threads: 3,
+            ..FetchConfig::default()
         };
         let triples = fetch_triples(&ep, &store, &[q], ("s", "p", "o"), &cfg).unwrap();
         // 25 writes triples; rdf:type rows are filtered.
@@ -279,6 +537,7 @@ mod tests {
             &FetchConfig {
                 batch_size: 100,
                 threads: 2,
+                ..FetchConfig::default()
             },
         )
         .unwrap();
@@ -303,5 +562,154 @@ mod tests {
         let triples =
             fetch_triples(&ep, &store, &[], ("s", "p", "o"), &FetchConfig::default()).unwrap();
         assert!(triples.is_empty());
+    }
+
+    /// Regression: `count` used to index `rs.row(0)` and panic when the
+    /// engine returned an empty result set instead of a zero-count row.
+    #[test]
+    fn count_of_empty_result_set_is_zero() {
+        struct EmptyEndpoint;
+        impl SparqlEndpoint for EmptyEndpoint {
+            fn select(&self, _query: &Query) -> Result<ResultSet, RdfError> {
+                Ok(ResultSet::with_vars(vec!["count".into()]))
+            }
+        }
+        let q = crate::parser::parse("SELECT ?s WHERE { ?s <writes> ?o }").unwrap();
+        assert_eq!(EmptyEndpoint.count(&q).unwrap(), 0);
+    }
+
+    #[test]
+    fn faulty_fetch_with_retry_matches_clean_fetch() {
+        let kg = kg(30);
+        let store = RdfStore::new(&kg);
+        let ep = InProcessEndpoint::new(&store);
+        let q = parse("SELECT ?s ?p ?o WHERE { ?s ?p ?o . ?s a <Author> }").unwrap();
+        let clean = fetch_triples(
+            &ep,
+            &store,
+            std::slice::from_ref(&q),
+            ("s", "p", "o"),
+            &FetchConfig {
+                batch_size: 4,
+                threads: 2,
+                ..FetchConfig::default()
+            },
+        )
+        .unwrap();
+        let chaotic = fetch_triples_robust(
+            &ep,
+            &store,
+            &[q],
+            ("s", "p", "o"),
+            &FetchConfig {
+                batch_size: 4,
+                threads: 2,
+                fault: Some(crate::fault::FaultPlan {
+                    fault_rate: 0.8,
+                    max_burst: 2,
+                    ..Default::default()
+                }),
+                retry: Some(crate::retry::RetryPolicy {
+                    base_backoff_us: 1,
+                    max_backoff_us: 10,
+                    ..Default::default()
+                }),
+                ..FetchConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(chaotic.triples, clean, "transient faults must not alter output");
+        assert!((chaotic.completeness() - 1.0).abs() < f64::EPSILON);
+        assert!(chaotic.is_complete());
+    }
+
+    /// An endpoint where one specific page is permanently broken: offset 8
+    /// always fails with a fatal error, everything else works.
+    struct BrokenPage<'s, 'kg> {
+        ep: InProcessEndpoint<'s, 'kg>,
+    }
+
+    impl SparqlEndpoint for BrokenPage<'_, '_> {
+        fn select(&self, query: &Query) -> Result<ResultSet, RdfError> {
+            if query.offset == Some(8) {
+                return Err(RdfError::exec("page permanently broken"));
+            }
+            self.ep.select(query)
+        }
+    }
+
+    #[test]
+    fn partial_mode_degrades_with_completeness_fraction() {
+        let kg = kg(30);
+        let store = RdfStore::new(&kg);
+        let ep = BrokenPage {
+            ep: InProcessEndpoint::new(&store),
+        };
+        // Binds exactly the 30 `writes` rows (no rdf:type rows), so the
+        // page arithmetic below is exact.
+        let q = parse("SELECT ?s ?p ?o WHERE { ?s <writes> ?o . ?s ?p ?o }").unwrap();
+        let cfg = FetchConfig {
+            batch_size: 4,
+            threads: 1,
+            mode: FetchMode::Partial,
+            ..FetchConfig::default()
+        };
+        // 30 rows / bs 4 -> 8 planned pages, page at offset 8 lost.
+        let outcome =
+            fetch_triples_robust(&ep, &store, std::slice::from_ref(&q), ("s", "p", "o"), &cfg)
+                .unwrap();
+        assert_eq!(outcome.planned_pages, 8);
+        assert_eq!(outcome.completed_pages, 7);
+        assert_eq!(outcome.failed_pages, 1);
+        assert_eq!(outcome.triples.len(), 26, "the 4 rows of the broken page are lost");
+        assert!((outcome.completeness() - 7.0 / 8.0).abs() < 1e-12);
+        assert!(!outcome.is_complete());
+
+        // Strict mode aborts on the same endpoint.
+        let strict = fetch_triples_robust(
+            &ep,
+            &store,
+            &[q],
+            ("s", "p", "o"),
+            &FetchConfig {
+                mode: FetchMode::Strict,
+                ..cfg
+            },
+        );
+        assert!(strict.is_err());
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_pages() {
+        let kg = kg(30);
+        let store = RdfStore::new(&kg);
+        let dir = std::env::temp_dir().join("kgtosa-fetch-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fetch.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let q = parse("SELECT ?s ?p ?o WHERE { ?s ?p ?o . ?s a <Author> }").unwrap();
+        let cfg = FetchConfig {
+            batch_size: 4,
+            threads: 1,
+            checkpoint: Some(path.clone()),
+            ..FetchConfig::default()
+        };
+
+        // First run completes and persists its pages.
+        let ep = InProcessEndpoint::new(&store);
+        let first =
+            fetch_triples_robust(&ep, &store, std::slice::from_ref(&q), ("s", "p", "o"), &cfg)
+                .unwrap();
+        assert_eq!(first.resumed_pages, 0);
+        assert!(first.completed_pages >= 7);
+
+        // Second run resumes everything: zero new page requests.
+        let ep2 = InProcessEndpoint::new(&store);
+        let second = fetch_triples_robust(&ep2, &store, &[q], ("s", "p", "o"), &cfg).unwrap();
+        assert_eq!(second.resumed_pages, first.completed_pages);
+        assert_eq!(ep2.stats().requests(), 0, "resumed fetch must skip all pages");
+        assert_eq!(second.triples, first.triples);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 }

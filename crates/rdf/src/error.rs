@@ -14,6 +14,10 @@ pub enum RdfError {
     },
     /// Semantic or runtime execution error.
     Exec(String),
+    /// Transient endpoint failure (timeout, connection drop, rate limit):
+    /// the same request may succeed if retried. Parse/Exec errors are fatal
+    /// — resending an ill-formed query cannot help.
+    Transient(String),
 }
 
 impl RdfError {
@@ -29,6 +33,17 @@ impl RdfError {
     pub fn exec(message: impl Into<String>) -> Self {
         RdfError::Exec(message.into())
     }
+
+    /// Builds a transient (retryable) error.
+    pub fn transient(message: impl Into<String>) -> Self {
+        RdfError::Transient(message.into())
+    }
+
+    /// Classifies the error for retry purposes: `true` means the request
+    /// may succeed on resend, `false` means retrying is pointless.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RdfError::Transient(_))
+    }
 }
 
 impl fmt::Display for RdfError {
@@ -38,6 +53,7 @@ impl fmt::Display for RdfError {
                 write!(f, "parse error at byte {offset}: {message}")
             }
             RdfError::Exec(message) => write!(f, "execution error: {message}"),
+            RdfError::Transient(message) => write!(f, "transient endpoint error: {message}"),
         }
     }
 }
@@ -54,5 +70,14 @@ mod tests {
         assert_eq!(e.to_string(), "parse error at byte 4: oops");
         let e = RdfError::exec("bad");
         assert_eq!(e.to_string(), "execution error: bad");
+        let e = RdfError::transient("timeout");
+        assert_eq!(e.to_string(), "transient endpoint error: timeout");
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(RdfError::transient("x").is_transient());
+        assert!(!RdfError::exec("x").is_transient());
+        assert!(!RdfError::parse(0, "x").is_transient());
     }
 }

@@ -42,6 +42,12 @@ impl ResultSet {
         }
     }
 
+    /// An empty result set over the given columns — the shape a mock or
+    /// remote endpoint returns when a query has no solutions.
+    pub fn with_vars(vars: Vec<String>) -> Self {
+        Self::new(vars)
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.data.len().checked_div(self.width).unwrap_or(0)

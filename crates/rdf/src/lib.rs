@@ -30,18 +30,27 @@
 //! ```
 
 pub mod ast;
+pub mod checkpoint;
 pub mod endpoint;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod hexastore;
 pub mod lexer;
 pub mod ntriples;
 pub mod parser;
+pub mod retry;
 pub mod store;
 
 pub use ast::{Element, Group, Query, Selection, Term, TriplePattern};
-pub use endpoint::{fetch_triples, EndpointStats, FetchConfig, InProcessEndpoint, SparqlEndpoint};
+pub use checkpoint::FetchCheckpoint;
+pub use endpoint::{
+    fetch_triples, fetch_triples_robust, EndpointStats, FetchConfig, FetchMode, FetchOutcome,
+    InProcessEndpoint, SparqlEndpoint,
+};
 pub use error::RdfError;
+pub use fault::{FaultDecision, FaultPlan, FaultyEndpoint};
+pub use retry::{RetryPolicy, RetryingEndpoint};
 pub use exec::{ResultSet, SparqlEngine, NULL_ID};
 pub use hexastore::{Hexastore, Order};
 pub use ntriples::{read_ntriples, write_ntriples};

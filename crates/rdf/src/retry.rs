@@ -1,0 +1,328 @@
+//! Retry/backoff layer over [`SparqlEndpoint`].
+//!
+//! Algorithm 3's request handlers fire thousands of paginated requests at
+//! the RDF engine; in a live deployment any of them can fail transiently.
+//! [`RetryingEndpoint`] makes that loop survivable: transient errors (as
+//! classified by [`RdfError::is_transient`]) are retried with exponential
+//! backoff and *seeded* jitter — deterministic per request, so chaos runs
+//! reproduce — while fatal errors (parse/exec) propagate immediately.
+//! Every retry bumps the `rdf.retries` counter and emits an `rdf.retry`
+//! event into the kgtosa-obs trace; exhausting the policy bumps
+//! `rdf.giveups`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::ast::Query;
+use crate::endpoint::SparqlEndpoint;
+use crate::error::RdfError;
+use crate::exec::ResultSet;
+use crate::fault::{mix64, request_key, unit_frac};
+
+/// When to stop retrying and how long to wait in between.
+///
+/// Parsed from a `--retry` string of comma-separated `key=value` pairs,
+/// e.g. `attempts=6,base-us=200,max-us=20000,seed=7`:
+///
+/// | key                   | meaning                                      | default |
+/// |-----------------------|----------------------------------------------|---------|
+/// | `attempts`            | total attempts per request (first + retries) | 5       |
+/// | `base-us`             | backoff before the first retry (µs)          | 200     |
+/// | `max-us`              | backoff cap (µs)                             | 20000   |
+/// | `seed`                | jitter seed                                  | 7       |
+/// | `request-deadline-ms` | wall-clock budget per request incl. retries  | none    |
+/// | `fetch-deadline-ms`   | wall-clock budget for the whole endpoint     | none    |
+///
+/// The defaults are sized for the in-process engine used in tests; a real
+/// HTTP deployment would use millisecond-scale backoffs.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per request (the first send counts as attempt 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in microseconds.
+    pub base_backoff_us: u64,
+    /// Upper bound on a single backoff, in microseconds.
+    pub max_backoff_us: u64,
+    /// Seed of the deterministic jitter.
+    pub jitter_seed: u64,
+    /// Wall-clock budget for one request including its retries.
+    pub request_deadline: Option<Duration>,
+    /// Wall-clock budget for the whole fetch (endpoint lifetime).
+    pub fetch_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_backoff_us: 200,
+            max_backoff_us: 20_000,
+            jitter_seed: 7,
+            request_deadline: None,
+            fetch_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Parses a `--retry` string; see the type docs for the grammar.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut policy = RetryPolicy::default();
+        for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("retry entry {pair:?} is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let int = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("retry {key}={value:?}: expected an integer"))
+            };
+            match key {
+                "attempts" => policy.max_attempts = int(value)? as u32,
+                "base-us" => policy.base_backoff_us = int(value)?,
+                "max-us" => policy.max_backoff_us = int(value)?,
+                "seed" => policy.jitter_seed = int(value)?,
+                "request-deadline-ms" => {
+                    policy.request_deadline = Some(Duration::from_millis(int(value)?))
+                }
+                "fetch-deadline-ms" => {
+                    policy.fetch_deadline = Some(Duration::from_millis(int(value)?))
+                }
+                other => return Err(format!("unknown retry key {other:?}")),
+            }
+        }
+        if policy.max_attempts == 0 {
+            return Err("retry attempts must be >= 1".into());
+        }
+        Ok(policy)
+    }
+
+    /// Backoff before retry number `retry` (1-based) of the request
+    /// identified by `key`: exponential growth capped at `max_backoff_us`,
+    /// scaled into `[1/2, 1)` of the nominal delay by seeded jitter so
+    /// concurrent handlers don't stampede in lockstep — yet every run with
+    /// the same seed waits exactly as long.
+    pub fn backoff(&self, key: u64, retry: u32) -> Duration {
+        let exp = self
+            .base_backoff_us
+            .saturating_mul(1u64 << (retry - 1).min(20))
+            .min(self.max_backoff_us);
+        let jitter = unit_frac(mix64(self.jitter_seed ^ key ^ retry as u64));
+        Duration::from_micros(exp / 2 + (exp as f64 / 2.0 * jitter) as u64)
+    }
+}
+
+/// A [`SparqlEndpoint`] wrapper retrying transient failures per
+/// [`RetryPolicy`], with obs counters and retry events.
+pub struct RetryingEndpoint<E> {
+    inner: E,
+    policy: RetryPolicy,
+    started: Instant,
+    retries: AtomicU64,
+    giveups: AtomicU64,
+}
+
+impl<E: SparqlEndpoint> RetryingEndpoint<E> {
+    /// Wraps an endpoint. The whole-fetch deadline clock starts here.
+    pub fn new(inner: E, policy: RetryPolicy) -> Self {
+        Self {
+            inner,
+            policy,
+            started: Instant::now(),
+            retries: AtomicU64::new(0),
+            giveups: AtomicU64::new(0),
+        }
+    }
+
+    /// Retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Requests abandoned after exhausting the policy.
+    pub fn giveups(&self) -> u64 {
+        self.giveups.load(Ordering::Relaxed)
+    }
+
+    fn fetch_deadline_exceeded(&self) -> bool {
+        self.policy
+            .fetch_deadline
+            .is_some_and(|d| self.started.elapsed() >= d)
+    }
+
+    fn give_up(&self, key: u64, attempt: u32, why: &str, err: RdfError) -> RdfError {
+        self.giveups.fetch_add(1, Ordering::Relaxed);
+        kgtosa_obs::counter("rdf.giveups").inc();
+        if kgtosa_obs::telemetry_active() {
+            kgtosa_obs::emit_event(
+                "rdf.giveup",
+                vec![
+                    ("request".into(), kgtosa_obs::Json::Str(format!("{key:016x}"))),
+                    ("attempts".into(), kgtosa_obs::Json::Num(attempt as f64)),
+                    ("why".into(), kgtosa_obs::Json::Str(why.into())),
+                ],
+            );
+        }
+        // The give-up is final: downgrade to a fatal error so no outer
+        // layer retries a request this policy already abandoned.
+        RdfError::exec(format!("gave up after {attempt} attempts ({why}): {err}"))
+    }
+}
+
+impl<E: SparqlEndpoint> SparqlEndpoint for RetryingEndpoint<E> {
+    fn select(&self, query: &Query) -> Result<ResultSet, RdfError> {
+        let key = request_key(query);
+        let request_start = Instant::now();
+        let mut attempt = 1u32;
+        loop {
+            let err = match self.inner.select(query) {
+                Ok(rs) => return Ok(rs),
+                Err(e) if !e.is_transient() => return Err(e),
+                Err(e) => e,
+            };
+            if attempt >= self.policy.max_attempts {
+                return Err(self.give_up(key, attempt, "attempts exhausted", err));
+            }
+            if self.fetch_deadline_exceeded() {
+                return Err(self.give_up(key, attempt, "fetch deadline exceeded", err));
+            }
+            if self
+                .policy
+                .request_deadline
+                .is_some_and(|d| request_start.elapsed() >= d)
+            {
+                return Err(self.give_up(key, attempt, "request deadline exceeded", err));
+            }
+            let backoff = self.policy.backoff(key, attempt);
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            kgtosa_obs::counter("rdf.retries").inc();
+            if kgtosa_obs::telemetry_active() {
+                kgtosa_obs::emit_event(
+                    "rdf.retry",
+                    vec![
+                        ("request".into(), kgtosa_obs::Json::Str(format!("{key:016x}"))),
+                        ("attempt".into(), kgtosa_obs::Json::Num(attempt as f64)),
+                        (
+                            "backoff_us".into(),
+                            kgtosa_obs::Json::Num(backoff.as_micros() as f64),
+                        ),
+                        ("error".into(), kgtosa_obs::Json::Str(err.to_string())),
+                    ],
+                );
+            }
+            std::thread::sleep(backoff);
+            attempt += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultyEndpoint};
+    use crate::parser::parse;
+    use crate::store::RdfStore;
+    use crate::InProcessEndpoint;
+    use kgtosa_kg::KnowledgeGraph;
+
+    fn kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        for i in 0..6 {
+            kg.add_triple_terms(&format!("a{i}"), "Author", "writes", "p0", "Paper");
+        }
+        kg
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            base_backoff_us: 1,
+            max_backoff_us: 10,
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn parse_spec() {
+        let p = RetryPolicy::parse("attempts=7,base-us=50,max-us=500,request-deadline-ms=9")
+            .unwrap();
+        assert_eq!(p.max_attempts, 7);
+        assert_eq!(p.base_backoff_us, 50);
+        assert_eq!(p.max_backoff_us, 500);
+        assert_eq!(p.request_deadline, Some(Duration::from_millis(9)));
+        assert!(RetryPolicy::parse("attempts=0").is_err());
+        assert!(RetryPolicy::parse("bogus=1").is_err());
+    }
+
+    #[test]
+    fn backoff_grows_capped_and_deterministic() {
+        let p = RetryPolicy {
+            base_backoff_us: 100,
+            max_backoff_us: 1_000,
+            ..RetryPolicy::default()
+        };
+        let b1 = p.backoff(42, 1);
+        let b4 = p.backoff(42, 4);
+        assert!(b1 >= Duration::from_micros(50) && b1 < Duration::from_micros(100));
+        // Nominal delay at retry 4 is 800µs (capped at 1000); jitter keeps
+        // it in [nominal/2, nominal).
+        assert!(b4 >= Duration::from_micros(400) && b4 < Duration::from_micros(800));
+        assert_eq!(p.backoff(42, 3), p.backoff(42, 3), "jitter must be seeded");
+    }
+
+    #[test]
+    fn retries_through_transient_faults() {
+        let kg = kg();
+        let store = RdfStore::new(&kg);
+        let ep = InProcessEndpoint::new(&store);
+        let plan = FaultPlan {
+            fault_rate: 1.0,
+            max_burst: 3,
+            ..FaultPlan::default()
+        };
+        let retrying = RetryingEndpoint::new(FaultyEndpoint::new(&ep, plan), fast_policy());
+        let q = parse("SELECT ?s ?o WHERE { ?s <writes> ?o }").unwrap();
+        let rs = retrying.select(&q).unwrap();
+        assert_eq!(rs.len(), 6);
+        assert!(retrying.retries() >= 1 && retrying.retries() <= 3);
+        assert_eq!(retrying.giveups(), 0);
+    }
+
+    #[test]
+    fn gives_up_when_attempts_exhausted() {
+        let kg = kg();
+        let store = RdfStore::new(&kg);
+        let ep = InProcessEndpoint::new(&store);
+        let plan = FaultPlan {
+            fault_rate: 1.0,
+            max_burst: 10,
+            ..FaultPlan::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..fast_policy()
+        };
+        let retrying = RetryingEndpoint::new(FaultyEndpoint::new(&ep, plan), policy);
+        let q = parse("SELECT ?s ?o WHERE { ?s <writes> ?o }").unwrap();
+        let err = retrying.select(&q).unwrap_err();
+        assert!(!err.is_transient(), "give-up must not invite outer retries");
+        assert!(err.to_string().contains("gave up after 3 attempts"));
+        assert_eq!(retrying.retries(), 2);
+        assert_eq!(retrying.giveups(), 1);
+    }
+
+    #[test]
+    fn fatal_errors_pass_straight_through() {
+        struct FatalEndpoint;
+        impl SparqlEndpoint for FatalEndpoint {
+            fn select(&self, _q: &Query) -> Result<ResultSet, RdfError> {
+                Err(RdfError::exec("boom"))
+            }
+        }
+        let retrying = RetryingEndpoint::new(FatalEndpoint, fast_policy());
+        let q = parse("SELECT ?s ?o WHERE { ?s <writes> ?o }").unwrap();
+        let err = retrying.select(&q).unwrap_err();
+        assert_eq!(err, RdfError::exec("boom"));
+        assert_eq!(retrying.retries(), 0);
+        assert_eq!(retrying.giveups(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Fault-injection properties: the retry layer must make transient
+//! endpoint failures *invisible* — the fetched triple set is bit-identical
+//! to a fault-free fetch, at any page size and at 1 and 4 request-handler
+//! threads alike.
+
+use proptest::prelude::*;
+
+use kgtosa_kg::{KnowledgeGraph, Triple};
+use kgtosa_rdf::{
+    fetch_triples, parse, FaultPlan, FetchConfig, InProcessEndpoint, RdfStore, RetryPolicy,
+};
+
+fn arb_kg() -> impl Strategy<Value = KnowledgeGraph> {
+    proptest::collection::vec((0u32..12, 0u32..4, 0u32..12), 0..80).prop_map(|ts| {
+        let mut kg = KnowledgeGraph::new();
+        for v in 0..12u32 {
+            kg.add_node(&format!("n{v}"), &format!("C{}", v % 3));
+        }
+        for r in 0..4u32 {
+            kg.add_relation(&format!("r{r}"));
+        }
+        for (s, p, o) in ts {
+            let s = kg.find_node(&format!("n{s}")).unwrap();
+            let o = kg.find_node(&format!("n{o}")).unwrap();
+            let p = kg.find_relation(&format!("r{p}")).unwrap();
+            kg.add_triple(s, p, o);
+        }
+        kg
+    })
+}
+
+/// Paginated fetch of the whole store under `cfg`.
+fn fetch_all(store: &RdfStore<'_>, cfg: &FetchConfig) -> Vec<Triple> {
+    let q = parse("SELECT ?s ?p ?o WHERE { ?s ?p ?o . }").expect("query parses");
+    let endpoint = InProcessEndpoint::new(store);
+    fetch_triples(&endpoint, store, &[q], ("s", "p", "o"), cfg).expect("fetch succeeds")
+}
+
+fn cfg(batch: usize, threads: usize) -> FetchConfig {
+    FetchConfig { batch_size: batch, threads, ..Default::default() }
+}
+
+/// A heavy but survivable fault regime: most requests fail, bursts stay
+/// strictly below the retry budget, and backoffs are microsecond-scale so
+/// the property stays fast.
+fn chaotic(batch: usize, threads: usize, seed: u64) -> FetchConfig {
+    FetchConfig {
+        fault: Some(FaultPlan {
+            seed,
+            fault_rate: 0.7,
+            max_burst: 3,
+            ..Default::default()
+        }),
+        retry: Some(RetryPolicy {
+            max_attempts: 5,
+            base_backoff_us: 1,
+            max_backoff_us: 8,
+            jitter_seed: seed,
+            ..Default::default()
+        }),
+        ..cfg(batch, threads)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Faulty-but-retried fetches return exactly the fault-free result,
+    /// and the result is independent of the thread count — the acceptance
+    /// property of the fault-tolerance layer.
+    #[test]
+    fn transient_faults_below_the_retry_budget_are_invisible(
+        kg in arb_kg(),
+        seed in 0u64..1000,
+        batch in 1usize..9,
+    ) {
+        let store = RdfStore::new(&kg);
+        let clean = fetch_all(&store, &cfg(batch, 1));
+        prop_assert_eq!(&clean, &fetch_all(&store, &cfg(batch, 4)));
+        prop_assert_eq!(&clean, &fetch_all(&store, &chaotic(batch, 1, seed)));
+        prop_assert_eq!(&clean, &fetch_all(&store, &chaotic(batch, 4, seed)));
+    }
+}

@@ -102,11 +102,11 @@ proptest! {
         let q = parse("SELECT ?s ?p ?o WHERE { ?s ?p ?o . ?s a <C0> }").unwrap();
         let paged = fetch_triples(
             &ep, &store, std::slice::from_ref(&q), ("s", "p", "o"),
-            &FetchConfig { batch_size: batch, threads: 2 },
+            &FetchConfig { batch_size: batch, threads: 2, ..FetchConfig::default() },
         ).unwrap();
         let full = fetch_triples(
             &ep, &store, &[q], ("s", "p", "o"),
-            &FetchConfig { batch_size: 1_000_000, threads: 1 },
+            &FetchConfig { batch_size: 1_000_000, threads: 1, ..FetchConfig::default() },
         ).unwrap();
         prop_assert_eq!(paged, full);
     }

@@ -34,9 +34,9 @@ impl Default for AdamConfig {
 #[derive(Debug, Clone)]
 pub struct Adam {
     cfg: AdamConfig,
-    m: Vec<f32>,
-    v: Vec<f32>,
-    t: u64,
+    pub(crate) m: Vec<f32>,
+    pub(crate) v: Vec<f32>,
+    pub(crate) t: u64,
 }
 
 impl Adam {
@@ -82,9 +82,9 @@ impl Adam {
 #[derive(Debug, Clone)]
 pub struct SparseAdam {
     cfg: AdamConfig,
-    m: Matrix,
-    v: Matrix,
-    t: Vec<u32>,
+    pub(crate) m: Matrix,
+    pub(crate) v: Matrix,
+    pub(crate) t: Vec<u32>,
 }
 
 impl SparseAdam {

@@ -16,8 +16,10 @@ pub mod adam;
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod state;
 
 pub use adam::{Adam, AdamConfig, SparseAdam};
+pub use state::StateIo;
 pub use init::{normalize_rows, uniform, xavier_uniform};
 pub use matrix::Matrix;
 pub use ops::{

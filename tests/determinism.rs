@@ -32,7 +32,7 @@ fn extraction_is_deterministic() {
     // SPARQL: parallel workers must not introduce nondeterminism (the
     // final triple set is sorted + deduplicated).
     let store = RdfStore::new(kg);
-    let cfg = FetchConfig { batch_size: 97, threads: 4 };
+    let cfg = FetchConfig { batch_size: 97, threads: 4, ..Default::default() };
     let a = extract_sparql(&store, &ext, &GraphPattern::D2H1, &cfg).unwrap();
     let b = extract_sparql(&store, &ext, &GraphPattern::D2H1, &cfg).unwrap();
     assert_eq!(a.subgraph.kg.triples(), b.subgraph.kg.triples());

@@ -68,7 +68,7 @@ fn union_query_equals_paginated_subqueries() {
                 &store,
                 std::slice::from_ref(&sq.query),
                 (s, p, o),
-                &FetchConfig { batch_size: 53, threads: 2 },
+                &FetchConfig { batch_size: 53, threads: 2, ..Default::default() },
             )
             .unwrap();
             fetched.append(&mut part);
