@@ -1,0 +1,98 @@
+//! Cache amortization experiment — cold vs warm TOSG extraction.
+//!
+//! The paper's cost model (§V-C, Table IV) treats extraction as a
+//! one-time preprocessing cost amortized over many training runs. The
+//! content-addressed artifact cache makes that amortization literal:
+//! the first (cold) extraction per pattern pays the full SPARQL fetch,
+//! every later (warm) run loads the published artifact with zero
+//! endpoint requests. This binary measures both phases for all four
+//! `KG-TOSA_{d,h}` patterns and reports the speedup.
+
+use kgtosa_bench::{measure, nc_extraction_task, save_json, Env};
+use kgtosa_cache::{ArtifactCache, CacheOutcome};
+use kgtosa_core::{extract_sparql_cached, GraphPattern};
+use kgtosa_rdf::{FetchConfig, RdfStore};
+use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: kgtosa_memtrack::TrackingAllocator = kgtosa_memtrack::TrackingAllocator;
+
+/// One phase of one pattern's extraction.
+#[derive(Debug, Serialize)]
+struct CacheRecord {
+    pattern: String,
+    phase: String,
+    outcome: String,
+    seconds: f64,
+    requests: usize,
+    triples: usize,
+    peak_bytes: usize,
+}
+
+fn main() {
+    let env = Env::from_env();
+    println!(
+        "Cache amortization — cold vs warm SPARQL extraction on MAG (scale {})",
+        env.scale
+    );
+    let dataset = kgtosa_datagen::mag(env.scale, env.seed);
+    let kg = &dataset.gen.kg;
+    let task = nc_extraction_task(&dataset.nc[0]);
+    println!("MAG (scaled): {} nodes, {} triples", kg.num_nodes(), kg.num_triples());
+
+    let dir = std::env::var("KGTOSA_CACHE_DIR").unwrap_or_else(|_| "results/cache-bench".into());
+    let cache = ArtifactCache::open(&dir).expect("open cache dir");
+    cache.clear().expect("reset cache dir"); // cold must mean cold
+    let store = RdfStore::new(kg);
+    let fetch = FetchConfig::default();
+
+    let mut records: Vec<CacheRecord> = Vec::new();
+    println!(
+        "{:<8} {:<5} {:<8} {:>10} {:>9} {:>10} {:>12}",
+        "pattern", "phase", "outcome", "seconds", "requests", "triples", "peak-mem"
+    );
+    for pattern in GraphPattern::VARIANTS {
+        for phase in ["cold", "warm"] {
+            let ((res, outcome), seconds, peak) = measure(|| {
+                extract_sparql_cached(&store, &task, &pattern, &fetch, &cache)
+                    .expect("extraction")
+            });
+            let expected = if phase == "cold" { CacheOutcome::Miss } else { CacheOutcome::Hit };
+            assert_eq!(outcome, expected, "{phase} {} resolved unexpectedly", pattern.label());
+            println!(
+                "{:<8} {:<5} {:<8} {:>10.4} {:>9} {:>10} {:>12}",
+                pattern.label(),
+                phase,
+                outcome.label(),
+                seconds,
+                res.report.requests,
+                res.report.triples,
+                peak
+            );
+            records.push(CacheRecord {
+                pattern: pattern.label(),
+                phase: phase.into(),
+                outcome: outcome.label().into(),
+                seconds,
+                requests: res.report.requests,
+                triples: res.report.triples,
+                peak_bytes: peak,
+            });
+        }
+    }
+
+    println!("\namortization (cold seconds / warm seconds):");
+    for pair in records.chunks(2) {
+        if let [cold, warm] = pair {
+            println!(
+                "  {:<8} {:>8.1}x  ({} requests saved per warm run)",
+                cold.pattern,
+                cold.seconds / warm.seconds.max(1e-9),
+                cold.requests
+            );
+        }
+    }
+    let disk = cache.disk_stats().expect("cache stats");
+    println!("cache dir {dir}: {} artifacts, {} bytes", disk.entries, disk.bytes);
+    save_json("cache", &records);
+}

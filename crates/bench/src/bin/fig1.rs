@@ -67,6 +67,7 @@ fn handcrafted_ogbn_mag(
             triples: triples_count,
             requests: 0,
             completeness: 1.0,
+            cached: false,
         },
     }
 }

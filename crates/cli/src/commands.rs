@@ -5,9 +5,10 @@ use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 use std::time::Instant;
 
+use kgtosa_cache::ArtifactCache;
 use kgtosa_core::{
-    extract_brw, extract_ibs, extract_metapath, extract_sparql, transform, ExtractionResult,
-    ExtractionTask, GraphPattern, MetapathConfig, QualityRow,
+    extract_brw, extract_ibs, extract_metapath, extract_sparql, extract_sparql_cached, transform,
+    ExtractionResult, ExtractionTask, GraphPattern, MetapathConfig, QualityRow,
 };
 use kgtosa_obs::{render_trace_table, summarize_jsonl};
 use kgtosa_datagen::Dataset;
@@ -18,8 +19,8 @@ use kgtosa_models::{
     TrainConfig, TrainReport,
 };
 use kgtosa_rdf::{
-    read_ntriples, write_ntriples, FaultPlan, FetchConfig, FetchMode, RdfStore, RetryPolicy,
-    SparqlEngine,
+    read_ntriples, write_ntriples, FaultPlan, FetchConfig, FetchMode, PageCache, RdfStore,
+    RetryPolicy, SparqlEngine,
 };
 use kgtosa_sampler::{IbsConfig, WalkConfig};
 
@@ -71,7 +72,10 @@ fn checkpoint_dir(args: &Args) -> Option<PathBuf> {
 /// Builds the fetch-layer fault-tolerance config from the CLI flags:
 /// `--fault-spec` (deterministic fault injection), `--retry` (backoff
 /// policy), `--partial` (degrade instead of aborting), plus an optional
-/// page-checkpoint file so an interrupted extraction resumes.
+/// page-checkpoint file so an interrupted extraction resumes. Unless
+/// `--no-cache`, an in-memory SPARQL page cache dedups repeated
+/// rendered subqueries within the invocation (results stay bit-identical;
+/// only duplicate endpoint round-trips are saved).
 fn fetch_config(args: &Args, checkpoint: Option<PathBuf>) -> Result<FetchConfig, String> {
     let mut cfg = FetchConfig::default();
     if let Some(spec) = args.options.get("fault-spec") {
@@ -83,8 +87,67 @@ fn fetch_config(args: &Args, checkpoint: Option<PathBuf>) -> Result<FetchConfig,
     if args.flag("partial") {
         cfg.mode = FetchMode::Partial;
     }
+    if !args.flag("no-cache") {
+        cfg.page_cache = Some(PageCache::new());
+    }
     cfg.checkpoint = checkpoint;
     Ok(cfg)
+}
+
+/// Resolves the on-disk extraction artifact cache: `--cache-dir DIR`
+/// (or `KGTOSA_CACHE_DIR`) opts in, `--no-cache` wins over both, and
+/// `--cache-budget BYTES` bounds the directory with LRU eviction.
+fn artifact_cache(args: &Args) -> Result<Option<ArtifactCache>, String> {
+    if args.flag("no-cache") {
+        return Ok(None);
+    }
+    let dir = match args
+        .options
+        .get("cache-dir")
+        .cloned()
+        .or_else(|| std::env::var("KGTOSA_CACHE_DIR").ok())
+    {
+        Some(d) if !d.is_empty() => d,
+        _ => return Ok(None),
+    };
+    let mut cache =
+        ArtifactCache::open(&dir).map_err(|e| format!("cannot open cache dir {dir}: {e}"))?;
+    if let Some(spec) = args.options.get("cache-budget") {
+        let bytes: u64 = spec
+            .parse()
+            .map_err(|_| format!("invalid value for --cache-budget: {spec:?}"))?;
+        cache = cache.with_budget(bytes);
+    }
+    Ok(Some(cache))
+}
+
+/// SPARQL extraction through the artifact cache when one is configured,
+/// falling back to a plain [`extract_sparql`] otherwise. Returns how the
+/// cache resolved (`None` when no cache is configured) so callers can
+/// report whether the endpoint was touched.
+fn extract_sparql_maybe_cached(
+    args: &Args,
+    store: &RdfStore<'_>,
+    task: &ExtractionTask,
+    pattern: &GraphPattern,
+    fetch: &FetchConfig,
+) -> Result<(ExtractionResult, Option<&'static str>), String> {
+    match artifact_cache(args)? {
+        Some(cache) => {
+            let (res, outcome) = extract_sparql_cached(store, task, pattern, fetch, &cache)
+                .map_err(|e| e.to_string())?;
+            kgtosa_obs::info!(
+                "cache: {} for {} ({})",
+                outcome.label(),
+                pattern.label(),
+                cache.dir().display()
+            );
+            Ok((res, Some(outcome.label())))
+        }
+        None => extract_sparql(store, task, pattern, fetch)
+            .map_err(|e| e.to_string())
+            .map(|res| (res, None)),
+    }
 }
 
 /// Epoch checkpointing for one training run. `run` names a subdirectory
@@ -219,12 +282,15 @@ pub fn extract(args: &Args) -> Result<(), String> {
     let targets = kg.nodes_of_class(cid);
     let task = ExtractionTask::node_classification("cli", class, targets);
 
+    let mut cache_outcome: Option<&'static str> = None;
     let result: ExtractionResult = match method {
         "sparql" => {
             let pattern = pattern_by_name(args.get_or("pattern", "d1h1"))?;
             let store = RdfStore::new(&kg);
             let fetch = fetch_config(args, checkpoint_dir(args).map(|d| d.join("fetch.ckpt")))?;
-            extract_sparql(&store, &task, &pattern, &fetch).map_err(|e| e.to_string())?
+            let (res, outcome) = extract_sparql_maybe_cached(args, &store, &task, &pattern, &fetch)?;
+            cache_outcome = outcome;
+            res
         }
         "brw" => {
             let g = HeteroGraph::build(&kg);
@@ -260,6 +326,9 @@ pub fn extract(args: &Args) -> Result<(), String> {
 
     println!("{}", QualityRow::header());
     println!("{}", QualityRow::from_extraction(&result).format_row());
+    if let Some(outcome) = cache_outcome {
+        println!("cache: {outcome}");
+    }
     println!(
         "extracted {} triples / {} nodes in {:.3}s ({:.1}% of the input)",
         result.report.triples,
@@ -324,6 +393,65 @@ pub fn trace_diff(args: &Args) -> Result<(), String> {
             "{regressions} span(s) regressed beyond {:.0}% (old: {old_path}, new: {new_path})",
             report.threshold_pct
         ));
+    }
+    Ok(())
+}
+
+/// `kgtosa cache <ls|stats|clear>`: inspect or reset the extraction
+/// artifact cache. The directory comes from `--cache-dir` or
+/// `KGTOSA_CACHE_DIR` (an explicit location — this command never guesses).
+pub fn cache(args: &Args) -> Result<(), String> {
+    let action = args.positionals.first().map(|s| s.as_str()).unwrap_or("stats");
+    let dir = args
+        .options
+        .get("cache-dir")
+        .cloned()
+        .or_else(|| std::env::var("KGTOSA_CACHE_DIR").ok())
+        .filter(|d| !d.is_empty())
+        .ok_or("cache: pass --cache-dir DIR or set KGTOSA_CACHE_DIR")?;
+    let cache =
+        ArtifactCache::open(&dir).map_err(|e| format!("cannot open cache dir {dir}: {e}"))?;
+    match action {
+        "ls" => {
+            let rows = cache.entries().map_err(|e| e.to_string())?;
+            if rows.is_empty() {
+                println!("cache {dir}: empty");
+                return Ok(());
+            }
+            println!(
+                "{:<21} {:>10}  {:<3} {:<5} {:<24} {:<9} kg-fingerprint",
+                "artifact", "bytes", "ver", "ptrn", "task", "extractor"
+            );
+            for r in rows {
+                let or_q = |s: Option<String>| s.unwrap_or_else(|| "?".into());
+                println!(
+                    "{:<21} {:>10}  {:<3} {:<5} {:<24} {:<9} {}",
+                    r.file_name,
+                    r.bytes,
+                    r.version.map(|v| v.to_string()).unwrap_or_else(|| "?".into()),
+                    or_q(r.pattern),
+                    or_q(r.task),
+                    or_q(r.extractor),
+                    r.kg_fingerprint
+                        .map(|f| format!("{f:016x}"))
+                        .unwrap_or_else(|| "?".into()),
+                );
+            }
+        }
+        "stats" => {
+            let s = cache.disk_stats().map_err(|e| e.to_string())?;
+            println!("dir:         {dir}");
+            println!("entries:     {}", s.entries);
+            println!("bytes:       {}", s.bytes);
+            println!("quarantined: {}", s.quarantined);
+        }
+        "clear" => {
+            let removed = cache.clear().map_err(|e| e.to_string())?;
+            println!("cleared {removed} artifact(s) from {dir}");
+        }
+        other => {
+            return Err(format!("unknown cache action {other:?} (expected ls|stats|clear)"))
+        }
     }
     Ok(())
 }
@@ -402,7 +530,7 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
                 checkpoint_dir(args)
                     .map(|dir| dir.join(format!("tosg-{}.fetch.ckpt", pattern.label()))),
             )?;
-            let tosg = extract_sparql(&store, &ext, &pattern, &fetch).map_err(|e| e.to_string())?;
+            let (tosg, _) = extract_sparql_maybe_cached(args, &store, &ext, &pattern, &fetch)?;
             let sub = &tosg.subgraph;
             let mut labels = vec![u32::MAX; sub.kg.num_nodes()];
             for v in 0..sub.kg.num_nodes() as u32 {
@@ -464,7 +592,7 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
                 checkpoint_dir(args)
                     .map(|dir| dir.join(format!("tosg-{}.fetch.ckpt", pattern.label()))),
             )?;
-            let tosg = extract_sparql(&store, &ext, &pattern, &fetch).map_err(|e| e.to_string())?;
+            let (tosg, _) = extract_sparql_maybe_cached(args, &store, &ext, &pattern, &fetch)?;
             let sub = &tosg.subgraph;
             let remap = |ts: &[kgtosa_kg::Triple]| -> Vec<kgtosa_kg::Triple> {
                 ts.iter()

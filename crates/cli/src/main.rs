@@ -42,6 +42,9 @@ COMMANDS:
                [--tosg d1h1] [--scale 0.1] [--epochs 15] [--dim 16] [--seed 7]
   compare    Train on FG and on the KG-TOSA subgraph, print both
                (same options as train)
+  cache      Inspect or reset the extraction artifact cache
+               kgtosa cache ls|stats|clear (--cache-dir DIR or
+               KGTOSA_CACHE_DIR=DIR)
   trace-summary
              Aggregate a JSONL trace into a per-span table
                kgtosa trace-summary trace.jsonl
@@ -64,6 +67,18 @@ GLOBAL OPTIONS (any command):
                      Results are bit-identical at any thread count.
   --quiet            Silence progress chatter on stderr (result lines on
                      stdout are unaffected)
+
+CACHING (extract with --method sparql; train/compare TOSG runs):
+  --cache-dir DIR    Content-addressed artifact cache: a completed
+                     extraction is published under DIR keyed by the
+                     source KG fingerprint + task + pattern + extractor,
+                     and a later identical run loads it bit-for-bit
+                     without touching the endpoint;
+                     KGTOSA_CACHE_DIR=DIR does the same
+  --cache-budget N   Cap the cache directory at N bytes (least-recently-
+                     used artifacts are evicted)
+  --no-cache         Disable both the artifact cache and the in-memory
+                     SPARQL page cache for this run
 
 FAULT TOLERANCE (extract with --method sparql; train/compare TOSG runs):
   --fault-spec SPEC  Inject a deterministic endpoint fault schedule, e.g.
@@ -130,6 +145,7 @@ fn main() {
         "extract" => commands::extract(&args),
         "train" => commands::train(&args, false),
         "compare" => commands::train(&args, true),
+        "cache" => commands::cache(&args),
         "trace-summary" => commands::trace_summary(&args),
         "trace-diff" => commands::trace_diff(&args),
         "help" | "" | "--help" | "-h" => {

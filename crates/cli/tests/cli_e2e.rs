@@ -323,6 +323,154 @@ fn checkpointed_rerun_resumes_and_reproduces_the_metric() {
     );
 }
 
+/// The full artifact-cache lifecycle through the binary: a cold extract
+/// publishes, a warm re-run loads bit-identically without a single
+/// endpoint page, `cache stats`/`ls` see the artifact, and `cache clear`
+/// returns the next run to a miss.
+#[test]
+fn cache_lifecycle_extract_twice_then_clear() {
+    let kg_path = tmp("cache-kg.kgb");
+    let cache_dir = tmp("cache-dir-e2e");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let out = kgtosa()
+        .args([
+            "generate", "--dataset", "yago3-10", "--scale", "0.05",
+            "--out", kg_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let run_extract = |out_name: &str, trace_name: &str| {
+        let tosg = tmp(out_name);
+        let trace = tmp(trace_name);
+        let _ = std::fs::remove_file(&trace);
+        let out = kgtosa()
+            .args([
+                "extract", "--kg", kg_path.to_str().unwrap(),
+                "--target-class", "Person", "--method", "sparql",
+                "--pattern", "d1h1", "--out", tosg.to_str().unwrap(),
+                "--cache-dir", cache_dir.to_str().unwrap(),
+                "--trace-out", trace.to_str().unwrap(), "--quiet",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            std::fs::read(&tosg).unwrap(),
+            std::fs::read_to_string(&trace).unwrap(),
+        )
+    };
+
+    // Cold: a miss that fetches pages and publishes the artifact.
+    let (cold_out, cold_bytes, cold_trace) = run_extract("cache-tosg-cold.kgb", "cache-cold.jsonl");
+    assert!(cold_out.contains("cache: miss"), "{cold_out}");
+    assert!(
+        trace_counter_positive(&cold_trace, "cache.misses"),
+        "cold run must record the miss:\n{cold_trace}"
+    );
+    assert!(
+        trace_counter_positive(&cold_trace, "rdf.fetch.pages"),
+        "cold run must actually fetch:\n{cold_trace}"
+    );
+
+    // Warm: a hit that is bit-identical and never touches the endpoint.
+    let (warm_out, warm_bytes, warm_trace) = run_extract("cache-tosg-warm.kgb", "cache-warm.jsonl");
+    assert!(warm_out.contains("cache: hit"), "{warm_out}");
+    assert_eq!(cold_bytes, warm_bytes, "cached TOSG snapshot must be bit-identical");
+    assert!(
+        trace_counter_positive(&warm_trace, "cache.hits"),
+        "warm run must record the hit:\n{warm_trace}"
+    );
+    assert!(
+        !trace_counter_positive(&warm_trace, "rdf.fetch.pages"),
+        "a cache hit must fetch zero endpoint pages:\n{warm_trace}"
+    );
+
+    // The quality row (first data line under the header) is invariant.
+    let quality_line = |s: &str| s.lines().nth(1).unwrap_or_default().to_string();
+    assert_eq!(quality_line(&cold_out), quality_line(&warm_out));
+
+    // cache stats / ls see the artifact with its embedded key.
+    let out = kgtosa()
+        .args(["cache", "stats", "--cache-dir", cache_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("entries:     1"), "{stdout}");
+
+    let out = kgtosa()
+        .args(["cache", "ls", "--cache-dir", cache_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("nc:Person"), "{stdout}");
+    assert!(stdout.contains("d1h1"), "{stdout}");
+    assert!(stdout.contains("sparql"), "{stdout}");
+
+    // clear empties the slot: the next run misses (and re-publishes).
+    let out = kgtosa()
+        .args(["cache", "clear", "--cache-dir", cache_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cleared 1 artifact(s)"), "{stdout}");
+
+    let (cleared_out, cleared_bytes, _) =
+        run_extract("cache-tosg-cleared.kgb", "cache-cleared.jsonl");
+    assert!(cleared_out.contains("cache: miss"), "{cleared_out}");
+    assert_eq!(cold_bytes, cleared_bytes, "re-extraction is still deterministic");
+}
+
+/// `--no-cache` bypasses the artifact cache even when a directory is
+/// configured, and `cache` without a directory fails with guidance.
+#[test]
+fn no_cache_flag_and_missing_dir_guidance() {
+    let kg_path = tmp("nocache-kg.kgb");
+    let cache_dir = tmp("nocache-dir");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let out = kgtosa()
+        .args([
+            "generate", "--dataset", "yago3-10", "--scale", "0.03",
+            "--out", kg_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let tosg = tmp("nocache-tosg.kgb");
+    let out = kgtosa()
+        .args([
+            "extract", "--kg", kg_path.to_str().unwrap(),
+            "--target-class", "Person", "--method", "sparql",
+            "--out", tosg.to_str().unwrap(),
+            "--cache-dir", cache_dir.to_str().unwrap(), "--no-cache", "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("cache:"), "--no-cache must bypass the cache: {stdout}");
+    assert!(
+        !cache_dir.exists() || std::fs::read_dir(&cache_dir).unwrap().next().is_none(),
+        "--no-cache must not publish artifacts"
+    );
+
+    let out = kgtosa()
+        .env_remove("KGTOSA_CACHE_DIR")
+        .args(["cache", "stats"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--cache-dir"), "{stderr}");
+}
+
 #[test]
 fn metrics_addr_binds_and_reports_endpoint() {
     // Port 0 picks a free port; the CLI prints the bound address so the

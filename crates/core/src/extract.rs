@@ -40,6 +40,10 @@ pub struct ExtractionReport {
     /// below `1.0` only when [`kgtosa_rdf::FetchMode::Partial`] degraded
     /// the extraction past endpoint failures.
     pub completeness: f64,
+    /// Whether this result was loaded from the artifact cache instead of
+    /// being extracted (in which case `seconds` is the load time and
+    /// `requests` is zero).
+    pub cached: bool,
 }
 
 /// A completed extraction: the compacted subgraph, the targets that
@@ -82,6 +86,7 @@ impl ExtractionResult {
                 triples,
                 requests,
                 completeness,
+                cached: false,
             },
         }
     }

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod bgp;
+pub mod cache;
 pub mod extract;
 pub mod metapath_extract;
 pub mod pattern;
@@ -42,6 +43,10 @@ pub mod pipeline;
 pub mod quality;
 
 pub use bgp::{compile_subqueries, compile_union, Subquery};
+pub use cache::{
+    decode_extraction, encode_extraction, extract_sparql_cached, sparql_cache_key, task_label,
+    task_params, DecodedExtraction,
+};
 pub use extract::{
     extract_brw, extract_ibs, extract_sparql, extract_urw, ExtractionReport, ExtractionResult,
 };

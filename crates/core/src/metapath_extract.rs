@@ -99,6 +99,7 @@ pub fn extract_metapath(
             triples: triples_count,
             requests: 0,
             completeness: 1.0,
+            cached: false,
         },
     }
 }

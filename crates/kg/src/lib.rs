@@ -31,6 +31,7 @@
 //! ```
 
 pub mod dict;
+pub mod fingerprint;
 pub mod fxhash;
 pub mod graph;
 pub mod ids;
@@ -45,7 +46,10 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use graph::{Csr, HeteroGraph, LabeledCsr, RelAdj};
 pub use ids::{Cid, Rid, Vid};
 pub use metapath::{count_instances, schema_metapaths, Metapath, MetapathStep, SchemaMetapath};
-pub use snapshot::{read_snapshot, write_snapshot};
+pub use fingerprint::{fingerprint, fnv64, Fnv64, HashingReader, HashingWriter};
+pub use snapshot::{
+    read_snapshot, read_snapshot_fingerprinted, write_snapshot, write_snapshot_fingerprinted,
+};
 pub use stats::{
     average_degree, distances_to_targets, neighbor_type_entropy, quality, quality_with_graph,
     SubgraphQuality,

@@ -16,10 +16,17 @@
 
 use std::io::{self, Read, Write};
 
+use crate::fingerprint::{HashingReader, HashingWriter};
 use crate::ids::{Rid, Vid};
 use crate::triples::KnowledgeGraph;
 
 const MAGIC: &[u8; 8] = b"KGTOSA1\n";
+
+/// Cap on `Vec::with_capacity` driven by header counts: a hostile
+/// header must not be able to force a multi-gigabyte preallocation
+/// before any payload byte has been validated. Real data beyond the
+/// cap still loads — the vectors just grow normally.
+const MAX_PREALLOC: usize = 1 << 16;
 
 /// Writes a snapshot of `kg`.
 pub fn write_snapshot(kg: &KnowledgeGraph, mut w: impl Write) -> io::Result<()> {
@@ -63,7 +70,7 @@ pub fn read_snapshot(mut r: impl Read) -> io::Result<KnowledgeGraph> {
         return Err(bad("bad magic: not a KGTOSA snapshot"));
     }
     let num_classes = read_u32(&mut r)? as usize;
-    let mut class_terms = Vec::with_capacity(num_classes);
+    let mut class_terms = Vec::with_capacity(num_classes.min(MAX_PREALLOC));
     for _ in 0..num_classes {
         class_terms.push(read_str(&mut r)?);
     }
@@ -90,13 +97,26 @@ pub fn read_snapshot(mut r: impl Read) -> io::Result<KnowledgeGraph> {
     }
     let mut len_buf = [0u8; 8];
     r.read_exact(&mut len_buf)?;
-    let num_triples = u64::from_le_bytes(len_buf) as usize;
+    let num_triples = u64::from_le_bytes(len_buf);
+    // With ids bounded by num_nodes/num_relations there can be at most
+    // nodes² · relations distinct triples; a count beyond that is a
+    // forged header (the multiset in `kg` allows duplicates, but a
+    // duplicate-heavy header that large is equally implausible and
+    // would only make us loop on garbage).
+    let max_triples = (num_nodes as u64)
+        .saturating_mul(num_nodes as u64)
+        .saturating_mul(num_relations.max(1) as u64);
+    if num_triples > max_triples {
+        return Err(bad("triple count exceeds what the dictionaries allow"));
+    }
     let mut prev_s = 0u32;
     for _ in 0..num_triples {
-        let ds = read_varint(&mut r)? as u32;
-        let p = read_varint(&mut r)? as u32;
-        let o = read_varint(&mut r)? as u32;
-        let s = prev_s + ds;
+        let ds = read_varint_u32(&mut r)?;
+        let p = read_varint_u32(&mut r)?;
+        let o = read_varint_u32(&mut r)?;
+        let s = prev_s
+            .checked_add(ds)
+            .ok_or_else(|| bad("subject delta overflows u32"))?;
         prev_s = s;
         if s as usize >= num_nodes || o as usize >= num_nodes || p as usize >= num_relations {
             return Err(bad("triple id out of range"));
@@ -104,6 +124,26 @@ pub fn read_snapshot(mut r: impl Read) -> io::Result<KnowledgeGraph> {
         kg.add_triple(Vid(s), Rid(p), Vid(o));
     }
     Ok(kg)
+}
+
+/// Writes a snapshot of `kg` while folding every emitted byte into an
+/// FNV-1a hash; returns the graph's content fingerprint. This is the
+/// "free" way to obtain [`crate::fingerprint::fingerprint`] when a
+/// snapshot is being persisted anyway.
+pub fn write_snapshot_fingerprinted(kg: &KnowledgeGraph, w: impl Write) -> io::Result<u64> {
+    let mut hw = HashingWriter::new(w);
+    write_snapshot(kg, &mut hw)?;
+    Ok(hw.finish())
+}
+
+/// Reads a snapshot while hashing the consumed bytes; returns the graph
+/// together with its content fingerprint (equal to what
+/// [`write_snapshot_fingerprinted`] returned when the bytes were
+/// produced, since the reader consumes exactly the canonical stream).
+pub fn read_snapshot_fingerprinted(r: impl Read) -> io::Result<(KnowledgeGraph, u64)> {
+    let mut hr = HashingReader::new(r);
+    let kg = read_snapshot(&mut hr)?;
+    Ok((kg, hr.finish()))
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -145,6 +185,15 @@ fn write_varint(w: &mut impl Write, mut v: u64) -> io::Result<()> {
         }
         w.write_all(&[byte | 0x80])?;
     }
+}
+
+/// Reads a varint that must fit in a `u32` (an id or delta). The
+/// unchecked `as u32` cast this replaces silently truncated hostile
+/// values like `u32::MAX + 2` down to small in-range ids, yielding a
+/// *wrong graph* instead of an error.
+fn read_varint_u32(r: &mut impl Read) -> io::Result<u32> {
+    let v = read_varint(r)?;
+    u32::try_from(v).map_err(|_| bad("id varint exceeds u32 range"))
 }
 
 fn read_varint(r: &mut impl Read) -> io::Result<u64> {
@@ -249,6 +298,92 @@ mod tests {
             write_varint(&mut buf, v).unwrap();
             assert_eq!(read_varint(&mut Cursor::new(&buf)).unwrap(), v);
         }
+    }
+
+    /// Byte offset of the `u64` triple-count header in a snapshot.
+    fn triple_count_offset(buf: &[u8]) -> usize {
+        // Everything before the final num_triples u64 + triple payload
+        // is dictionaries and nodes; find it by re-writing the graph
+        // without triples is fragile, so compute from the known sample:
+        // the count sits 8 bytes before the triple payload. Easiest
+        // robust approach: locate the little-endian count value itself.
+        let kg = sample();
+        let needle = (kg.num_triples() as u64).to_le_bytes();
+        buf.windows(8)
+            .rposition(|w| w == needle)
+            .expect("triple count header present")
+    }
+
+    #[test]
+    fn rejects_forged_triple_count() {
+        let kg = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&kg, &mut buf).unwrap();
+        let off = triple_count_offset(&buf);
+        // A count far beyond nodes² · relations must be rejected up
+        // front instead of looping until EOF on garbage.
+        buf[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_snapshot(Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_oversized_id_varint() {
+        let kg = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&kg, &mut buf).unwrap();
+        let off = triple_count_offset(&buf);
+        // Replace the triple payload with one triple whose subject
+        // delta is u32::MAX + 2 — under the old `as u32` cast this
+        // silently truncated to 1 and produced a wrong (but valid-
+        // looking) graph.
+        buf.truncate(off);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        write_varint(&mut buf, u64::from(u32::MAX) + 2).unwrap();
+        write_varint(&mut buf, 0).unwrap();
+        write_varint(&mut buf, 0).unwrap();
+        let err = read_snapshot(Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_subject_delta_overflow() {
+        // Two triples whose deltas sum past u32::MAX must error on the
+        // checked add, not wrap around to a small subject id.
+        let kg = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&kg, &mut buf).unwrap();
+        let off = triple_count_offset(&buf);
+        buf.truncate(off);
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        for _ in 0..2 {
+            write_varint(&mut buf, u64::from(u32::MAX)).unwrap();
+            write_varint(&mut buf, 0).unwrap();
+            write_varint(&mut buf, 0).unwrap();
+        }
+        let err = read_snapshot(Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn hostile_dictionary_count_does_not_preallocate() {
+        // magic + num_classes = u32::MAX, then nothing: must fail on
+        // the missing class terms, not abort in with_capacity.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_snapshot(Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn fingerprinted_roundtrip_matches() {
+        let kg = sample();
+        let mut buf = Vec::new();
+        let fp_w = write_snapshot_fingerprinted(&kg, &mut buf).unwrap();
+        let (back, fp_r) = read_snapshot_fingerprinted(Cursor::new(&buf)).unwrap();
+        assert_eq!(fp_w, fp_r);
+        assert_eq!(back.num_triples(), kg.num_triples());
+        assert_eq!(fp_w, crate::fingerprint::fingerprint(&kg));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::checkpoint::FetchCheckpoint;
 use crate::error::RdfError;
 use crate::exec::{ResultSet, SparqlEngine, NULL_ID};
 use crate::fault::{fnv64, FaultPlan, FaultyEndpoint};
+use crate::pagecache::{CachingEndpoint, PageCache};
 use crate::retry::{RetryPolicy, RetryingEndpoint};
 use crate::store::RdfStore;
 
@@ -168,6 +169,11 @@ pub struct FetchConfig {
     /// Page checkpoint file: completed `(subquery, offset)` pages are
     /// persisted here so a re-run skips them.
     pub checkpoint: Option<PathBuf>,
+    /// In-memory LRU of page results, shared across fetches of the same
+    /// dataset within one process (e.g. `compare` running FG plus three
+    /// TOSG patterns). Composed *outside* the retry layer, so a page
+    /// that needed retries still fills the cache exactly once.
+    pub page_cache: Option<PageCache>,
 }
 
 impl Default for FetchConfig {
@@ -179,6 +185,7 @@ impl Default for FetchConfig {
             fault: None,
             mode: FetchMode::Strict,
             checkpoint: None,
+            page_cache: None,
         }
     }
 }
@@ -290,6 +297,16 @@ pub fn fetch_triples_robust<E: SparqlEndpoint>(
         Some(policy) => {
             retrying = RetryingEndpoint::new(base, policy.clone());
             &retrying
+        }
+        None => base,
+    };
+    // Page cache outermost: a hit skips retries and faults entirely, and
+    // a retried miss inserts only the one final successful page.
+    let caching;
+    let base: &dyn SparqlEndpoint = match &cfg.page_cache {
+        Some(cache) => {
+            caching = CachingEndpoint::new(base, cache.clone());
+            &caching
         }
         None => base,
     };

@@ -73,6 +73,14 @@ impl ResultSet {
         self.data.chunks_exact(self.width.max(1))
     }
 
+    /// Approximate heap footprint in bytes, for cache budget accounting:
+    /// the cell table plus per-column metadata.
+    pub fn approx_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u32>()
+            + self.pred_cols.len()
+            + self.vars.iter().map(|v| v.len() + 24).sum::<usize>()
+    }
+
     /// Whether a column's ids live in the predicate space.
     pub fn is_predicate_col(&self, col: usize) -> bool {
         self.pred_cols.get(col).copied().unwrap_or(false)

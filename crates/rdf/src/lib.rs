@@ -38,6 +38,7 @@ pub mod fault;
 pub mod hexastore;
 pub mod lexer;
 pub mod ntriples;
+pub mod pagecache;
 pub mod parser;
 pub mod retry;
 pub mod store;
@@ -54,5 +55,6 @@ pub use retry::{RetryPolicy, RetryingEndpoint};
 pub use exec::{ResultSet, SparqlEngine, NULL_ID};
 pub use hexastore::{Hexastore, Order};
 pub use ntriples::{read_ntriples, write_ntriples};
+pub use pagecache::{CachingEndpoint, PageCache, PageCacheStats, DEFAULT_PAGE_CACHE_BYTES};
 pub use parser::parse;
 pub use store::{NodeTerm, RdfStore, RDF_TYPE};

@@ -4,10 +4,12 @@
 //! threads alike.
 
 use proptest::prelude::*;
+use std::sync::atomic::Ordering;
 
 use kgtosa_kg::{KnowledgeGraph, Triple};
 use kgtosa_rdf::{
-    fetch_triples, parse, FaultPlan, FetchConfig, InProcessEndpoint, RdfStore, RetryPolicy,
+    fetch_triples, parse, FaultPlan, FetchConfig, InProcessEndpoint, PageCache, RdfStore,
+    RetryPolicy,
 };
 
 fn arb_kg() -> impl Strategy<Value = KnowledgeGraph> {
@@ -79,5 +81,54 @@ proptest! {
         prop_assert_eq!(&clean, &fetch_all(&store, &cfg(batch, 4)));
         prop_assert_eq!(&clean, &fetch_all(&store, &chaotic(batch, 1, seed)));
         prop_assert_eq!(&clean, &fetch_all(&store, &chaotic(batch, 4, seed)));
+    }
+
+    /// Retry/page-cache interaction: because the cache wraps *outside*
+    /// the retry layer, a transiently failing page that takes several
+    /// attempts still produces exactly one cache insertion — retries are
+    /// never double-counted as hits, and a warm re-fetch serves every
+    /// page from memory without touching the endpoint at all.
+    #[test]
+    fn retried_fetches_fill_the_page_cache_exactly_once(
+        kg in arb_kg(),
+        seed in 0u64..1000,
+        batch in 1usize..9,
+        threads in proptest::sample::select(vec![1usize, 4]),
+    ) {
+        let store = RdfStore::new(&kg);
+        let clean = fetch_all(&store, &cfg(batch, 1));
+
+        let cache = PageCache::new();
+        let cached_cfg = FetchConfig {
+            page_cache: Some(cache.clone()),
+            ..chaotic(batch, threads, seed)
+        };
+        let q = parse("SELECT ?s ?p ?o WHERE { ?s ?p ?o . }").expect("query parses");
+        let endpoint = InProcessEndpoint::new(&store);
+        let cold = fetch_triples(&endpoint, &store, std::slice::from_ref(&q), ("s", "p", "o"), &cached_cfg)
+            .expect("cold fetch succeeds");
+        prop_assert_eq!(&cold, &clean);
+
+        // Every page was a miss and was inserted exactly once, no matter
+        // how many transient faults the retry layer absorbed underneath.
+        let stats = cache.stats();
+        let cold_misses = stats.misses.load(Ordering::Relaxed);
+        let cold_inserts = stats.insertions.load(Ordering::Relaxed);
+        prop_assert_eq!(stats.hits.load(Ordering::Relaxed), 0);
+        prop_assert_eq!(cold_inserts, cold_misses);
+        prop_assert_eq!(cold_inserts, cache.len() as u64, "one entry per distinct page");
+        let cold_requests = endpoint.stats().requests();
+        prop_assert!(cold_requests >= cold_inserts as usize,
+            "retries only add requests, never extra insertions");
+
+        // Warm re-fetch: all hits, zero new endpoint requests, zero new
+        // insertions, same bytes out.
+        let warm = fetch_triples(&endpoint, &store, &[q], ("s", "p", "o"), &cached_cfg)
+            .expect("warm fetch succeeds");
+        prop_assert_eq!(&warm, &clean);
+        prop_assert_eq!(endpoint.stats().requests(), cold_requests,
+            "warm fetch must not reach the endpoint");
+        prop_assert_eq!(stats.insertions.load(Ordering::Relaxed), cold_inserts);
+        prop_assert_eq!(stats.hits.load(Ordering::Relaxed), cold_misses);
     }
 }
