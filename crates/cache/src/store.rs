@@ -202,6 +202,18 @@ impl ArtifactCache {
         };
         instance.fetch_add(1, Ordering::Relaxed);
         kgtosa_obs::counter(global).inc();
+        // Derived hit ratio over every lookup the process has made (the
+        // global counters — not this store instance), refreshed on each
+        // lookup so `/metrics` always carries a current value. Stale and
+        // corrupt entries count as misses: the caller has to recompute.
+        let hits = kgtosa_obs::counter("cache.hits").get() as f64;
+        let lookups = hits
+            + kgtosa_obs::counter("cache.misses").get() as f64
+            + kgtosa_obs::counter("cache.stale").get() as f64
+            + kgtosa_obs::counter("cache.corrupt").get() as f64;
+        if lookups > 0.0 {
+            kgtosa_obs::gauge_f64("cache.hit_ratio").set(hits / lookups);
+        }
         CacheLookup { outcome, payload }
     }
 
@@ -478,6 +490,22 @@ mod tests {
         assert_eq!(hit.payload.as_deref(), Some(&b"payload-bytes"[..]));
         assert_eq!(cache.stats().hits.load(Ordering::Relaxed), 1);
         assert_eq!(cache.stats().misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn hit_ratio_gauge_tracks_lookups() {
+        let cache = ArtifactCache::open(tmpdir("ratio")).unwrap();
+        let k = key("nc:Ratio");
+        cache.lookup(&k); // miss
+        let after_miss = kgtosa_obs::gauge_f64("cache.hit_ratio").get();
+        // Counters are process-global and other tests run concurrently, so
+        // assert bounds, not exact values: after a miss the ratio is < 1...
+        assert!((0.0..1.0).contains(&after_miss), "{after_miss}");
+        cache.store(&k, b"payload").unwrap();
+        cache.lookup(&k); // hit
+        let after_hit = kgtosa_obs::gauge_f64("cache.hit_ratio").get();
+        // ...and once any hit has been recorded it is strictly positive.
+        assert!(after_hit > 0.0 && after_hit <= 1.0, "{after_hit}");
     }
 
     #[test]

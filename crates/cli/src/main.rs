@@ -52,6 +52,20 @@ COMMANDS:
              and exit nonzero on regressions beyond the threshold
                kgtosa trace-diff OLD NEW [--threshold 25]
                [--min-seconds 0.001]
+  trace-trend
+             Gate a new run against the rolling-window median of the
+             perf-history ledger (results/history.jsonl); exits nonzero
+             on regressions, passes when the ledger is empty
+               kgtosa trace-trend HISTORY NEW [--window 10]
+               [--threshold 25] [--min-seconds 0.001]
+  prof       Profiler utilities
+               kgtosa prof flame run.folded > flame.svg
+             renders a collapsed-stack file (from --prof-out) as a
+             self-contained SVG flamegraph
+  report     Fold a JSONL trace into a single-file HTML run report (span
+             tree with self-time %, hot spans, flamegraph, metrics,
+             extraction quality, Table IV cost breakdown)
+               kgtosa report trace.jsonl [--out report.html]
   help       Show this message
 
 GLOBAL OPTIONS (any command):
@@ -65,6 +79,11 @@ GLOBAL OPTIONS (any command):
                      CSR build, SPARQL fetch); KGTOSA_THREADS=N does the
                      same; defaults to the machine's available parallelism.
                      Results are bit-identical at any thread count.
+  --prof-out FILE    Arm the profiler (span-stack mirroring plus a
+                     KGTOSA_PROF_HZ sampling tick, default 97 Hz; 0
+                     disables the tick) and write collapsed stacks to
+                     FILE at exit — feed it to `kgtosa prof flame`;
+                     setting KGTOSA_PROF_HZ alone also arms the profiler
   --quiet            Silence progress chatter on stderr (result lines on
                      stdout are unaffected)
 
@@ -123,6 +142,13 @@ fn main() {
         }
         None => {}
     }
+    // Arm the profiler when an output path is given or a sampling rate is
+    // configured; off otherwise, so the span hot path stays a single
+    // relaxed atomic load.
+    let prof_out = args.options.get("prof-out").cloned();
+    if prof_out.is_some() || std::env::var("KGTOSA_PROF_HZ").is_ok() {
+        kgtosa_obs::enable_prof_from_env();
+    }
     let traced = match args.options.get("trace-out") {
         Some(path) => kgtosa_obs::init_trace_to(path)
             .map(|()| true)
@@ -148,6 +174,9 @@ fn main() {
         "cache" => commands::cache(&args),
         "trace-summary" => commands::trace_summary(&args),
         "trace-diff" => commands::trace_diff(&args),
+        "trace-trend" => commands::trace_trend(&args),
+        "prof" => commands::prof(&args),
+        "report" => commands::report(&args),
         "help" | "" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -163,6 +192,12 @@ fn main() {
         }
     }
     kgtosa_obs::shutdown();
+    if let Some(path) = &prof_out {
+        match kgtosa_obs::write_folded(path) {
+            Ok(()) => eprintln!("prof: wrote collapsed stacks to {path}"),
+            Err(e) => eprintln!("prof: cannot write {path}: {e}"),
+        }
+    }
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -1,0 +1,107 @@
+//! Profiler differential contract: arming kgtosa-prof must not change
+//! trainer outputs by a single bit, and the span-mirroring + sampling
+//! tick must stay within the documented wall-clock overhead budget.
+//!
+//! Single `#[test]`: `enable_prof` is process-global and sticky, so the
+//! unprofiled baseline must run (and be timed) before the profiler is
+//! armed. Keeping the file to one test also keeps the timing loop from
+//! sharing cores with sibling tests in the same binary.
+
+use std::time::Instant;
+
+use kgtosa_kg::{HeteroGraph, KnowledgeGraph, Vid};
+use kgtosa_models::{train_rgcn_nc, NcDataset, TrainConfig, TrainReport};
+use kgtosa_tensor::IGNORE_LABEL;
+
+/// Citation-flavoured toy graph, sized so a training run is long enough
+/// (hundreds of milliseconds) to time stably but short enough for CI.
+fn toy_nc(papers: usize) -> (KnowledgeGraph, Vec<u32>, Vec<Vid>) {
+    let mut kg = KnowledgeGraph::new();
+    for i in 0..papers {
+        let venue = format!("v{}", i % 2);
+        kg.add_triple_terms(&format!("p{i}"), "Paper", "publishedIn", &venue, "Venue");
+        kg.add_triple_terms(&format!("a{}", i % 7), "Author", "writes", &format!("p{i}"), "Paper");
+    }
+    let paper_ids = kg.nodes_of_class(kg.find_class("Paper").unwrap());
+    let mut labels = vec![IGNORE_LABEL; kg.num_nodes()];
+    for &p in &paper_ids {
+        let term = kg.node_term(p);
+        labels[p.idx()] = (term[1..].parse::<usize>().unwrap() % 2) as u32;
+    }
+    (kg, labels, paper_ids)
+}
+
+fn train_once(data: &NcDataset<'_>) -> TrainReport {
+    let cfg = TrainConfig {
+        epochs: 12,
+        dim: 32,
+        lr: 0.05,
+        batch_size: 16,
+        ..Default::default()
+    };
+    train_rgcn_nc(data, &cfg)
+}
+
+#[test]
+fn profiling_is_bit_invisible_and_cheap() {
+    let (kg, labels, papers) = toy_nc(160);
+    let graph = HeteroGraph::build(&kg);
+    let (train, rest) = papers.split_at(120);
+    let (valid, test) = rest.split_at(20);
+    let data = NcDataset {
+        kg: &kg,
+        graph: &graph,
+        labels: &labels,
+        num_labels: 2,
+        train,
+        valid,
+        test,
+    };
+
+    const REPS: usize = 5;
+    let time_min = |data: &NcDataset<'_>| -> (f64, TrainReport) {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let report = train_once(data);
+            best = best.min(start.elapsed().as_secs_f64());
+            last = Some(report);
+        }
+        (best, last.expect("at least one rep"))
+    };
+
+    // Warm-up rep so allocator/page-cache effects hit neither side.
+    let _ = train_once(&data);
+
+    assert!(!kgtosa_obs::prof_enabled(), "profiler must start disarmed");
+    let (base_s, base) = time_min(&data);
+
+    kgtosa_obs::enable_prof(kgtosa_obs::DEFAULT_PROF_HZ);
+    assert!(kgtosa_obs::prof_enabled());
+    let (prof_s, prof) = time_min(&data);
+    assert!(kgtosa_obs::sample_ticks() > 0, "sampler thread must have ticked");
+
+    // Bit-identical trainer outputs: the profiler only mirrors span
+    // stacks and snapshots them from a side thread, it never touches the
+    // numeric path.
+    assert_eq!(base.param_hash, prof.param_hash, "profiling changed trained parameters");
+    assert_eq!(base.param_count, prof.param_count);
+    assert_eq!(base.metric, prof.metric, "profiling changed the test metric");
+    assert_eq!(
+        base.trace.iter().map(|p| p.metric.to_bits()).collect::<Vec<_>>(),
+        prof.trace.iter().map(|p| p.metric.to_bits()).collect::<Vec<_>>(),
+        "profiling changed the validation trace"
+    );
+
+    // Overhead budget: the contract is <2% wall at the default 97 Hz
+    // (span path adds one relaxed load when off, one short mutex op when
+    // on; the tick only reads mirrored stacks). Min-of-N absorbs most
+    // scheduler noise; the small absolute slack keeps a loaded CI box
+    // from flaking on a bound the hardware meets comfortably.
+    let budget = base_s * 1.02 + 0.015;
+    assert!(
+        prof_s <= budget,
+        "profiled run too slow: base={base_s:.4}s profiled={prof_s:.4}s budget={budget:.4}s"
+    );
+}

@@ -1,0 +1,244 @@
+//! Dependency-free flamegraph renderer: collapsed-stack text in,
+//! self-contained SVG out.
+//!
+//! The input format is the de-facto standard `frame;frame;frame count`
+//! (one line per distinct stack, count = samples or milliseconds — any
+//! additive weight). The output is a single SVG document with no
+//! scripts and no external resources: rectangles laid out as an icicle
+//! (roots on top), `<title>` tooltips carrying exact weights, and frame
+//! labels where they fit. It opens in any browser and embeds directly
+//! into the HTML run report.
+
+use std::fmt::Write as _;
+
+/// One node of the merged stack trie.
+#[derive(Debug, Default)]
+struct Node {
+    name: String,
+    /// Weight of samples ending exactly here (self).
+    self_w: u64,
+    /// Total weight (self + descendants); filled by [`Node::finish`].
+    total_w: u64,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn child_mut(&mut self, name: &str) -> &mut Node {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(Node { name: name.to_string(), ..Node::default() });
+        self.children.last_mut().unwrap()
+    }
+
+    fn finish(&mut self) -> u64 {
+        let kids: u64 = self.children.iter_mut().map(Node::finish).sum();
+        // Keep child order deterministic: heaviest first, ties by name.
+        self.children
+            .sort_by(|a, b| b.total_w.cmp(&a.total_w).then(a.name.cmp(&b.name)));
+        self.total_w = self.self_w + kids;
+        self.total_w
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.iter().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+/// Parses collapsed-stack lines into the merged trie root. Empty lines
+/// are skipped; a line without a trailing integer weight is an error.
+fn parse_folded(text: &str) -> Result<Node, String> {
+    let mut root = Node { name: "all".to_string(), ..Node::default() };
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no weight field", lineno + 1))?;
+        let count: u64 = count
+            .parse()
+            .map_err(|_| format!("line {}: weight {count:?} is not an integer", lineno + 1))?;
+        let mut at = &mut root;
+        for frame in stack.split(';').filter(|f| !f.is_empty()) {
+            at = at.child_mut(frame);
+        }
+        at.self_w += count;
+    }
+    root.finish();
+    Ok(root)
+}
+
+/// Deterministic warm color per frame name (the flamegraph.pl "hot"
+/// palette feel, without randomness so diffs of the SVG are stable).
+fn frame_color(name: &str) -> (u8, u8, u8) {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let r = 205 + (h % 50) as u8;
+    let g = ((h >> 8) % 180) as u8;
+    let b = ((h >> 16) % 55) as u8;
+    (r, g, b)
+}
+
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const WIDTH: f64 = 1190.0;
+const ROW_H: f64 = 17.0;
+const FONT_PX: f64 = 11.0;
+/// Average glyph advance for the monospace label font.
+const CHAR_W: f64 = 6.6;
+/// Rectangles narrower than this are drawn but unlabeled.
+const MIN_LABEL_W: f64 = 3.0 * CHAR_W;
+
+fn render_node(out: &mut String, node: &Node, x: f64, width: f64, depth: usize, total: u64) {
+    let y = 34.0 + depth as f64 * ROW_H;
+    let (r, g, b) = frame_color(&node.name);
+    let pct = 100.0 * node.total_w as f64 / total.max(1) as f64;
+    let title = format!(
+        "{} ({} of {}, {:.2}%)",
+        node.name, node.total_w, total, pct
+    );
+    let _ = write!(
+        out,
+        "<g><title>{}</title><rect x=\"{:.2}\" y=\"{:.1}\" width=\"{:.2}\" height=\"{:.1}\" \
+         fill=\"rgb({r},{g},{b})\" rx=\"2\"/>",
+        xml_escape(&title),
+        x,
+        y,
+        (width - 0.5).max(0.4),
+        ROW_H - 1.0,
+    );
+    if width >= MIN_LABEL_W {
+        let fit = ((width - 4.0) / CHAR_W) as usize;
+        let label: String = if node.name.chars().count() <= fit {
+            node.name.clone()
+        } else {
+            let mut s: String = node.name.chars().take(fit.saturating_sub(2)).collect();
+            s.push_str("..");
+            s
+        };
+        let _ = write!(
+            out,
+            "<text x=\"{:.2}\" y=\"{:.1}\" font-size=\"{FONT_PX}\">{}</text>",
+            x + 3.0,
+            y + ROW_H - 5.0,
+            xml_escape(&label)
+        );
+    }
+    out.push_str("</g>\n");
+    // Children left-to-right in the (already sorted) trie order.
+    let mut cx = x;
+    for child in &node.children {
+        let cw = width * child.total_w as f64 / node.total_w.max(1) as f64;
+        render_node(out, child, cx, cw, depth + 1, total);
+        cx += cw;
+    }
+}
+
+/// Renders collapsed-stack text as a self-contained SVG flamegraph.
+/// `subtitle` appears under the title (pass the input file name or a
+/// run label); an empty input yields a valid "no samples" SVG rather
+/// than an error, so pipelines never break on an idle run.
+pub fn render_flame_svg(folded: &str, subtitle: &str) -> Result<String, String> {
+    let root = parse_folded(folded)?;
+    let depth = root.depth(); // includes the synthetic "all" root
+    let height = 34.0 + depth as f64 * ROW_H + 24.0;
+    let mut out = String::with_capacity(folded.len() * 4 + 1024);
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {WIDTH} {height:.0}\" font-family=\"monospace\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"#fdf6ec\"/>\n\
+         <text x=\"{:.1}\" y=\"17\" font-size=\"14\" text-anchor=\"middle\" \
+         font-weight=\"bold\">kgtosa flamegraph</text>\n\
+         <text x=\"{:.1}\" y=\"30\" font-size=\"11\" text-anchor=\"middle\" \
+         fill=\"#666\">{}</text>\n",
+        WIDTH / 2.0,
+        WIDTH / 2.0,
+        xml_escape(subtitle),
+    );
+    if root.total_w == 0 {
+        let _ = write!(
+            out,
+            "<text x=\"{:.1}\" y=\"60\" font-size=\"12\" text-anchor=\"middle\">no samples</text>",
+            WIDTH / 2.0
+        );
+    } else {
+        render_node(&mut out, &root, 0.0, WIDTH, 0, root.total_w);
+    }
+    out.push_str("</svg>\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FOLDED: &str = "pipeline;extract 30\npipeline;extract;fetch 50\npipeline;train 20\n";
+
+    #[test]
+    fn trie_merges_and_totals() {
+        let root = parse_folded(FOLDED).unwrap();
+        assert_eq!(root.total_w, 100);
+        assert_eq!(root.children.len(), 1);
+        let pipeline = &root.children[0];
+        assert_eq!(pipeline.name, "pipeline");
+        assert_eq!(pipeline.total_w, 100);
+        assert_eq!(pipeline.self_w, 0);
+        let extract = pipeline.children.iter().find(|c| c.name == "extract").unwrap();
+        assert_eq!(extract.total_w, 80);
+        assert_eq!(extract.self_w, 30);
+        // Heaviest child first.
+        assert_eq!(pipeline.children[0].name, "extract");
+    }
+
+    #[test]
+    fn svg_is_self_contained_and_deterministic() {
+        let a = render_flame_svg(FOLDED, "run.folded").unwrap();
+        let b = render_flame_svg(FOLDED, "run.folded").unwrap();
+        assert_eq!(a, b, "rendering must be deterministic");
+        assert!(a.starts_with("<svg"));
+        assert!(a.trim_end().ends_with("</svg>"));
+        assert!(a.contains("pipeline"));
+        assert!(a.contains("fetch"));
+        assert!(!a.contains("http://") || a.contains("xmlns"), "no external fetches");
+        assert!(!a.contains("<script"));
+        // Tooltip carries exact weights.
+        assert!(a.contains("extract (80 of 100, 80.00%)"), "{a}");
+    }
+
+    #[test]
+    fn empty_input_renders_placeholder() {
+        let svg = render_flame_svg("", "empty").unwrap();
+        assert!(svg.contains("no samples"));
+    }
+
+    #[test]
+    fn bad_weight_is_an_error() {
+        assert!(parse_folded("a;b banana").is_err());
+        assert!(parse_folded("justoneword").is_err());
+    }
+
+    #[test]
+    fn names_are_xml_escaped() {
+        let svg = render_flame_svg("a<b>&\"c\" 10", "x").unwrap();
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;c&quot;"));
+        assert!(!svg.contains("<b>"));
+    }
+}

@@ -1,0 +1,401 @@
+//! Perf-history ledger: an append-only `results/history.jsonl` of
+//! compact run summaries, and the `trace-trend` gate that compares a new
+//! run against a **rolling window** of past records instead of a single
+//! committed baseline.
+//!
+//! A single-baseline gate (trace-diff, PR 3) answers "did this PR
+//! regress vs the one committed snapshot"; the ledger answers "is this
+//! metric drifting" and survives baseline rot — the baseline is the
+//! per-span *median* over the last K records, so one noisy CI run can
+//! neither mask nor manufacture a regression. Noise floors come from
+//! [`crate::diff::DiffOptions`], same as trace-diff.
+
+use std::fmt::Write as _;
+
+use crate::diff::{diff_spans, DiffOptions, DiffReport};
+use crate::json::Json;
+use crate::summary::SpanAgg;
+
+/// One ledger line: where the run came from and what it cost.
+#[derive(Debug, Clone)]
+pub struct HistoryRecord {
+    /// Seconds since the Unix epoch at record time.
+    pub t_unix: u64,
+    /// Git revision (short hash or `GITHUB_SHA`), `"unknown"` off-repo.
+    pub git_rev: String,
+    /// Worker threads the run used (0 = unknown / not thread-scoped).
+    pub threads: usize,
+    /// Per-span cost: `(name, wall_s, self_s, peak_bytes, allocs)`.
+    pub spans: Vec<(String, f64, f64, usize, u64)>,
+    /// Key counters snapshotted at record time.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl HistoryRecord {
+    /// Builds a record from span aggregates plus self-time attribution.
+    pub fn from_aggs(
+        t_unix: u64,
+        git_rev: &str,
+        threads: usize,
+        aggs: &[SpanAgg],
+        counters: &[(String, u64)],
+    ) -> Self {
+        let rows = crate::prof::self_times(aggs);
+        let spans = rows
+            .iter()
+            .map(|r| (r.name.clone(), r.total_s, r.self_s, r.peak_max_bytes, r.self_allocs))
+            .collect();
+        Self {
+            t_unix,
+            git_rev: git_rev.to_string(),
+            threads,
+            spans,
+            counters: counters.to_vec(),
+        }
+    }
+
+    /// Serializes the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let spans: Vec<(String, Json)> = self
+            .spans
+            .iter()
+            .map(|(name, wall, self_s, peak, allocs)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("wall_s".into(), Json::Num(*wall)),
+                        ("self_s".into(), Json::Num(*self_s)),
+                        ("peak_bytes".into(), Json::Num(*peak as f64)),
+                        ("allocs".into(), Json::Num(*allocs as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        let counters: Vec<(String, Json)> = self
+            .counters
+            .iter()
+            .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+            .collect();
+        Json::Obj(vec![
+            ("t".into(), Json::Num(self.t_unix as f64)),
+            ("rev".into(), Json::Str(self.git_rev.clone())),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("spans".into(), Json::Obj(spans)),
+            ("counters".into(), Json::Obj(counters)),
+        ])
+        .to_string()
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        let t_unix = doc.get("t").and_then(Json::as_f64).ok_or("missing `t`")? as u64;
+        let git_rev = doc
+            .get("rev")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let threads = doc.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        let mut spans = Vec::new();
+        if let Some(Json::Obj(fields)) = doc.get("spans") {
+            for (name, s) in fields {
+                let f = |k: &str| s.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                spans.push((
+                    name.clone(),
+                    f("wall_s"),
+                    f("self_s"),
+                    f("peak_bytes") as usize,
+                    f("allocs") as u64,
+                ));
+            }
+        }
+        let mut counters = Vec::new();
+        if let Some(Json::Obj(fields)) = doc.get("counters") {
+            for (name, v) in fields {
+                counters.push((name.clone(), v.as_f64().unwrap_or(0.0) as u64));
+            }
+        }
+        Ok(Self { t_unix, git_rev, threads, spans, counters })
+    }
+}
+
+/// Appends one record to the ledger file, creating parent directories on
+/// first use. The file is plain JSONL, so `git diff` and `tail` work.
+pub fn append_record(path: &str, record: &HistoryRecord) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{}", record.to_json_line())
+}
+
+/// Parses ledger text. Malformed interior lines are an error; a
+/// truncated final line (a run killed mid-append) is tolerated, matching
+/// the trace parser's contract.
+pub fn load_history(text: &str) -> Result<Vec<HistoryRecord>, String> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    for (i, line) in lines.iter().enumerate() {
+        match Json::parse(line).map_err(|e| e.to_string()).and_then(|d| HistoryRecord::from_json(&d)) {
+            Ok(rec) => out.push(rec),
+            Err(_) if i + 1 == lines.len() => break,
+            Err(e) => return Err(format!("history line {}: {e}", i + 1)),
+        }
+    }
+    Ok(out)
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values[values.len() / 2]
+}
+
+/// Per-span median baseline over the last `window` records. A span is
+/// part of the baseline only if it appears in at least half the window
+/// (spans that flicker in and out of CI runs would otherwise gate on a
+/// single observation).
+pub fn baseline_from_window(records: &[HistoryRecord], window: usize) -> Vec<SpanAgg> {
+    let window = window.max(1);
+    let tail = &records[records.len().saturating_sub(window)..];
+    let mut names: Vec<&str> = Vec::new();
+    for rec in tail {
+        for (name, ..) in &rec.spans {
+            if !names.contains(&name.as_str()) {
+                names.push(name);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for name in names {
+        let mut walls = Vec::new();
+        let mut peaks = Vec::new();
+        let mut allocs = Vec::new();
+        for rec in tail {
+            if let Some((_, wall, _, peak, alloc)) =
+                rec.spans.iter().find(|(n, ..)| n == name)
+            {
+                walls.push(*wall);
+                peaks.push(*peak as f64);
+                allocs.push(*alloc as f64);
+            }
+        }
+        if walls.len() * 2 < tail.len() {
+            continue;
+        }
+        let wall = median(&mut walls);
+        out.push(SpanAgg {
+            name: name.to_string(),
+            count: 1,
+            total_s: wall,
+            mean_s: wall,
+            p95_s: wall,
+            max_s: wall,
+            peak_max_bytes: median(&mut peaks) as usize,
+            allocs: median(&mut allocs) as u64,
+        });
+    }
+    out
+}
+
+/// The trend gate's result: a standard diff report against the rolling
+/// median, plus how much history backed the baseline.
+#[derive(Debug, Clone)]
+pub struct TrendReport {
+    pub diff: DiffReport,
+    /// Records that actually contributed to the baseline.
+    pub baseline_records: usize,
+    /// The window the caller asked for.
+    pub window: usize,
+}
+
+/// Gates a new run against the rolling-window median of the ledger.
+/// An empty ledger yields an empty (passing) report — the first CI run
+/// seeds the history rather than failing on it.
+pub fn trend_against_history(
+    history_text: &str,
+    new_aggs: &[SpanAgg],
+    window: usize,
+    opts: &DiffOptions,
+) -> Result<TrendReport, String> {
+    let records = load_history(history_text)?;
+    let baseline = baseline_from_window(&records, window);
+    let diff = diff_spans(&baseline, new_aggs, opts);
+    Ok(TrendReport {
+        diff,
+        baseline_records: records.len().min(window.max(1)),
+        window,
+    })
+}
+
+/// Best-effort git revision for ledger records: `GITHUB_SHA` when CI
+/// provides it, else `git rev-parse --short HEAD`, else `"unknown"`.
+pub fn current_git_rev() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha.chars().take(12).collect();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Markdown summary table for a diff/trend report — what CI writes to
+/// the GitHub step summary. `title` heads the section.
+pub fn render_markdown(report: &DiffReport, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}\n");
+    let _ = writeln!(
+        out,
+        "| span | old (s) | new (s) | Δ% | old peak | new peak | status |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---|");
+    for r in &report.rows {
+        let status = if r.regressed.is_empty() {
+            "ok".to_string()
+        } else {
+            format!("**REGRESSED ({})**", r.regressed.join(", "))
+        };
+        let _ = writeln!(
+            out,
+            "| `{}` | {:.4} | {:.4} | {:+.1} | {} | {} | {} |",
+            r.name,
+            r.old_s,
+            r.new_s,
+            r.delta_pct,
+            kgtosa_memtrack::format_bytes(r.old_peak),
+            kgtosa_memtrack::format_bytes(r.new_peak),
+            status,
+        );
+    }
+    if !report.only_old.is_empty() {
+        let _ = writeln!(out, "\nonly in baseline: {}", report.only_old.join(", "));
+    }
+    if !report.only_new.is_empty() {
+        let _ = writeln!(out, "\nonly in new run: {}", report.only_new.join(", "));
+    }
+    let n = report.regressions();
+    let _ = writeln!(
+        out,
+        "\n{} — threshold {:.0}%",
+        if n == 0 { "**no regressions**".to_string() } else { format!("**{n} regression(s)**") },
+        report.threshold_pct,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(name: &str, total_s: f64) -> SpanAgg {
+        SpanAgg {
+            name: name.to_string(),
+            count: 1,
+            total_s,
+            mean_s: total_s,
+            p95_s: total_s,
+            max_s: total_s,
+            peak_max_bytes: 0,
+            allocs: 0,
+        }
+    }
+
+    fn rec(t: u64, wall: f64) -> HistoryRecord {
+        HistoryRecord {
+            t_unix: t,
+            git_rev: format!("rev{t}"),
+            threads: 4,
+            spans: vec![("kern@4t".to_string(), wall, wall, 1 << 20, 100)],
+            counters: vec![("cache.hits".to_string(), t)],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_jsonl() {
+        let text = format!("{}\n{}\n", rec(1, 0.5).to_json_line(), rec(2, 0.6).to_json_line());
+        let records = load_history(&text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].git_rev, "rev1");
+        assert_eq!(records[1].spans[0].1, 0.6);
+        assert_eq!(records[0].counters, vec![("cache.hits".to_string(), 1)]);
+    }
+
+    #[test]
+    fn truncated_final_line_tolerated_interior_error_not() {
+        let good = rec(1, 0.5).to_json_line();
+        let text = format!("{good}\n{{\"t\": 2, \"rev");
+        assert_eq!(load_history(&text).unwrap().len(), 1);
+        let text = format!("{{broken\n{good}\n");
+        assert!(load_history(&text).is_err());
+    }
+
+    #[test]
+    fn rolling_median_ignores_one_outlier() {
+        // Window of 5 with one 10x-noisy record: median stays at 0.5.
+        let records: Vec<HistoryRecord> =
+            vec![rec(1, 0.5), rec(2, 0.5), rec(3, 5.0), rec(4, 0.5), rec(5, 0.5)];
+        let base = baseline_from_window(&records, 5);
+        assert_eq!(base.len(), 1);
+        assert!((base[0].total_s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_limits_how_far_back_the_baseline_looks() {
+        // Old records say 1.0; the recent window says 0.5.
+        let records = vec![rec(1, 1.0), rec(2, 1.0), rec(3, 0.5), rec(4, 0.5), rec(5, 0.5)];
+        let base = baseline_from_window(&records, 3);
+        assert!((base[0].total_s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flickering_spans_need_half_the_window() {
+        let mut records = vec![rec(1, 0.5), rec(2, 0.5), rec(3, 0.5), rec(4, 0.5)];
+        records[3].spans.push(("rare".to_string(), 9.0, 9.0, 0, 0));
+        let base = baseline_from_window(&records, 4);
+        assert!(base.iter().all(|a| a.name != "rare"), "1-of-4 span must not gate");
+    }
+
+    #[test]
+    fn trend_gate_flags_regression_vs_median() {
+        let text: String =
+            (1..=5).map(|t| rec(t, 0.5).to_json_line() + "\n").collect();
+        let opts = DiffOptions { threshold_pct: 25.0, ..Default::default() };
+        let ok = trend_against_history(&text, &[agg("kern@4t", 0.55)], 5, &opts).unwrap();
+        assert_eq!(ok.diff.regressions(), 0);
+        let bad = trend_against_history(&text, &[agg("kern@4t", 0.9)], 5, &opts).unwrap();
+        assert_eq!(bad.diff.regressions(), 1);
+        assert_eq!(bad.baseline_records, 5);
+    }
+
+    #[test]
+    fn empty_history_passes_and_seeds() {
+        let report =
+            trend_against_history("", &[agg("kern@4t", 0.5)], 5, &DiffOptions::default()).unwrap();
+        assert_eq!(report.diff.regressions(), 0);
+        assert_eq!(report.diff.only_new, vec!["kern@4t"]);
+    }
+
+    #[test]
+    fn markdown_table_renders() {
+        let old = vec![agg("a", 1.0)];
+        let new = vec![agg("a", 2.0)];
+        let report = diff_spans(&old, &new, &DiffOptions::default());
+        let md = render_markdown(&report, "kernel trend");
+        assert!(md.contains("### kernel trend"));
+        assert!(md.contains("| `a` |"));
+        assert!(md.contains("REGRESSED (wall)"));
+        assert!(md.contains("**1 regression(s)**"));
+    }
+}

@@ -38,8 +38,12 @@
 //! calls, four atomic loads, and one registry update.
 
 mod diff;
+mod flame;
+mod history;
 mod json;
 mod panic_hook;
+mod prof;
+mod report;
 mod progress;
 mod prometheus;
 mod registry;
@@ -50,7 +54,18 @@ mod summary;
 mod train;
 
 pub use diff::{diff_spans, diff_trace_texts, parse_trace_or_bench, DiffOptions, DiffReport, DiffRow};
+pub use flame::render_flame_svg;
+pub use history::{
+    append_record, baseline_from_window, current_git_rev, load_history, render_markdown,
+    trend_against_history, HistoryRecord, TrendReport,
+};
 pub use json::Json;
+pub use prof::{
+    enable_prof, enable_prof_from_env, fold_stack, folded_from_aggs, prof_enabled, prof_json,
+    registry_aggs, render_folded, reset_prof_samples, sample_ticks, samples_folded, self_times,
+    write_folded, SelfTime, DEFAULT_PROF_HZ,
+};
+pub use report::{render_html_report, table_iv_phase};
 pub use progress::{
     emit_heartbeat, progress_json, progress_snapshot, progress_task, reset_progress,
     start_heartbeat, start_heartbeat_from_env, Progress, ProgressSnapshot,
@@ -58,10 +73,10 @@ pub use progress::{
 pub use panic_hook::{install_panic_hook, panic_hook_installed};
 pub use prometheus::render_prometheus;
 pub use registry::{
-    counter, gauge, histogram, histogram_with_bounds, metrics_snapshot, reset_registry,
-    span_stats, Counter, Gauge, Histogram, SpanStat,
+    counter, gauge, gauge_f64, histogram, histogram_with_bounds, metrics_snapshot,
+    reset_registry, span_stats, Counter, Gauge, GaugeF64, Histogram, SpanStat,
 };
-pub use serve::{init_serve_from_env, serve_addr, serve_metrics};
+pub use serve::{init_serve_from_env, register_core_metrics, serve_addr, serve_metrics};
 pub use sink::{
     emit_event, info_str, init_trace_from_env, init_trace_to, is_quiet, set_quiet, shutdown,
     trace_enabled,

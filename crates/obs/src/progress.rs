@@ -144,6 +144,29 @@ pub fn progress_task(name: &str, total: Option<u64>) -> Progress {
     Progress { state }
 }
 
+/// Derives `(rate_per_s, eta_s)` from raw task state. Total guard rails:
+/// the rate is always finite (a zero or denormal-tiny elapsed time yields
+/// rate 0, not `inf`), and the ETA is `None` rather than `NaN`/`inf` for
+/// zero-rate, unknown-total, or finished tasks — so neither `/progress`
+/// JSON nor the Prometheus exposition can ever carry a non-finite number
+/// born here.
+pub(crate) fn derive_rate_eta(
+    done: u64,
+    total: Option<u64>,
+    elapsed_s: f64,
+    finished: bool,
+) -> (f64, Option<f64>) {
+    let raw_rate = if elapsed_s > 0.0 { done as f64 / elapsed_s } else { 0.0 };
+    let rate_per_s = if raw_rate.is_finite() { raw_rate } else { 0.0 };
+    let eta_s = match total {
+        Some(n) if !finished && done > 0 && rate_per_s > 0.0 => {
+            Some(n.saturating_sub(done) as f64 / rate_per_s)
+        }
+        _ => None,
+    };
+    (rate_per_s, eta_s.filter(|e| e.is_finite()))
+}
+
 /// Snapshots every registered task, oldest first.
 pub fn progress_snapshot() -> Vec<ProgressSnapshot> {
     tasks()
@@ -158,13 +181,7 @@ pub fn progress_snapshot() -> Vec<ProgressSnapshot> {
             };
             let elapsed_s = t.elapsed_s();
             let finished = t.finished();
-            let rate_per_s = if elapsed_s > 0.0 { done as f64 / elapsed_s } else { 0.0 };
-            let eta_s = match total {
-                Some(n) if !finished && done > 0 && rate_per_s > 0.0 => {
-                    Some(n.saturating_sub(done) as f64 / rate_per_s)
-                }
-                _ => None,
-            };
+            let (rate_per_s, eta_s) = derive_rate_eta(done, total, elapsed_s, finished);
             ProgressSnapshot {
                 name: t.name.clone(),
                 done,
@@ -359,6 +376,37 @@ mod tests {
         let s = snap.iter().find(|s| s.name == "test.progress.clone").unwrap();
         assert!(!s.finished, "dropping one of two handles must not finish");
         assert_eq!(s.done, 1);
+    }
+
+    #[test]
+    fn rate_and_eta_never_go_non_finite() {
+        // Zero elapsed: rate must be 0, not inf/NaN.
+        assert_eq!(derive_rate_eta(100, Some(200), 0.0, false), (0.0, None));
+        assert_eq!(derive_rate_eta(0, Some(200), 0.0, false), (0.0, None));
+        // Denormal-tiny elapsed would overflow the division to inf.
+        let (rate, eta) = derive_rate_eta(u64::MAX, Some(u64::MAX), f64::MIN_POSITIVE, false);
+        assert!(rate.is_finite(), "rate overflowed: {rate}");
+        assert!(eta.is_none_or(|e| e.is_finite()));
+        // Unknown total / finished task: no ETA even with a healthy rate.
+        assert_eq!(derive_rate_eta(10, None, 1.0, false).1, None);
+        assert_eq!(derive_rate_eta(10, Some(20), 1.0, true).1, None);
+        // The healthy case still works.
+        let (rate, eta) = derive_rate_eta(50, Some(100), 10.0, false);
+        assert_eq!(rate, 5.0);
+        assert_eq!(eta, Some(10.0));
+    }
+
+    #[test]
+    fn progress_json_never_contains_nan_or_inf_tokens() {
+        let p = progress_task("test.progress.nonfinite", Some(7));
+        p.advance(3);
+        let text = progress_json().to_string();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        // And the full snapshot path agrees with the derivation guard.
+        for s in progress_snapshot() {
+            assert!(s.rate_per_s.is_finite(), "{}: {}", s.name, s.rate_per_s);
+            assert!(s.eta_s.is_none_or(|e| e.is_finite()), "{}", s.name);
+        }
     }
 
     #[test]

@@ -73,6 +73,12 @@ pub fn render_prometheus() -> String {
         let _ = writeln!(out, "{metric} {value}");
     }
 
+    for (name, value) in registry::gauge_f64_values() {
+        let metric = format!("kgtosa_{}", sanitize_name(&name));
+        family(&mut out, &metric, "gauge", "kgtosa gauge");
+        let _ = writeln!(out, "{metric} {}", fmt_f64(value));
+    }
+
     for (name, hist) in registry::histogram_handles() {
         let metric = format!("kgtosa_{}", sanitize_name(&name));
         family(&mut out, &metric, "histogram", "kgtosa histogram");
@@ -218,6 +224,27 @@ mod tests {
         assert_eq!(escape_label(r#"a"b"#), r#"a\"b"#);
         assert_eq!(escape_label("a\\b"), "a\\\\b");
         assert_eq!(escape_label("a\nb"), "a\\nb");
+        // All three escapes combined; a pre-escaped backslash must not be
+        // double-interpreted (escape the backslash itself, then the rest).
+        assert_eq!(escape_label("x\\\"y\nz"), "x\\\\\\\"y\\nz");
+        assert_eq!(escape_label("already\\n"), "already\\\\n");
+        // Everything else passes through verbatim.
+        assert_eq!(escape_label("train.epoch[rgcn] 100%"), "train.epoch[rgcn] 100%");
+    }
+
+    #[test]
+    fn sanitized_names_are_always_legal_prometheus_identifiers() {
+        let legal = |s: &str| {
+            !s.is_empty()
+                && s.chars().enumerate().all(|(i, c)| match c {
+                    'a'..='z' | 'A'..='Z' | '_' | ':' => true,
+                    '0'..='9' => i > 0,
+                    _ => false,
+                })
+        };
+        for ugly in ["rdf.fetch-retries", "9lives", "träin.loss", "a b\tc", "cache.hit_ratio"] {
+            assert!(legal(&sanitize_name(ugly)), "{ugly} → {}", sanitize_name(ugly));
+        }
     }
 
     #[test]
@@ -254,6 +281,35 @@ mod tests {
         assert!(text.contains("kgtosa_test_prom_hist_bucket{le=\"+Inf\"} 4"), "{text}");
         assert!(text.contains("kgtosa_test_prom_hist_sum 105"), "{text}");
         assert!(text.contains("kgtosa_test_prom_hist_count 4"), "{text}");
+    }
+
+    #[test]
+    fn histogram_bucket_series_is_monotone_and_ends_at_count() {
+        let h = crate::histogram_with_bounds("test.prom.mono", &[0.1, 0.2, 0.5, 1.0]);
+        for i in 0..50 {
+            h.observe((i as f64 * 0.031) % 1.3);
+        }
+        let text = render_prometheus();
+        // Parse every bucket line of this family back out and check the
+        // cumulative counts never decrease and the +Inf bucket equals
+        // the family's _count.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("kgtosa_test_prom_mono_bucket{le=\""))
+            .map(|rest| rest.split("\"} ").nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), 5, "4 bounds + overflow");
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "non-monotone: {counts:?}");
+        assert_eq!(*counts.last().unwrap(), h.count());
+        assert!(text.contains(&format!("kgtosa_test_prom_mono_count {}", h.count())));
+    }
+
+    #[test]
+    fn f64_gauges_render() {
+        crate::gauge_f64("test.prom.ratio").set(0.875);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE kgtosa_test_prom_ratio gauge"), "{text}");
+        assert!(text.contains("kgtosa_test_prom_ratio 0.875"), "{text}");
     }
 
     #[test]

@@ -51,6 +51,35 @@ impl Gauge {
     }
 }
 
+/// Last-write-wins floating-point level, for derived ratios and rates
+/// (`cache.hit_ratio`, utilizations). Stored as f64 bit patterns in an
+/// `AtomicU64`, so it stays lock-free like [`Gauge`].
+#[derive(Debug)]
+pub struct GaugeF64 {
+    bits: AtomicU64,
+}
+
+impl Default for GaugeF64 {
+    fn default() -> Self {
+        GaugeF64 { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+}
+
+impl GaugeF64 {
+    /// Sets the level. Non-finite values are dropped rather than stored —
+    /// a ratio gauge must never poison the Prometheus exposition or the
+    /// JSON snapshot with `NaN`/`inf`.
+    pub fn set(&self, v: f64) {
+        if v.is_finite() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
 /// Fixed-bucket histogram. `bounds[i]` is the inclusive upper edge of
 /// bucket `i`; one overflow bucket catches everything above the last
 /// bound. Sum and max are kept via CAS on f64 bit patterns, so `observe`
@@ -179,6 +208,7 @@ pub struct SpanStat {
 struct Registry {
     counters: RwLock<HashMap<String, Arc<Counter>>>,
     gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    gauges_f64: RwLock<HashMap<String, Arc<GaugeF64>>>,
     histograms: RwLock<HashMap<String, Arc<Histogram>>>,
     spans: RwLock<HashMap<String, SpanStat>>,
 }
@@ -201,6 +231,14 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
         return Arc::clone(g);
     }
     let mut map = registry().gauges.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
+pub fn gauge_f64(name: &str) -> Arc<GaugeF64> {
+    if let Some(g) = registry().gauges_f64.read().unwrap_or_else(std::sync::PoisonError::into_inner).get(name) {
+        return Arc::clone(g);
+    }
+    let mut map = registry().gauges_f64.write().unwrap_or_else(std::sync::PoisonError::into_inner);
     Arc::clone(map.entry(name.to_string()).or_default())
 }
 
@@ -264,6 +302,19 @@ pub(crate) fn gauge_values() -> Vec<(String, i64)> {
     rows
 }
 
+/// All f64 gauges as `(name, value)`, sorted by name.
+pub(crate) fn gauge_f64_values() -> Vec<(String, f64)> {
+    let mut rows: Vec<_> = registry()
+        .gauges_f64
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .map(|(k, v)| (k.clone(), v.get()))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
 /// All histogram handles, sorted by name.
 pub(crate) fn histogram_handles() -> Vec<(String, Arc<Histogram>)> {
     let mut rows: Vec<_> = registry()
@@ -310,6 +361,12 @@ pub fn metrics_snapshot() -> Json {
         .iter()
         .map(|(k, v)| (k.clone(), Json::Num(v.get() as f64)))
         .collect();
+    // Integer and float gauges share one namespace in the snapshot.
+    gauges.extend(
+        gauge_f64_values()
+            .into_iter()
+            .map(|(k, v)| (k, Json::Num(v))),
+    );
     gauges.sort_by(|a, b| a.0.cmp(&b.0));
 
     let mut histograms: Vec<(String, Json)> = reg
@@ -361,6 +418,7 @@ pub fn reset_registry() {
     let reg = registry();
     reg.counters.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     reg.gauges.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    reg.gauges_f64.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     reg.histograms.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     reg.spans.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
 }
@@ -420,6 +478,21 @@ mod tests {
         });
         assert_eq!(h.count(), 4000);
         assert!((h.sum() - 4.0 * (0.0 + 1.0 + 2.0 + 3.0 + 4.0) * 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f64_gauge_stores_ratios_and_rejects_non_finite() {
+        let g = gauge_f64("test.reg.ratio");
+        g.set(0.75);
+        assert_eq!(gauge_f64("test.reg.ratio").get(), 0.75);
+        g.set(f64::NAN);
+        g.set(f64::INFINITY);
+        assert_eq!(g.get(), 0.75, "non-finite writes must be dropped");
+        let snap = metrics_snapshot();
+        assert_eq!(
+            snap.get("gauges").unwrap().get("test.reg.ratio").unwrap().as_f64(),
+            Some(0.75)
+        );
     }
 
     #[test]

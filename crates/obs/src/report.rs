@@ -1,0 +1,386 @@
+//! Single-file HTML run reports: one JSONL trace in, one self-contained
+//! `report.html` out.
+//!
+//! The report folds everything a run left behind into the per-run
+//! quality/cost artifact the KGNet platform vision calls for: the span
+//! tree with self-time attribution (the computed version of the paper's
+//! Table IV cost decomposition), the top hot spans, the final metrics
+//! snapshot (counters / gauges / histograms), subgraph-quality and
+//! completeness indicators from `extract.quality` events, and an inline
+//! flamegraph. No scripts, no external resources — the file archives and
+//! attaches to CI runs as-is.
+
+use std::fmt::Write as _;
+
+use crate::flame::render_flame_svg;
+use crate::json::Json;
+use crate::prof::{folded_from_aggs, render_folded, self_times, SelfTime};
+use crate::summary::{summarize_jsonl, SpanAgg};
+
+fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_s(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else if v >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// The paper's Table IV decomposes end-to-end cost into extraction,
+/// transformation, and training; everything else (I/O, setup, telemetry)
+/// lands in "other". Classification is by span path.
+pub fn table_iv_phase(name: &str) -> &'static str {
+    let n = name.to_ascii_lowercase();
+    if n.contains("extract") || n.contains("rdf") || n.contains("fetch") || n.contains("sample") {
+        "extraction"
+    } else if n.contains("transform") {
+        "transformation"
+    } else if n.contains("train") || n.contains("epoch") || n.contains("infer") {
+        "training"
+    } else {
+        "other"
+    }
+}
+
+/// Events the report reads beyond the span aggregates.
+struct TraceExtras {
+    /// The final `metrics` snapshot, when the run shut down cleanly.
+    metrics: Option<Json>,
+    /// Every `extract.quality` event, in order.
+    quality: Vec<Json>,
+    /// `panic` events (a crashed run's report should say so loudly).
+    panics: Vec<Json>,
+}
+
+fn scan_extras(text: &str) -> TraceExtras {
+    let mut extras = TraceExtras { metrics: None, quality: Vec::new(), panics: Vec::new() };
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(event) = Json::parse(line) else { continue };
+        match event.get("ev").and_then(Json::as_str) {
+            Some("metrics") => extras.metrics = Some(event),
+            Some("extract.quality") => extras.quality.push(event),
+            Some("panic") => extras.panics.push(event),
+            _ => {}
+        }
+    }
+    extras
+}
+
+fn span_tree_table(out: &mut String, rows: &[SelfTime], wall_total: f64) {
+    out.push_str(
+        "<table><tr><th>span</th><th>count</th><th>total (s)</th><th>self (s)</th>\
+         <th>self %</th><th>self allocs</th><th>peak Δ</th></tr>\n",
+    );
+    // Render as a tree: depth-first over parent links, preserving the
+    // recorded order among siblings.
+    let mut order: Vec<usize> = Vec::with_capacity(rows.len());
+    fn visit(rows: &[SelfTime], at: usize, order: &mut Vec<usize>) {
+        order.push(at);
+        for (j, r) in rows.iter().enumerate() {
+            if r.parent == Some(at) {
+                visit(rows, j, order);
+            }
+        }
+    }
+    for (i, r) in rows.iter().enumerate() {
+        if r.parent.is_none() {
+            visit(rows, i, &mut order);
+        }
+    }
+    for &i in &order {
+        let r = &rows[i];
+        let pct = 100.0 * r.self_s / wall_total.max(1e-12);
+        let label = r.name.rsplit('.').next().unwrap_or(&r.name);
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"tree\" title=\"{}\"><span style=\"padding-left:{}em\">{}</span></td>\
+             <td>{}</td><td>{}</td><td>{}</td>\
+             <td><div class=\"bar\" style=\"width:{:.1}%\"></div>{:.1}%</td>\
+             <td>{}</td><td>{}</td></tr>",
+            html_escape(&r.name),
+            r.depth as f64 * 1.2,
+            html_escape(if r.depth == 0 { &r.name } else { label }),
+            r.count,
+            fmt_s(r.total_s),
+            fmt_s(r.self_s),
+            pct.min(100.0),
+            pct,
+            r.self_allocs,
+            kgtosa_memtrack::format_bytes(r.peak_max_bytes),
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+fn metric_tables(out: &mut String, metrics: &Json) {
+    for (section, unit) in [("counters", ""), ("gauges", "")] {
+        let Some(Json::Obj(fields)) = metrics.get(section) else { continue };
+        if fields.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "<h3>{section}</h3><table><tr><th>name</th><th>value{unit}</th></tr>");
+        for (name, value) in fields {
+            let v = value.as_f64().unwrap_or(0.0);
+            let _ = writeln!(out, "<tr><td>{}</td><td>{v}</td></tr>", html_escape(name));
+        }
+        out.push_str("</table>\n");
+    }
+    if let Some(Json::Obj(fields)) = metrics.get("histograms") {
+        if !fields.is_empty() {
+            out.push_str(
+                "<h3>histograms</h3><table><tr><th>name</th><th>count</th><th>mean</th>\
+                 <th>p95</th><th>max</th></tr>\n",
+            );
+            for (name, h) in fields {
+                let f = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                let _ = writeln!(
+                    out,
+                    "<tr><td>{}</td><td>{}</td><td>{:.6}</td><td>{:.6}</td><td>{:.6}</td></tr>",
+                    html_escape(name),
+                    f("count"),
+                    f("mean"),
+                    f("p95"),
+                    f("max"),
+                );
+            }
+            out.push_str("</table>\n");
+        }
+    }
+}
+
+/// Renders the full HTML run report from a JSONL trace. `source_label`
+/// names where the trace came from (file path, CI job, …).
+pub fn render_html_report(trace_text: &str, source_label: &str) -> Result<String, String> {
+    let aggs: Vec<SpanAgg> = summarize_jsonl(trace_text)?;
+    if aggs.is_empty() {
+        return Err("trace contains no span or train.epoch events".to_string());
+    }
+    let rows = self_times(&aggs);
+    let extras = scan_extras(trace_text);
+    let wall_total: f64 = rows.iter().filter(|r| r.parent.is_none()).map(|r| r.total_s).sum();
+
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str(
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n<title>kgtosa run report</title>\n\
+         <style>\n\
+         body{font-family:system-ui,sans-serif;margin:2em auto;max-width:1240px;color:#222}\n\
+         h1{border-bottom:2px solid #c33;padding-bottom:.2em}\n\
+         h2{margin-top:1.6em;border-bottom:1px solid #ddd;padding-bottom:.15em}\n\
+         table{border-collapse:collapse;font-size:13px;margin:.5em 0}\n\
+         th,td{border:1px solid #ddd;padding:3px 8px;text-align:right;font-variant-numeric:tabular-nums}\n\
+         th{background:#f6f2ea}\n\
+         td:first-child,th:first-child{text-align:left;font-family:monospace}\n\
+         td .bar{display:inline-block;height:9px;background:#e2a25b;margin-right:4px;max-width:120px;vertical-align:baseline}\n\
+         td{white-space:nowrap}\n\
+         .warn{background:#fbe9e7;border:1px solid #c33;padding:.6em 1em;border-radius:4px}\n\
+         .muted{color:#777;font-size:12px}\n\
+         </style></head><body>\n",
+    );
+    let _ = writeln!(
+        out,
+        "<h1>kgtosa run report</h1>\n<p class=\"muted\">source: {} · spans: {} · \
+         total wall (sum of roots): {} s</p>",
+        html_escape(source_label),
+        rows.len(),
+        fmt_s(wall_total),
+    );
+
+    for p in &extras.panics {
+        let msg = p.get("msg").and_then(Json::as_str).unwrap_or("?");
+        let loc = p.get("location").and_then(Json::as_str).unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "<p class=\"warn\"><b>this run panicked:</b> {} <span class=\"muted\">at {}</span></p>",
+            html_escape(msg),
+            html_escape(loc),
+        );
+    }
+
+    // Table IV cost breakdown: self time per phase.
+    out.push_str("<h2>Cost breakdown (Table IV)</h2>\n");
+    out.push_str(
+        "<p class=\"muted\">Self-time per phase — the computed analogue of the paper's \
+         extraction / transformation / training decomposition.</p>\n",
+    );
+    let mut phases: Vec<(&'static str, f64)> = Vec::new();
+    for r in &rows {
+        let phase = table_iv_phase(&r.name);
+        match phases.iter_mut().find(|(p, _)| *p == phase) {
+            Some((_, acc)) => *acc += r.self_s,
+            None => phases.push((phase, r.self_s)),
+        }
+    }
+    phases.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out.push_str("<table><tr><th>phase</th><th>self (s)</th><th>share</th></tr>\n");
+    for (phase, secs) in &phases {
+        let _ = writeln!(
+            out,
+            "<tr><td>{phase}</td><td>{}</td><td>{:.1}%</td></tr>",
+            fmt_s(*secs),
+            100.0 * secs / wall_total.max(1e-12),
+        );
+    }
+    out.push_str("</table>\n");
+
+    // Top hot spans by self time.
+    out.push_str("<h2>Hot spans (by self time)</h2>\n");
+    let mut hot: Vec<&SelfTime> = rows.iter().collect();
+    hot.sort_by(|a, b| b.self_s.partial_cmp(&a.self_s).unwrap_or(std::cmp::Ordering::Equal));
+    out.push_str(
+        "<table><tr><th>span</th><th>self (s)</th><th>self %</th><th>count</th>\
+         <th>mean total (s)</th></tr>\n",
+    );
+    for r in hot.iter().take(10) {
+        let _ = writeln!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{:.1}%</td><td>{}</td><td>{}</td></tr>",
+            html_escape(&r.name),
+            fmt_s(r.self_s),
+            100.0 * r.self_s / wall_total.max(1e-12),
+            r.count,
+            fmt_s(r.total_s / r.count.max(1) as f64),
+        );
+    }
+    out.push_str("</table>\n");
+
+    // Flamegraph from self-time-weighted folded stacks.
+    out.push_str("<h2>Flamegraph</h2>\n");
+    let folded = render_folded(&folded_from_aggs(&aggs));
+    match render_flame_svg(&folded, source_label) {
+        Ok(svg) => out.push_str(&svg),
+        Err(e) => {
+            let _ = writeln!(out, "<p class=\"warn\">flamegraph failed: {}</p>", html_escape(&e));
+        }
+    }
+
+    // Full span tree.
+    out.push_str("<h2>Span tree</h2>\n");
+    span_tree_table(&mut out, &rows, wall_total);
+
+    // Extraction quality / completeness.
+    if !extras.quality.is_empty() {
+        out.push_str("<h2>Extraction quality</h2>\n");
+        out.push_str(
+            "<table><tr><th>method</th><th>nodes</th><th>triples</th><th>targets</th>\
+             <th>target %</th><th>disconnected %</th><th>completeness</th></tr>\n",
+        );
+        for q in &extras.quality {
+            let f = |k: &str| q.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            let completeness = q.get("completeness").and_then(Json::as_f64).unwrap_or(1.0);
+            let _ = writeln!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{:.2}</td>\
+                 <td>{:.2}</td><td>{:.1}%</td></tr>",
+                html_escape(q.get("method").and_then(Json::as_str).unwrap_or("?")),
+                f("num_nodes"),
+                f("num_triples"),
+                f("target_count"),
+                f("target_ratio_pct"),
+                f("target_disconnected_pct"),
+                100.0 * completeness,
+            );
+        }
+        out.push_str("</table>\n");
+    }
+
+    // Final metrics snapshot.
+    if let Some(metrics) = &extras.metrics {
+        out.push_str("<h2>Final metrics</h2>\n");
+        metric_tables(&mut out, metrics);
+    } else {
+        out.push_str(
+            "<p class=\"warn\">no final <code>metrics</code> event — the run did not shut \
+             down cleanly (killed or crashed); numbers above cover events up to the cut.</p>\n",
+        );
+    }
+
+    out.push_str("</body></html>\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = concat!(
+        r#"{"ev":"span","t":0.1,"name":"pipeline.extract","wall_s":0.6,"live_bytes":0,"peak_delta_bytes":2048,"allocs":500}"#, "\n",
+        r#"{"ev":"span","t":0.2,"name":"pipeline.transform","wall_s":0.1,"live_bytes":0,"peak_delta_bytes":0,"allocs":10}"#, "\n",
+        r#"{"ev":"span","t":0.9,"name":"pipeline.train","wall_s":0.3,"live_bytes":0,"peak_delta_bytes":0,"allocs":100}"#, "\n",
+        r#"{"ev":"span","t":1.0,"name":"pipeline","wall_s":1.1,"live_bytes":0,"peak_delta_bytes":4096,"allocs":700}"#, "\n",
+        r#"{"ev":"extract.quality","t":0.6,"method":"sparql-d1h1","num_nodes":100,"num_triples":300,"target_count":20,"target_ratio_pct":20.0,"target_disconnected_pct":0.0,"completeness":0.75}"#, "\n",
+        r#"{"ev":"metrics","t":1.2,"counters":{"cache.hits":3},"gauges":{"cache.bytes":1024},"histograms":{"fetch.page_s":{"count":4,"mean":0.01,"p95":0.02,"max":0.03}},"spans":{}}"#, "\n",
+    );
+
+    #[test]
+    fn report_contains_all_sections() {
+        let html = render_html_report(TRACE, "test.jsonl").unwrap();
+        for needle in [
+            "<!doctype html>",
+            "Cost breakdown (Table IV)",
+            "Hot spans",
+            "Flamegraph",
+            "<svg",
+            "Span tree",
+            "Extraction quality",
+            "Final metrics",
+            "cache.hits",
+            "sparql-d1h1",
+            "75.0%", // completeness
+        ] {
+            assert!(html.contains(needle), "missing {needle:?}");
+        }
+        assert!(!html.contains("<script"), "report must be script-free");
+    }
+
+    #[test]
+    fn self_times_sum_to_root_wall_in_report_inputs() {
+        let aggs = summarize_jsonl(TRACE).unwrap();
+        let rows = self_times(&aggs);
+        let root_total: f64 =
+            rows.iter().filter(|r| r.parent.is_none()).map(|r| r.total_s).sum();
+        let self_sum: f64 = rows.iter().map(|r| r.self_s).sum();
+        assert!(
+            (self_sum - root_total).abs() < 1e-9,
+            "self ({self_sum}) must telescope to root wall ({root_total})"
+        );
+    }
+
+    #[test]
+    fn dirty_shutdown_is_called_out() {
+        let truncated = TRACE.lines().take(4).collect::<Vec<_>>().join("\n");
+        let html = render_html_report(&truncated, "cut.jsonl").unwrap();
+        assert!(html.contains("did not shut down cleanly"));
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert!(render_html_report(r#"{"ev":"log","t":0,"msg":"hi"}"#, "x").is_err());
+    }
+
+    #[test]
+    fn phase_classification() {
+        assert_eq!(table_iv_phase("pipeline.extract.brw"), "extraction");
+        assert_eq!(table_iv_phase("rdf.fetch"), "extraction");
+        assert_eq!(table_iv_phase("pipeline.transform"), "transformation");
+        assert_eq!(table_iv_phase("train.epoch[rgcn]"), "training");
+        assert_eq!(table_iv_phase("snapshot.write"), "other");
+    }
+}

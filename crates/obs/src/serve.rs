@@ -7,6 +7,8 @@
 //!   format ([`crate::render_prometheus`]),
 //! * `GET /spans`    — per-span aggregates as JSON,
 //! * `GET /progress` — progress tasks with rate and ETA as JSON,
+//! * `GET /prof`     — profiler state: self-time attribution over the
+//!   live registry plus accumulated sampler stacks,
 //! * `GET /`         — a plain-text index of the routes.
 //!
 //! The server exists for *introspection of long runs* (scrape cadence:
@@ -41,6 +43,7 @@ pub fn serve_metrics(addr: &str) -> std::io::Result<SocketAddr> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let _ = BOUND.set(local);
+    register_core_metrics();
     std::thread::Builder::new()
         .name("kgtosa-metrics".into())
         .spawn(move || {
@@ -68,6 +71,21 @@ pub fn init_serve_from_env() -> Option<SocketAddr> {
         },
         _ => None,
     }
+}
+
+/// Pre-registers the pipeline's cross-crate instruments so `/metrics`
+/// exports them from the first scrape, not only after their first
+/// update: the cache counters and byte gauge (kgtosa-cache), the
+/// parallel-runtime queue depth (kgtosa-par), and the derived cache hit
+/// ratio. Registration is idempotent, so the owning crates' own lookups
+/// return these same instruments.
+pub fn register_core_metrics() {
+    for name in ["cache.hits", "cache.misses", "cache.stale", "cache.corrupt", "cache.evictions"] {
+        let _ = registry::counter(name);
+    }
+    let _ = registry::gauge("cache.bytes");
+    let _ = registry::gauge("par.queue_depth");
+    let _ = registry::gauge_f64("cache.hit_ratio");
 }
 
 fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
@@ -106,11 +124,12 @@ fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
         ),
         "/spans" => respond(&mut stream, 200, "application/json", &spans_json().to_string()),
         "/progress" => respond(&mut stream, 200, "application/json", &progress_json().to_string()),
+        "/prof" => respond(&mut stream, 200, "application/json", &crate::prof::prof_json().to_string()),
         "/" | "/healthz" => respond(
             &mut stream,
             200,
             "text/plain; charset=utf-8",
-            "kgtosa metrics server\nroutes: /metrics /spans /progress\n",
+            "kgtosa metrics server\nroutes: /metrics /spans /progress /prof\n",
         ),
         _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
     }
@@ -216,5 +235,33 @@ mod tests {
         let (status, _, body) = http_get(addr, "/");
         assert_eq!(status, 200);
         assert!(body.contains("/metrics"));
+        assert!(body.contains("/prof"));
+
+        // Core cross-crate instruments are pre-registered on bind, so the
+        // very first scrape already exports them.
+        let (_, _, body) = http_get(addr, "/metrics");
+        for family in [
+            "kgtosa_cache_hits_total",
+            "kgtosa_cache_misses_total",
+            "kgtosa_cache_bytes",
+            "kgtosa_par_queue_depth",
+            "kgtosa_cache_hit_ratio",
+        ] {
+            assert!(body.contains(family), "missing {family} in first scrape:\n{body}");
+        }
+
+        let (status, ctype, body) = http_get(addr, "/prof");
+        assert_eq!(status, 200);
+        assert!(ctype.contains("application/json"));
+        let json = Json::parse(&body).expect("prof is valid JSON");
+        assert!(json.get("enabled").is_some());
+        let spans = match json.get("spans") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("expected spans array, got {other:?}"),
+        };
+        assert!(spans
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some("test_serve_span")));
+        assert!(spans.iter().all(|s| s.get("self_s").is_some()));
     }
 }

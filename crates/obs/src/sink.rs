@@ -174,6 +174,7 @@ pub fn info_str(msg: &str) {
 /// flushes the stream. Safe to call multiple times or with tracing
 /// disabled.
 pub fn shutdown() {
+    crate::prof::stop_sampler();
     crate::progress::stop_heartbeat();
     if trace_enabled() {
         let snapshot = registry::metrics_snapshot();

@@ -13,6 +13,7 @@
 use std::cell::RefCell;
 use std::time::Instant;
 
+use crate::prof;
 use crate::registry;
 use crate::sink;
 
@@ -71,6 +72,7 @@ pub fn span(name: &str) -> SpanGuard {
         stack.push(path.clone());
         (path, stack.len())
     });
+    prof::on_span_push(&path);
     let snap = kgtosa_memtrack::snapshot();
     SpanGuard {
         path,
@@ -104,6 +106,7 @@ impl SpanGuard {
             let mut stack = stack.borrow_mut();
             stack.truncate(self.depth.saturating_sub(1));
         });
+        prof::on_span_pop(self.depth);
         registry::record_span(&record.path, record.wall_s, record.peak_delta_bytes, record.allocs);
         sink::emit_span(&record);
         record

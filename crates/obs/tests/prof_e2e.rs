@@ -1,0 +1,102 @@
+//! End-to-end profiler contract: real nested spans → JSONL trace →
+//! self-time attribution that telescopes to the root wall, an HTML run
+//! report, and a collapsed-stack → SVG flamegraph round trip.
+//!
+//! Single `#[test]` on purpose: the trace sink is a process-global
+//! one-shot, so the whole pipeline is exercised in one pass.
+
+use std::time::Duration;
+
+use kgtosa_obs::{
+    render_flame_svg, render_html_report, self_times, span, summarize_jsonl, write_folded,
+};
+
+fn busy(ms: u64) {
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
+#[test]
+fn trace_to_report_and_flamegraph() {
+    let dir = std::env::temp_dir().join(format!("kgtosa-prof-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("run.jsonl");
+    kgtosa_obs::init_trace_to(trace_path.to_str().unwrap()).expect("init trace");
+
+    // A realistic shape: one root covering extraction + training phases,
+    // with leaf work under each. Sleeps are the "work" so wall times are
+    // large relative to span bookkeeping noise.
+    {
+        let _root = span("pipeline");
+        {
+            let _e = span("extract");
+            {
+                let _f = span("fetch");
+                busy(30);
+            }
+            {
+                let _s = span("sample");
+                busy(20);
+            }
+            busy(10); // self time of extract
+        }
+        {
+            let _t = span("train");
+            for _ in 0..3 {
+                let _ep = span("epoch");
+                busy(10);
+            }
+        }
+        busy(10); // self time of pipeline
+    }
+
+    kgtosa_obs::shutdown();
+    let trace = std::fs::read_to_string(&trace_path).expect("read trace");
+    assert!(trace.contains("\"span\""), "trace has span events:\n{trace}");
+
+    // Self-times must telescope: summing self_s over every span recovers
+    // the wall time of the roots, exactly up to f64 rounding.
+    let aggs = summarize_jsonl(&trace).expect("summarize trace");
+    assert!(aggs.len() >= 5, "expected the nested spans, got {aggs:?}");
+    let rows = self_times(&aggs);
+    let self_sum: f64 = rows.iter().map(|r| r.self_s).sum();
+    let root_wall: f64 = rows.iter().filter(|r| r.parent.is_none()).map(|r| r.total_s).sum();
+    assert!(root_wall > 0.1, "root wall should cover the sleeps: {root_wall}");
+    let drift = (self_sum - root_wall).abs();
+    assert!(
+        drift <= root_wall * 0.01 + 1e-6,
+        "self-times must sum to root wall: sum={self_sum} root={root_wall} drift={drift}"
+    );
+    // Leaf spans keep all their time; parents keep only what children
+    // did not cover.
+    let extract = rows.iter().find(|r| r.name.ends_with("extract")).unwrap();
+    assert!(extract.self_s < extract.total_s, "extract has children: {extract:?}");
+
+    // HTML report: self-contained, carries the headline sections.
+    let html = render_html_report(&trace, "prof_e2e").expect("render report");
+    for needle in [
+        "<!doctype html>",
+        "Cost breakdown",
+        "Hot spans",
+        "Span tree",
+        "<svg",
+    ] {
+        assert!(html.contains(needle), "report missing {needle:?}");
+    }
+    assert!(!html.contains("<script"), "report must be script-free");
+
+    // Collapsed stacks (from the registry aggregates, sampler off) round-
+    // trip through the SVG renderer.
+    let folded_path = dir.join("run.folded");
+    write_folded(folded_path.to_str().unwrap()).expect("write folded");
+    let folded = std::fs::read_to_string(&folded_path).expect("read folded");
+    assert!(!folded.trim().is_empty(), "folded output is empty");
+    for line in folded.lines() {
+        let (_stack, count) = line.rsplit_once(' ').expect("`frames count` shape");
+        count.parse::<u64>().expect("count is integral");
+    }
+    let svg = render_flame_svg(&folded, "prof_e2e").expect("render svg");
+    assert!(svg.starts_with("<svg") || svg.starts_with("<?xml"), "svg header");
+    assert!(svg.contains("pipeline"), "flamegraph shows the root frame");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -149,22 +149,27 @@ impl Pool {
         let _span = kgtosa_obs::span(&format!("par.{name}"));
         let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
         let telemetry = Telemetry::new(n_chunks);
+        let region_start = std::time::Instant::now();
         crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|_| {
                     let mut handled = 0u64;
+                    let mut busy_s = 0.0f64;
                     loop {
                         let item = queue.lock().next();
                         let Some((i, chunk)) = item else { break };
                         telemetry.claimed();
                         handled += 1;
+                        let t0 = std::time::Instant::now();
                         f(i, chunk);
+                        busy_s += t0.elapsed().as_secs_f64();
                     }
-                    telemetry.worker_done(handled);
+                    telemetry.worker_done(handled, busy_s);
                 });
             }
         })
         .expect("par_chunks_mut worker panicked");
+        telemetry.region_done(workers, region_start.elapsed().as_secs_f64());
     }
 
     /// Computes `f(i, &items[i])` for every item and returns the results
@@ -186,24 +191,29 @@ impl Pool {
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
         let telemetry = Telemetry::new(items.len());
+        let region_start = std::time::Instant::now();
         crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|_| {
                     let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut busy_s = 0.0f64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
                         telemetry.claimed();
+                        let t0 = std::time::Instant::now();
                         local.push((i, f(i, &items[i])));
+                        busy_s += t0.elapsed().as_secs_f64();
                     }
-                    telemetry.worker_done(local.len() as u64);
+                    telemetry.worker_done(local.len() as u64, busy_s);
                     collected.lock().append(&mut local);
                 });
             }
         })
         .expect("par_map_collect worker panicked");
+        telemetry.region_done(workers, region_start.elapsed().as_secs_f64());
         let mut pairs = collected.into_inner();
         pairs.sort_unstable_by_key(|&(i, _)| i);
         debug_assert_eq!(pairs.len(), items.len());
@@ -238,6 +248,11 @@ struct Telemetry {
     claimed: AtomicUsize,
     depth: std::sync::Arc<kgtosa_obs::Gauge>,
     per_worker: std::sync::Arc<kgtosa_obs::Histogram>,
+    /// Seconds each worker spent inside the user closure (lock waits and
+    /// scheduling excluded) — the profiler's view of where worker wall
+    /// time actually went.
+    busy: std::sync::Arc<kgtosa_obs::Histogram>,
+    busy_total: Mutex<f64>,
 }
 
 impl Telemetry {
@@ -250,6 +265,8 @@ impl Telemetry {
                 "par.tasks_per_worker",
                 &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0],
             ),
+            busy: kgtosa_obs::histogram("par.worker_busy_s"),
+            busy_total: Mutex::new(0.0),
         }
     }
 
@@ -258,8 +275,23 @@ impl Telemetry {
         self.depth.set(self.total.saturating_sub(done) as i64);
     }
 
-    fn worker_done(&self, handled: u64) {
+    fn worker_done(&self, handled: u64, busy_s: f64) {
         self.per_worker.observe(handled as f64);
+        self.busy.observe(busy_s);
+        *self.busy_total.lock() += busy_s;
+    }
+
+    /// Publishes the region's worker utilization: busy worker-seconds over
+    /// available worker-seconds (`workers × region wall`). 1.0 means every
+    /// worker computed the whole time; low values expose queue contention
+    /// or load imbalance. Last region wins — it's a live gauge, and the
+    /// per-region history lives in the `par.worker_busy_s` histogram.
+    fn region_done(&self, workers: usize, wall_s: f64) {
+        let capacity = workers as f64 * wall_s;
+        if capacity > 0.0 {
+            let util = (*self.busy_total.lock() / capacity).clamp(0.0, 1.0);
+            kgtosa_obs::gauge_f64("par.utilization").set(util);
+        }
     }
 }
 
@@ -341,6 +373,25 @@ mod tests {
         assert_eq!(Pool::for_work(MIN_PAR_WORK - 1).threads(), 1);
         let big = Pool::for_work(MIN_PAR_WORK);
         assert_eq!(big.threads(), current_threads());
+    }
+
+    #[test]
+    fn parallel_regions_publish_busy_time_and_utilization() {
+        let before = kgtosa_obs::histogram("par.worker_busy_s").count();
+        let items: Vec<u64> = (0..256).collect();
+        let _ = Pool::new(4).par_map_collect("test.busy", &items, |_, &x| {
+            let mut acc = 0u64;
+            for i in 0..2000 {
+                acc = acc.wrapping_add(x * i);
+            }
+            acc
+        });
+        assert!(
+            kgtosa_obs::histogram("par.worker_busy_s").count() > before,
+            "each worker must report its busy time"
+        );
+        let util = kgtosa_obs::gauge_f64("par.utilization").get();
+        assert!((0.0..=1.0).contains(&util), "utilization out of range: {util}");
     }
 
     #[test]
