@@ -121,15 +121,31 @@ pub struct TrainReport {
 
 /// Softmax cross-entropy with per-row weights (GraphSAINT's loss
 /// normalization). Rows with weight 0 or ignored labels contribute nothing.
+///
+/// Allocating form of [`weighted_cross_entropy_into`].
 pub fn weighted_cross_entropy(
     logits: &Matrix,
     labels: &[u32],
     weights: &[f32],
 ) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let loss = weighted_cross_entropy_into(logits, labels, weights, &mut grad);
+    (loss, grad)
+}
+
+/// [`weighted_cross_entropy`] writing the gradient into an existing buffer
+/// (the mini-batch trainers draw it from their scratch arena). The
+/// softmax, masking and scaling run in place on `grad`, so the hot loop
+/// allocates nothing.
+pub fn weighted_cross_entropy_into(
+    logits: &Matrix,
+    labels: &[u32],
+    weights: &[f32],
+    grad: &mut Matrix,
+) -> f32 {
     assert_eq!(logits.rows(), labels.len());
     assert_eq!(logits.rows(), weights.len());
-    let probs = kgtosa_tensor::softmax_rows(logits);
-    let mut grad = probs.clone();
+    kgtosa_tensor::softmax_rows_into(logits, grad);
     let mut loss = 0.0f64;
     let mut weight_sum = 0.0f64;
     for (r, (&label, &w)) in labels.iter().zip(weights).enumerate() {
@@ -138,9 +154,9 @@ pub fn weighted_cross_entropy(
             continue;
         }
         weight_sum += w as f64;
-        let p = probs.get(r, label as usize).max(1e-12);
-        loss -= w as f64 * (p as f64).ln();
         let g = grad.row_mut(r);
+        let p = g[label as usize].max(1e-12);
+        loss -= w as f64 * (p as f64).ln();
         g[label as usize] -= 1.0;
         for v in g.iter_mut() {
             *v *= w;
@@ -148,7 +164,7 @@ pub fn weighted_cross_entropy(
     }
     let denom = weight_sum.max(1.0);
     grad.scale(1.0 / denom as f32);
-    ((loss / denom) as f32, grad)
+    (loss / denom) as f32
 }
 
 /// Builds the per-vertex label array restricted to the given labeled set

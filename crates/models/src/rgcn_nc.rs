@@ -9,7 +9,7 @@ use std::io::{self, Read, Write};
 use std::time::Instant;
 
 use kgtosa_kg::Vid;
-use kgtosa_tensor::{argmax_rows, softmax_cross_entropy, Matrix, StateIo};
+use kgtosa_tensor::{argmax_rows, softmax_cross_entropy_into, Matrix, ScratchArena, StateIo};
 
 use crate::checkpoint::{nc_data_key, state_fingerprint, Checkpointer};
 use crate::common::{restrict_labels, EpochLog, NcDataset, TrainConfig, TrainReport};
@@ -61,12 +61,21 @@ pub fn train_rgcn_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainReport {
             trace = t;
         }
     }
+    // Per-trainer scratch arena: after the first epoch warms its buffer
+    // pool, forward/backward run at zero matrix allocations per epoch
+    // (asserted in tests/prof_differential.rs).
+    let mut arena = ScratchArena::new();
     for epoch in first_epoch..=cfg.epochs {
-        let (logits, cache) = stack.forward(data.graph, &embed.weight);
-        let (loss, grad) = softmax_cross_entropy(&logits, &train_labels);
-        let grad_x = stack.backward_step(data.graph, &embed.weight, &cache, grad);
+        let (logits, cache) = stack.forward_arena(data.graph, &embed.weight, &mut arena);
+        let mut grad = arena.take(logits.rows(), logits.cols());
+        let loss = softmax_cross_entropy_into(&logits, &train_labels, &mut grad);
+        let grad_x = stack.backward_step_arena(data.graph, &embed.weight, &cache, grad, &mut arena);
         embed.step(&grad_x);
+        arena.put(grad_x);
         let metric = accuracy_at(&logits, data.labels, data.valid);
+        arena.put(logits);
+        cache.recycle(&mut arena);
+        arena.reset();
         trace.push(elog.epoch(cfg, epoch, loss as f64, metric));
         if let Some(c) = &ckpt {
             c.maybe_save(epoch, cfg.epochs, &trace, |w| save_all(w, &embed, &stack));

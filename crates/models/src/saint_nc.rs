@@ -12,12 +12,12 @@ use std::time::Instant;
 use kgtosa_sampler::{
     biased_random_walk, edge_sample, node_norm_weights, uniform_random_walk, WalkConfig,
 };
-use kgtosa_tensor::{AdamConfig, SparseAdam, StateIo};
+use kgtosa_tensor::{AdamConfig, ScratchArena, SparseAdam, StateIo};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::checkpoint::{nc_data_key, read_rng, state_fingerprint, write_rng, Checkpointer};
-use crate::common::{weighted_cross_entropy, EpochLog, NcDataset, TrainConfig, TrainReport};
+use crate::common::{weighted_cross_entropy_into, EpochLog, NcDataset, TrainConfig, TrainReport};
 use crate::rgcn_nc::accuracy_at;
 use crate::stack::{EmbeddingTable, RgcnStack};
 use crate::view::SubgraphView;
@@ -119,6 +119,9 @@ pub fn train_graphsaint_nc(
             trace = t;
         }
     }
+    // Per-trainer scratch arena: subgraph shapes vary per epoch, but the
+    // buffer pool converges to the largest batch and stops allocating.
+    let mut arena = ScratchArena::new();
     for epoch in first_epoch..=cfg.epochs {
         let nodes = sample(&mut rng);
         let mut loss = 0.0f32;
@@ -127,8 +130,9 @@ pub fn train_graphsaint_nc(
         if !nodes.is_empty() {
             let view = SubgraphView::build(data.kg, &nodes);
             let rows = view.parent_rows();
-            let x = embed.weight.gather_rows(&rows);
-            let (logits, cache) = stack.forward(&view.graph, &x);
+            let mut x = arena.take(rows.len(), cfg.dim);
+            embed.weight.gather_rows_into(&rows, &mut x);
+            let (logits, cache) = stack.forward_arena(&view.graph, &x, &mut arena);
             // Per-row labels and normalization weights in subgraph space.
             let mut labels = vec![kgtosa_tensor::IGNORE_LABEL; rows.len()];
             let mut weights = vec![0.0f32; rows.len()];
@@ -138,15 +142,22 @@ pub fn train_graphsaint_nc(
                     weights[i] = norms[parent.idx()];
                 }
             }
-            let (batch_loss, grad) = weighted_cross_entropy(&logits, &labels, &weights);
-            loss = batch_loss;
-            let grad_x = stack.backward_step(&view.graph, &x, &cache, grad);
+            let mut grad = arena.take(logits.rows(), logits.cols());
+            loss = weighted_cross_entropy_into(&logits, &labels, &weights, &mut grad);
+            let grad_x = stack.backward_step_arena(&view.graph, &x, &cache, grad, &mut arena);
             embed_opt.step_rows(&mut embed.weight, &rows, &grad_x);
+            arena.put(grad_x);
+            arena.put(logits);
+            cache.recycle(&mut arena);
+            arena.put(x);
         }
 
         // Full-graph validation forward (standard GraphSAINT evaluation).
-        let (full_logits, _) = stack.forward(data.graph, &embed.weight);
+        let (full_logits, full_cache) = stack.forward_arena(data.graph, &embed.weight, &mut arena);
         let metric = accuracy_at(&full_logits, data.labels, data.valid);
+        arena.put(full_logits);
+        full_cache.recycle(&mut arena);
+        arena.reset();
         trace.push(elog.epoch(cfg, epoch, loss as f64, metric));
         if let Some(c) = &ckpt {
             c.maybe_save(epoch, cfg.epochs, &trace, |w| {

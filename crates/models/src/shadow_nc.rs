@@ -11,10 +11,10 @@ use std::io::{self, Read, Write};
 use std::time::Instant;
 
 use kgtosa_kg::{FxHashMap, Vid};
-use kgtosa_nn::RgcnGrads;
+use kgtosa_nn::{recycle_rgcn_grads, RgcnGrads};
 use kgtosa_sampler::{ego_subgraph, ShadowConfig};
 use kgtosa_tensor::{
-    argmax_rows, softmax_cross_entropy, AdamConfig, Matrix, SparseAdam, StateIo,
+    argmax_rows, softmax_cross_entropy_into, AdamConfig, Matrix, ScratchArena, SparseAdam, StateIo,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -137,6 +137,9 @@ pub fn train_shadowsaint_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainRep
             trace = t;
         }
     }
+    // Per-trainer scratch arena: ego subgraph shapes vary per root, but
+    // the buffer pool converges to the largest scope and stops allocating.
+    let mut arena = ScratchArena::new();
     for epoch in first_epoch..=cfg.epochs {
         train_nodes.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
@@ -147,24 +150,31 @@ pub fn train_shadowsaint_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainRep
                 let ego = ego_subgraph(data.graph, root, &shadow, &mut rng);
                 let view = SubgraphView::build_ordered(data.kg, &ego);
                 let rows = view.parent_rows();
-                let x = embed.weight.gather_rows(&rows);
-                let (logits, cache) = stack.forward(&view.graph, &x);
+                let mut x = arena.take(rows.len(), cfg.dim);
+                embed.weight.gather_rows_into(&rows, &mut x);
+                let (logits, cache) = stack.forward_arena(&view.graph, &x, &mut arena);
                 // Loss only at the root (row 0).
                 let mut labels = vec![kgtosa_tensor::IGNORE_LABEL; rows.len()];
                 labels[0] = data.labels[root.idx()];
-                let (root_loss, grad) = softmax_cross_entropy(&logits, &labels);
+                let mut grad = arena.take(logits.rows(), logits.cols());
+                let root_loss = softmax_cross_entropy_into(&logits, &labels, &mut grad);
                 epoch_loss += root_loss as f64;
                 // Manual backward (no optimizer step yet — accumulate).
-                let (grad_h1, g2) =
-                    stack
-                        .layer2
-                        .backward(&view.graph, cache_h1(&cache), cache_c2(&cache), grad);
+                let (grad_h1, g2) = stack.layer2.backward_arena(
+                    &view.graph,
+                    cache_h1(&cache),
+                    cache_c2(&cache),
+                    grad,
+                    &mut arena,
+                );
                 let (grad_x, g1) =
                     stack
                         .layer1
-                        .backward(&view.graph, &x, cache_c1(&cache), grad_h1);
+                        .backward_arena(&view.graph, &x, cache_c1(&cache), grad_h1, &mut arena);
                 acc_grads(&mut acc1, &g1);
                 acc_grads(&mut acc2, &g2);
+                recycle_rgcn_grads(g1, &mut arena);
+                recycle_rgcn_grads(g2, &mut arena);
                 for (i, &row) in rows.iter().enumerate() {
                     let slot = embed_grads
                         .entry(row)
@@ -173,6 +183,10 @@ pub fn train_shadowsaint_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainRep
                         *s += g;
                     }
                 }
+                arena.put(grad_x);
+                arena.put(logits);
+                cache.recycle(&mut arena);
+                arena.put(x);
             }
             let inv = 1.0 / batch.len().max(1) as f32;
             scale_grads(&mut acc1, inv);
@@ -181,7 +195,7 @@ pub fn train_shadowsaint_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainRep
             // Batched sparse embedding update.
             let mut rows: Vec<u32> = embed_grads.keys().copied().collect();
             rows.sort_unstable();
-            let mut grads = Matrix::zeros(rows.len(), cfg.dim);
+            let mut grads = arena.take(rows.len(), cfg.dim);
             for (i, row) in rows.iter().enumerate() {
                 let src = &embed_grads[row];
                 for (d, &s) in grads.row_mut(i).iter_mut().zip(src) {
@@ -189,7 +203,9 @@ pub fn train_shadowsaint_nc(data: &NcDataset<'_>, cfg: &TrainConfig) -> TrainRep
                 }
             }
             embed_opt.step_rows(&mut embed.weight, &rows, &grads);
+            arena.put(grads);
         }
+        arena.reset();
         // Validation via ego forward per node, fixed eval seed.
         let mut eval_rng = StdRng::seed_from_u64(12345);
         let metric = eval_accuracy(data, &stack, &embed.weight, data.valid, &shadow, &mut eval_rng);

@@ -5,9 +5,9 @@
 use std::io::{self, Read, Write};
 
 use kgtosa_kg::HeteroGraph;
-use kgtosa_nn::{RgcnCache, RgcnGrads, RgcnLayer};
+use kgtosa_nn::{recycle_rgcn_grads, RgcnCache, RgcnGrads, RgcnLayer};
 use kgtosa_tensor::state::{expect_u64, write_u64};
-use kgtosa_tensor::{xavier_uniform, Adam, AdamConfig, Matrix, StateIo};
+use kgtosa_tensor::{xavier_uniform, Adam, AdamConfig, Matrix, ScratchArena, StateIo};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -113,6 +113,12 @@ impl StackCache {
     pub(crate) fn c2(&self) -> &RgcnCache {
         &self.c2
     }
+
+    /// Returns the cached hidden activation's buffer to `arena` once the
+    /// backward pass is done with it.
+    pub fn recycle(self, arena: &mut ScratchArena) {
+        arena.put(self.h1);
+    }
 }
 
 impl RgcnStack {
@@ -135,14 +141,31 @@ impl RgcnStack {
     }
 
     /// Forward pass: features → logits.
+    ///
+    /// Allocating form of [`RgcnStack::forward_arena`].
     pub fn forward(&self, g: &HeteroGraph, x: &Matrix) -> (Matrix, StackCache) {
-        let (h1, c1) = self.layer1.forward(g, x);
-        let (logits, c2) = self.layer2.forward(g, &h1);
+        let mut arena = ScratchArena::new();
+        self.forward_arena(g, x, &mut arena)
+    }
+
+    /// Forward pass with all intermediates (logits, hidden activation)
+    /// drawn from `arena`. Return the logits with `arena.put` and the
+    /// cache with [`StackCache::recycle`] when done.
+    pub fn forward_arena(
+        &self,
+        g: &HeteroGraph,
+        x: &Matrix,
+        arena: &mut ScratchArena,
+    ) -> (Matrix, StackCache) {
+        let (h1, c1) = self.layer1.forward_arena(g, x, arena);
+        let (logits, c2) = self.layer2.forward_arena(g, &h1, arena);
         (logits, StackCache { h1, c1, c2 })
     }
 
     /// Backward pass + optimizer step. Returns `∂L/∂x` (for embedding
     /// updates upstream).
+    ///
+    /// Allocating form of [`RgcnStack::backward_step_arena`].
     pub fn backward_step(
         &mut self,
         g: &HeteroGraph,
@@ -150,10 +173,30 @@ impl RgcnStack {
         cache: &StackCache,
         grad_logits: Matrix,
     ) -> Matrix {
-        let (grad_h1, g2) = self.layer2.backward(g, &cache.h1, &cache.c2, grad_logits);
-        let (grad_x, g1) = self.layer1.backward(g, x, &cache.c1, grad_h1);
+        let mut arena = ScratchArena::new();
+        self.backward_step_arena(g, x, cache, grad_logits, &mut arena)
+    }
+
+    /// Backward pass + optimizer step with every gradient and intermediate
+    /// drawn from (and recycled into) `arena`: `grad_logits` is consumed,
+    /// layer gradients are returned to the arena after the Adam step, and
+    /// only `∂L/∂x` escapes (put it back after the embedding update).
+    pub fn backward_step_arena(
+        &mut self,
+        g: &HeteroGraph,
+        x: &Matrix,
+        cache: &StackCache,
+        grad_logits: Matrix,
+        arena: &mut ScratchArena,
+    ) -> Matrix {
+        let (grad_h1, g2) = self
+            .layer2
+            .backward_arena(g, &cache.h1, &cache.c2, grad_logits, arena);
+        let (grad_x, g1) = self.layer1.backward_arena(g, x, &cache.c1, grad_h1, arena);
         self.opt2.step(&mut self.layer2, &g2);
         self.opt1.step(&mut self.layer1, &g1);
+        recycle_rgcn_grads(g1, arena);
+        recycle_rgcn_grads(g2, arena);
         grad_x
     }
 

@@ -22,7 +22,7 @@ pub mod state;
 
 pub use linear::{Linear, LinearGrads};
 pub use metrics::{accuracy, rank_of, ranking_metrics, RankingMetrics};
-pub use rgcn::{mean_aggregate, RgcnCache, RgcnGrads, RgcnLayer};
+pub use rgcn::{mean_aggregate, recycle_rgcn_grads, RgcnCache, RgcnGrads, RgcnLayer};
 pub use rgcn_basis::{BasisCache, BasisGrads, RgcnBasisLayer};
 pub use scoring::{
     bce_negative, bce_positive, distmult_grad, distmult_score, margin_loss, transe_distance,

@@ -19,7 +19,10 @@
 
 use kgtosa_kg::{Csr, HeteroGraph, Rid, Vid};
 use kgtosa_par::Pool;
-use kgtosa_tensor::{relu_backward, relu_inplace, xavier_uniform, Matrix};
+use kgtosa_tensor::{
+    relu_backward, relu_inplace, simd_level, xavier_uniform, F32x8, Matrix, ScratchArena,
+    SimdLevel,
+};
 use rand::Rng;
 
 /// One RGCN convolution layer.
@@ -97,24 +100,42 @@ impl RgcnLayer {
     }
 
     /// Forward pass over the graph's per-relation adjacency.
+    ///
+    /// Allocating form of [`RgcnLayer::forward_arena`].
     pub fn forward(&self, g: &HeteroGraph, h: &Matrix) -> (Matrix, RgcnCache) {
+        let mut arena = ScratchArena::new();
+        self.forward_arena(g, h, &mut arena)
+    }
+
+    /// Forward pass with intermediates (and the returned activation) drawn
+    /// from `arena`. The caller owns the returned matrix and is expected
+    /// to `put` it back once consumed, so steady-state epochs allocate
+    /// nothing here.
+    pub fn forward_arena(
+        &self,
+        g: &HeteroGraph,
+        h: &Matrix,
+        arena: &mut ScratchArena,
+    ) -> (Matrix, RgcnCache) {
         assert_eq!(h.rows(), g.num_nodes(), "one feature row per node");
         assert_eq!(h.cols(), self.in_dim(), "feature dim mismatch");
-        let mut out = h.matmul(&self.w_self);
-        let mut agg = Matrix::zeros(h.rows(), h.cols());
+        let mut out = arena.take(h.rows(), self.out_dim());
+        h.matmul_into(&self.w_self, &mut out);
+        let mut agg = arena.take(h.rows(), h.cols());
         for r in 0..g.num_relations().min(self.w_fwd.len()) {
             let adj = g.relation(Rid(r as u32));
             // Incoming edges: N_i^r = { j : (j, r, i) ∈ T }.
             if adj.inc.num_edges() > 0 {
                 mean_aggregate(&adj.inc, h, &mut agg);
-                add_matmul(&agg, &self.w_fwd[r], &mut out);
+                agg.matmul_acc_into(&self.w_fwd[r], &mut out);
             }
             // Outgoing (inverse) edges.
             if adj.out.num_edges() > 0 {
                 mean_aggregate(&adj.out, h, &mut agg);
-                add_matmul(&agg, &self.w_rev[r], &mut out);
+                agg.matmul_acc_into(&self.w_rev[r], &mut out);
             }
         }
+        arena.put(agg);
         for row in 0..out.rows() {
             let r = out.row_mut(row);
             for (v, &b) in r.iter_mut().zip(&self.b) {
@@ -127,12 +148,30 @@ impl RgcnLayer {
 
     /// Backward pass. `h` is the forward input; `grad_out` is `∂L/∂output`.
     /// Returns `∂L/∂h` and the parameter gradients.
+    ///
+    /// Allocating form of [`RgcnLayer::backward_arena`].
     pub fn backward(
         &self,
         g: &HeteroGraph,
         h: &Matrix,
         cache: &RgcnCache,
+        grad_out: Matrix,
+    ) -> (Matrix, RgcnGrads) {
+        let mut arena = ScratchArena::new();
+        self.backward_arena(g, h, cache, grad_out, &mut arena)
+    }
+
+    /// Backward pass with every intermediate and returned gradient drawn
+    /// from `arena`. `grad_out` is consumed and its buffer recycled; the
+    /// returned `grad_h` and [`RgcnGrads`] matrices should be `put` back
+    /// by the caller after the optimizer step.
+    pub fn backward_arena(
+        &self,
+        g: &HeteroGraph,
+        h: &Matrix,
+        cache: &RgcnCache,
         mut grad_out: Matrix,
+        arena: &mut ScratchArena,
     ) -> (Matrix, RgcnGrads) {
         if let Some(mask) = &cache.relu_mask {
             relu_backward(&mut grad_out, mask);
@@ -143,12 +182,14 @@ impl RgcnLayer {
                 *gb += v;
             }
         }
-        let mut grad_h = grad_out.matmul_t(&self.w_self);
-        let grad_w_self = h.t_matmul(&grad_out);
+        let mut grad_h = arena.take(grad_out.rows(), self.in_dim());
+        grad_out.matmul_t_into(&self.w_self, &mut grad_h);
+        let mut grad_w_self = arena.take(self.in_dim(), self.out_dim());
+        h.t_matmul_into(&grad_out, &mut grad_w_self);
         let mut grad_w_fwd = Vec::with_capacity(self.w_fwd.len());
         let mut grad_w_rev = Vec::with_capacity(self.w_rev.len());
-        let mut agg = Matrix::zeros(h.rows(), h.cols());
-        let mut scratch = Matrix::zeros(h.rows(), h.cols());
+        let mut agg = arena.take(h.rows(), h.cols());
+        let mut scratch = arena.take(h.rows(), h.cols());
         for r in 0..self.w_fwd.len() {
             let (gf, gr) = if r < g.num_relations() {
                 let adj = g.relation(Rid(r as u32));
@@ -160,6 +201,7 @@ impl RgcnLayer {
                     &mut grad_h,
                     &mut agg,
                     &mut scratch,
+                    arena,
                 );
                 let gr = direction_backward(
                     (&adj.out, &adj.inc),
@@ -169,17 +211,21 @@ impl RgcnLayer {
                     &mut grad_h,
                     &mut agg,
                     &mut scratch,
+                    arena,
                 );
                 (gf, gr)
             } else {
                 (
-                    Matrix::zeros(self.in_dim(), self.out_dim()),
-                    Matrix::zeros(self.in_dim(), self.out_dim()),
+                    arena.take(self.in_dim(), self.out_dim()),
+                    arena.take(self.in_dim(), self.out_dim()),
                 )
             };
             grad_w_fwd.push(gf);
             grad_w_rev.push(gr);
         }
+        arena.put(agg);
+        arena.put(scratch);
+        arena.put(grad_out);
         (
             grad_h,
             RgcnGrads {
@@ -192,16 +238,215 @@ impl RgcnLayer {
     }
 }
 
+/// Returns every matrix in `grads` to `arena` (after an optimizer step).
+pub fn recycle_rgcn_grads(grads: RgcnGrads, arena: &mut ScratchArena) {
+    for m in grads.w_fwd {
+        arena.put(m);
+    }
+    for m in grads.w_rev {
+        arena.put(m);
+    }
+    arena.put(grads.w_self);
+}
+
+/// Per-neighbour weighting of a strip accumulation.
+enum StripWeight<'a> {
+    /// One weight for every neighbour (`mean_aggregate`'s `1/|N_i|`).
+    Uniform(f32),
+    /// `1/deg(j)` looked up per neighbour in `csr` (the gather backward).
+    InvDegree(&'a Csr),
+}
+
+impl StripWeight<'_> {
+    #[inline(always)]
+    fn weight(&self, j: u32) -> f32 {
+        match self {
+            StripWeight::Uniform(w) => *w,
+            StripWeight::InvDegree(csr) => 1.0 / csr.degree(Vid(j)) as f32,
+        }
+    }
+}
+
+/// Prefetch distance in neighbours: while neighbour `i`'s row is being
+/// accumulated, the line(s) of neighbour `i + PF_DIST`'s row are requested.
+/// The gather over `h` is the kernel's real cost — rows land at random in
+/// a matrix far larger than L1/L2 — and the future indices are sitting in
+/// the CSR neighbour list, so the misses can be overlapped explicitly.
+const PF_DIST: usize = 16;
+
+/// Hints the cache to fetch `bytes` bytes starting at `row[col]`.
+/// A pure latency hint: prefetch has no architectural effect, so the
+/// bit-determinism contract is untouched (and non-x86 builds compile it
+/// out entirely).
+#[inline(always)]
+fn prefetch_span(h: &Matrix, j: u32, col: usize, bytes: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let row = h.row(j as usize);
+        let base = unsafe { row.as_ptr().add(col) } as *const i8;
+        let mut off = 0usize;
+        while off < bytes {
+            // SAFETY: prefetch never faults; the address is derived from a
+            // valid in-bounds row pointer.
+            unsafe { std::arch::x86_64::_mm_prefetch(base.add(off), std::arch::x86_64::_MM_HINT_T0) };
+            off += 64;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (h, j, col, bytes);
+    }
+}
+
+/// `dst += Σ_j w(j) · h[j]` over `nbrs`, accumulated in register-blocked
+/// strips over the feature dimension: 32-wide (4 × [`F32x8`]) strips, then
+/// an 8-wide strip, then a scalar tail. Within a strip the accumulators
+/// live in registers across the whole neighbour walk, so each `dst`
+/// element is loaded/stored once instead of once per neighbour, and the
+/// next neighbours' rows are prefetched [`PF_DIST`] ahead.
+///
+/// Bit-determinism: each output element still accumulates sequentially in
+/// CSR neighbour order with unfused multiply-add — the exact order of the
+/// scalar reference loop — so strips of any width produce identical bits.
+/// `fresh` skips loading `dst` (caller guarantees it is zero).
+#[inline(always)]
+fn accum_row_impl(dst: &mut [f32], h: &Matrix, nbrs: &[u32], w: &StripWeight<'_>, fresh: bool) {
+    let d = dst.len();
+    let mut col = 0;
+    // 64-wide strip (8 accumulators): one pass over the neighbour list
+    // covers a full d=64 feature row, so each gathered row is touched
+    // exactly once and the whole row is prefetched ahead.
+    while col + 64 <= d {
+        let mut acc = [F32x8::ZERO; 8];
+        if !fresh {
+            for (l, a) in acc.iter_mut().enumerate() {
+                *a = F32x8::load(&dst[col + l * 8..]);
+            }
+        }
+        for (i, &j) in nbrs.iter().enumerate() {
+            if let Some(&jn) = nbrs.get(i + PF_DIST) {
+                // First + last line of the strip: the hardware adjacent-line
+                // prefetcher fills the middle, and two hint μops per
+                // neighbour don't crowd the load ports the way four would.
+                prefetch_span(h, jn, col, 64);
+                prefetch_span(h, jn, col + 48, 64);
+            }
+            let src = &h.row(j as usize)[col..col + 64];
+            let v = F32x8::splat(w.weight(j));
+            for (l, a) in acc.iter_mut().enumerate() {
+                *a = F32x8::load(&src[l * 8..]).madd(v, *a);
+            }
+        }
+        for (l, a) in acc.iter().enumerate() {
+            a.store(&mut dst[col + l * 8..]);
+        }
+        col += 64;
+    }
+    while col + 32 <= d {
+        let (mut c0, mut c1, mut c2, mut c3) = (F32x8::ZERO, F32x8::ZERO, F32x8::ZERO, F32x8::ZERO);
+        if !fresh {
+            let s = &dst[col..col + 32];
+            c0 = F32x8::load(&s[..8]);
+            c1 = F32x8::load(&s[8..16]);
+            c2 = F32x8::load(&s[16..24]);
+            c3 = F32x8::load(&s[24..32]);
+        }
+        for (i, &j) in nbrs.iter().enumerate() {
+            if let Some(&jn) = nbrs.get(i + PF_DIST) {
+                prefetch_span(h, jn, col, 32 * 4);
+            }
+            let src = &h.row(j as usize)[col..col + 32];
+            let v = F32x8::splat(w.weight(j));
+            c0 = F32x8::load(&src[..8]).madd(v, c0);
+            c1 = F32x8::load(&src[8..16]).madd(v, c1);
+            c2 = F32x8::load(&src[16..24]).madd(v, c2);
+            c3 = F32x8::load(&src[24..32]).madd(v, c3);
+        }
+        let s = &mut dst[col..col + 32];
+        c0.store(&mut s[..8]);
+        c1.store(&mut s[8..16]);
+        c2.store(&mut s[16..24]);
+        c3.store(&mut s[24..32]);
+        col += 32;
+    }
+    while col + 8 <= d {
+        let mut c = if fresh { F32x8::ZERO } else { F32x8::load(&dst[col..col + 8]) };
+        for (i, &j) in nbrs.iter().enumerate() {
+            if let Some(&jn) = nbrs.get(i + PF_DIST) {
+                prefetch_span(h, jn, col, 8 * 4);
+            }
+            let src = &h.row(j as usize)[col..col + 8];
+            c = F32x8::load(src).madd(F32x8::splat(w.weight(j)), c);
+        }
+        c.store(&mut dst[col..col + 8]);
+        col += 8;
+    }
+    // Scalar tail: written as `a * b + s` (not `+=`) because this exact
+    // unfused shape is the reduction-order contract the strips above match.
+    #[allow(clippy::needless_range_loop, clippy::assign_op_pattern)]
+    for k in col..d {
+        let mut s = if fresh { 0.0 } else { dst[k] };
+        for &j in nbrs {
+            s = h.row(j as usize)[k] * w.weight(j) + s;
+        }
+        dst[k] = s;
+    }
+}
+
+fn accum_row_portable(dst: &mut [f32], h: &Matrix, nbrs: &[u32], w: &StripWeight<'_>, fresh: bool) {
+    accum_row_impl(dst, h, nbrs, w, fresh);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accum_row_avx2(
+    dst: &mut [f32],
+    h: &Matrix,
+    nbrs: &[u32],
+    w: &StripWeight<'_>,
+    fresh: bool,
+) {
+    accum_row_impl(dst, h, nbrs, w, fresh);
+}
+
+#[inline]
+fn accum_row(
+    level: SimdLevel,
+    dst: &mut [f32],
+    h: &Matrix,
+    nbrs: &[u32],
+    w: &StripWeight<'_>,
+    fresh: bool,
+) {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only resolved when `avx2_supported()` is true.
+        SimdLevel::Avx2 => unsafe { accum_row_avx2(dst, h, nbrs, w, fresh) },
+        _ => accum_row_portable(dst, h, nbrs, w, fresh),
+    }
+}
+
+/// Rows per parallel chunk for a CSR-walking kernel: the real per-row cost
+/// is `(avg_degree + 1)·d`, not the dense `d` — sizing chunks by the dense
+/// row cost makes sparse TOSG aggregations cut far too many chunks (and
+/// spin up workers) for the work they actually contain.
+fn csr_chunk_rows(csr: &Csr, d: usize) -> usize {
+    let avg_deg = csr.num_edges() / csr.num_nodes().max(1);
+    kgtosa_par::chunk_rows((avg_deg + 1).saturating_mul(d))
+}
+
 /// `out[i] = mean_{j ∈ csr(i)} h[j]` (zero when `i` has no neighbours).
 ///
 /// Public because SeHGNN's one-shot metapath pre-aggregation reuses it.
 /// Row-blocked parallel: every output row is a pure gather over `h`, so
 /// each worker owns a disjoint band of rows and the result is bit-identical
-/// to the serial loop at any thread count.
+/// to the serial loop at any thread count. Rows accumulate in
+/// register-blocked strips over the feature dimension ([`accum_row_impl`]).
 pub fn mean_aggregate(csr: &Csr, h: &Matrix, out: &mut Matrix) {
     out.fill_zero();
     let d = h.cols();
-    let block = kgtosa_par::chunk_rows(d);
+    let level = simd_level();
+    let block = csr_chunk_rows(csr, d);
     let pool = Pool::for_work(csr.num_edges().saturating_mul(d));
     pool.par_chunks_mut("nn.mean_aggregate", out.data_mut(), block * d, |ci, band| {
         for (off, out_row) in band.chunks_mut(d).enumerate() {
@@ -214,34 +459,7 @@ pub fn mean_aggregate(csr: &Csr, h: &Matrix, out: &mut Matrix) {
                 continue;
             }
             let inv = 1.0 / nbrs.len() as f32;
-            for &j in nbrs {
-                let src = h.row(j as usize);
-                for k in 0..d {
-                    out_row[k] += inv * src[k];
-                }
-            }
-        }
-    });
-}
-
-/// `out += a @ w`, row-blocked parallel over disjoint output bands.
-fn add_matmul(a: &Matrix, w: &Matrix, out: &mut Matrix) {
-    // Equivalent to out.add_assign(&a.matmul(w)) without the temporary.
-    let n = w.cols();
-    let block = kgtosa_par::chunk_rows(n.max(a.cols()));
-    let pool = Pool::for_work(a.rows() * a.cols() * n);
-    pool.par_chunks_mut("nn.add_matmul", out.data_mut(), block * n, |ci, band| {
-        for (off, out_row) in band.chunks_mut(n).enumerate() {
-            let a_row = a.row(ci * block + off);
-            for (k, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let w_row = w.row(k);
-                for j in 0..n {
-                    out_row[j] += av * w_row[j];
-                }
-            }
+            accum_row(level, out_row, h, nbrs, &StripWeight::Uniform(inv), true);
         }
     });
 }
@@ -253,7 +471,8 @@ fn add_matmul(a: &Matrix, w: &Matrix, out: &mut Matrix) {
 ///   exactly one worker (deterministic row-blocked parallelism; the
 ///   scatter form would race on shared rows).
 ///
-/// Returns `grad_W`.
+/// Returns `grad_W` (drawn from `arena`).
+#[allow(clippy::too_many_arguments)]
 fn direction_backward(
     (csr, csr_t): (&Csr, &Csr),
     h: &Matrix,
@@ -262,14 +481,16 @@ fn direction_backward(
     grad_h: &mut Matrix,
     agg: &mut Matrix,
     scratch: &mut Matrix,
+    arena: &mut ScratchArena,
 ) -> Matrix {
+    let mut grad_w = arena.take(w.rows(), w.cols());
     if csr.num_edges() == 0 {
-        return Matrix::zeros(w.rows(), w.cols());
+        return grad_w;
     }
     mean_aggregate(csr, h, agg);
-    let grad_w = agg.t_matmul(grad_out);
+    agg.t_matmul_into(grad_out, &mut grad_w);
     // scratch = grad_out @ Wᵀ
-    *scratch = grad_out.matmul_t(w);
+    grad_out.matmul_t_into(w, scratch);
     mean_backward_gather(csr, csr_t, scratch, grad_h);
     grad_w
 }
@@ -281,7 +502,8 @@ fn direction_backward(
 /// deterministic. Shared with the basis-decomposition layer.
 pub(crate) fn mean_backward_gather(csr: &Csr, csr_t: &Csr, scratch: &Matrix, grad_h: &mut Matrix) {
     let d = scratch.cols();
-    let block = kgtosa_par::chunk_rows(d);
+    let level = simd_level();
+    let block = csr_chunk_rows(csr_t, d);
     let pool = Pool::for_work(csr.num_edges().saturating_mul(d));
     pool.par_chunks_mut("nn.rgcn.grad_h", grad_h.data_mut(), block * d, |ci, band| {
         for (off, dst) in band.chunks_mut(d).enumerate() {
@@ -289,13 +511,11 @@ pub(crate) fn mean_backward_gather(csr: &Csr, csr_t: &Csr, scratch: &Matrix, gra
             if j >= csr_t.num_nodes() {
                 continue;
             }
-            for &i in csr_t.neighbors(Vid(j as u32)) {
-                let inv = 1.0 / csr.degree(Vid(i)) as f32;
-                let src = scratch.row(i as usize);
-                for k in 0..d {
-                    dst[k] += inv * src[k];
-                }
+            let nbrs = csr_t.neighbors(Vid(j as u32));
+            if nbrs.is_empty() {
+                continue;
             }
+            accum_row(level, dst, scratch, nbrs, &StripWeight::InvDegree(csr), false);
         }
     });
 }

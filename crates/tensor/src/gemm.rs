@@ -1,0 +1,367 @@
+//! Cache-blocked packed GEMM core shared by every matmul variant.
+//!
+//! Scheme (see DESIGN.md "Kernel compute core"):
+//!
+//! * **Packing.** The B operand is repacked once per call into panel-major
+//!   layout: panel `p` holds output columns `p·NR .. p·NR+NR` for all `k`,
+//!   stored k-major and contiguous (`kdim × NR` floats per panel, the last
+//!   panel zero-padded). Packing runs on the calling thread into the
+//!   thread-local [`Workspace`](crate::workspace::Workspace), so workers
+//!   stream one L1-resident panel linearly instead of striding the full
+//!   B row-major array.
+//! * **Micro-kernel.** [`strip4`] keeps an MR×NR (4×16) block of output in
+//!   sixteen-lane register accumulators across the *entire* reduction
+//!   dimension, then stores once. 3 loads + 8 `madd`s per k step vs the
+//!   naive kernel's load+store of the output row per (i,k) pair.
+//! * **Determinism.** Every output element accumulates strictly
+//!   sequentially over `k` with unfused multiply-then-add (see
+//!   `simd.rs`). Accumulators are never split over `k` — splitting would
+//!   re-associate the sum — so tiled ≡ naive ≡ portable ≡ AVX2
+//!   bit-for-bit, and row-banded parallelism stays bit-identical to
+//!   serial exactly as before (disjoint output rows, shape-only bands).
+//!
+//! `t_matmul` (`selfᵀ @ other`) reduces over input rows, so it uses
+//! [`rank1_update`] instead: each input row contributes a rank-1 update to
+//! a `cols × n` partial that stays cache-resident, vectorized along the
+//! output row (lanes across outputs, sequential over the reduction — the
+//! same canonical order).
+
+use crate::simd::{F32x8, SimdLevel};
+
+/// Panel width in output columns: two [`F32x8`] register lanes.
+pub(crate) const NR: usize = 16;
+/// Output rows per register strip.
+pub(crate) const MR: usize = 4;
+
+/// Length of the packed buffer for a `kdim × n` B operand.
+pub(crate) fn packed_len(kdim: usize, n: usize) -> usize {
+    n.div_ceil(NR) * kdim * NR
+}
+
+/// Packs row-major B (`kdim × n`, row stride `stride`) into panels.
+pub(crate) fn pack_rows(dst: &mut [f32], src: &[f32], kdim: usize, n: usize, stride: usize) {
+    let panels = n.div_ceil(NR);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut dst[p * kdim * NR..(p + 1) * kdim * NR];
+        for kk in 0..kdim {
+            let row = &src[kk * stride + j0..kk * stride + j0 + w];
+            let d = &mut panel[kk * NR..(kk + 1) * NR];
+            d[..w].copy_from_slice(row);
+            d[w..].fill(0.0);
+        }
+    }
+}
+
+/// Packs transposed B: the logical operand is `kdim × n` with
+/// `b[k][j] = src[j * stride + k]` (i.e. `src` is an `n × kdim` row-major
+/// matrix used as its transpose, as in `matmul_t`).
+pub(crate) fn pack_cols(dst: &mut [f32], src: &[f32], kdim: usize, n: usize, stride: usize) {
+    let panels = n.div_ceil(NR);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut dst[p * kdim * NR..(p + 1) * kdim * NR];
+        // j-outer so each source row (contiguous) is read once; the strided
+        // panel writes stay within one L1-resident panel.
+        for jj in 0..w {
+            let srow = &src[(j0 + jj) * stride..(j0 + jj) * stride + kdim];
+            for (kk, &v) in srow.iter().enumerate() {
+                panel[kk * NR + jj] = v;
+            }
+        }
+        for jj in w..NR {
+            for kk in 0..kdim {
+                panel[kk * NR + jj] = 0.0;
+            }
+        }
+    }
+}
+
+/// 4-row × 16-column register strip over one packed panel.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn strip4(
+    acc: bool,
+    a0r: &[f32],
+    a1r: &[f32],
+    a2r: &[f32],
+    a3r: &[f32],
+    panel: &[f32],
+    out: &mut [f32],
+    off: usize,
+    rs: usize,
+) {
+    let (mut c00, mut c01) = (F32x8::ZERO, F32x8::ZERO);
+    let (mut c10, mut c11) = (F32x8::ZERO, F32x8::ZERO);
+    let (mut c20, mut c21) = (F32x8::ZERO, F32x8::ZERO);
+    let (mut c30, mut c31) = (F32x8::ZERO, F32x8::ZERO);
+    if acc {
+        c00 = F32x8::load(&out[off..]);
+        c01 = F32x8::load(&out[off + 8..]);
+        c10 = F32x8::load(&out[off + rs..]);
+        c11 = F32x8::load(&out[off + rs + 8..]);
+        c20 = F32x8::load(&out[off + 2 * rs..]);
+        c21 = F32x8::load(&out[off + 2 * rs + 8..]);
+        c30 = F32x8::load(&out[off + 3 * rs..]);
+        c31 = F32x8::load(&out[off + 3 * rs + 8..]);
+    }
+    let ks = panel.chunks_exact(NR).zip(a0r).zip(a1r).zip(a2r).zip(a3r);
+    for ((((bk, &a0), &a1), &a2), &a3) in ks {
+        let b0 = F32x8::load(&bk[..8]);
+        let b1 = F32x8::load(&bk[8..]);
+        let v0 = F32x8::splat(a0);
+        c00 = v0.madd(b0, c00);
+        c01 = v0.madd(b1, c01);
+        let v1 = F32x8::splat(a1);
+        c10 = v1.madd(b0, c10);
+        c11 = v1.madd(b1, c11);
+        let v2 = F32x8::splat(a2);
+        c20 = v2.madd(b0, c20);
+        c21 = v2.madd(b1, c21);
+        let v3 = F32x8::splat(a3);
+        c30 = v3.madd(b0, c30);
+        c31 = v3.madd(b1, c31);
+    }
+    c00.store(&mut out[off..]);
+    c01.store(&mut out[off + 8..]);
+    c10.store(&mut out[off + rs..]);
+    c11.store(&mut out[off + rs + 8..]);
+    c20.store(&mut out[off + 2 * rs..]);
+    c21.store(&mut out[off + 2 * rs + 8..]);
+    c30.store(&mut out[off + 3 * rs..]);
+    c31.store(&mut out[off + 3 * rs + 8..]);
+}
+
+/// Single-row × 16-column strip (row remainder of a band).
+#[inline(always)]
+fn strip1(acc: bool, ar: &[f32], panel: &[f32], out: &mut [f32], off: usize) {
+    let (mut c0, mut c1) = (F32x8::ZERO, F32x8::ZERO);
+    if acc {
+        c0 = F32x8::load(&out[off..]);
+        c1 = F32x8::load(&out[off + 8..]);
+    }
+    for (bk, &a) in panel.chunks_exact(NR).zip(ar) {
+        let v = F32x8::splat(a);
+        c0 = v.madd(F32x8::load(&bk[..8]), c0);
+        c1 = v.madd(F32x8::load(&bk[8..]), c1);
+    }
+    c0.store(&mut out[off..]);
+    c1.store(&mut out[off + 8..]);
+}
+
+/// One band of output rows against the full packed B.
+///
+/// `out` is the band (`m × n`, `m = out.len() / n`); A's band starts at
+/// flat offset `a0` with row stride `a_rs` and `kdim` reduction elements
+/// per row. `acc` accumulates into `out` instead of overwriting.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn band_impl(
+    acc: bool,
+    a: &[f32],
+    a0: usize,
+    a_rs: usize,
+    kdim: usize,
+    bp: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    if n == 0 || out.is_empty() {
+        return;
+    }
+    let m = out.len() / n;
+    debug_assert_eq!(out.len(), m * n);
+    let full_panels = n / NR;
+    // Panel-outer, strip-inner: one kdim×NR panel stays hot in L1 while
+    // every row strip of the band streams over it.
+    for p in 0..full_panels {
+        let panel = &bp[p * kdim * NR..(p + 1) * kdim * NR];
+        let j0 = p * NR;
+        let mut r = 0;
+        while r + MR <= m {
+            let base = a0 + r * a_rs;
+            strip4(
+                acc,
+                &a[base..base + kdim],
+                &a[base + a_rs..base + a_rs + kdim],
+                &a[base + 2 * a_rs..base + 2 * a_rs + kdim],
+                &a[base + 3 * a_rs..base + 3 * a_rs + kdim],
+                panel,
+                out,
+                r * n + j0,
+                n,
+            );
+            r += MR;
+        }
+        while r < m {
+            let base = a0 + r * a_rs;
+            strip1(acc, &a[base..base + kdim], panel, out, r * n + j0);
+            r += 1;
+        }
+    }
+    // Column tail (< NR columns): scalar, same sequential-k order.
+    let tail_j0 = full_panels * NR;
+    if tail_j0 < n {
+        let tail_w = n - tail_j0;
+        let panel = &bp[full_panels * kdim * NR..];
+        for r in 0..m {
+            let arow = &a[a0 + r * a_rs..a0 + r * a_rs + kdim];
+            for jj in 0..tail_w {
+                let mut s = if acc { out[r * n + tail_j0 + jj] } else { 0.0 };
+                // `a * b + s`, not `+=`: the unfused shape is the contract.
+                #[allow(clippy::assign_op_pattern)]
+                for (kk, &av) in arow.iter().enumerate() {
+                    s = av * panel[kk * NR + jj] + s;
+                }
+                out[r * n + tail_j0 + jj] = s;
+            }
+        }
+    }
+}
+
+/// Rank-1 accumulation for `selfᵀ @ other` over input rows `lo..hi`:
+/// `out[i][j] += a[r][i] * b[r][j]` for each `r` in order. `out` is a
+/// caller-zeroed `cols × n` partial that stays cache-resident.
+#[inline(always)]
+fn rank1_impl(a: &[f32], cols: usize, b: &[f32], n: usize, lo: usize, hi: usize, out: &mut [f32]) {
+    for r in lo..hi {
+        let arow = &a[r * cols..(r + 1) * cols];
+        let brow = &b[r * n..(r + 1) * n];
+        for (i, &coef) in arow.iter().enumerate() {
+            let orow = &mut out[i * n..(i + 1) * n];
+            let v = F32x8::splat(coef);
+            let mut dc = orow.chunks_exact_mut(8);
+            let mut sc = brow.chunks_exact(8);
+            for (d, s) in (&mut dc).zip(&mut sc) {
+                F32x8::load(s).madd(v, F32x8::load(d)).store(d);
+            }
+            #[allow(clippy::assign_op_pattern)]
+            for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+                *d = s * coef + *d;
+            }
+        }
+    }
+}
+
+// ---- dual instantiation: the same #[inline(always)] bodies compiled as
+// plain Rust and under #[target_feature(enable = "avx2")] ----
+
+#[allow(clippy::too_many_arguments)]
+fn band_portable(
+    acc: bool,
+    a: &[f32],
+    a0: usize,
+    a_rs: usize,
+    kdim: usize,
+    bp: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    band_impl(acc, a, a0, a_rs, kdim, bp, n, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn band_avx2(
+    acc: bool,
+    a: &[f32],
+    a0: usize,
+    a_rs: usize,
+    kdim: usize,
+    bp: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    band_impl(acc, a, a0, a_rs, kdim, bp, n, out);
+}
+
+fn rank1_portable(a: &[f32], cols: usize, b: &[f32], n: usize, lo: usize, hi: usize, out: &mut [f32]) {
+    rank1_impl(a, cols, b, n, lo, hi, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn rank1_avx2(a: &[f32], cols: usize, b: &[f32], n: usize, lo: usize, hi: usize, out: &mut [f32]) {
+    rank1_impl(a, cols, b, n, lo, hi, out);
+}
+
+/// Dispatches one output band at the given SIMD level (bits are identical
+/// across levels; only throughput differs).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_band(
+    level: SimdLevel,
+    acc: bool,
+    a: &[f32],
+    a0: usize,
+    a_rs: usize,
+    kdim: usize,
+    bp: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `SimdLevel::Avx2` is only ever resolved or accepted by
+        // `set_simd_level` when `avx2_supported()` is true.
+        SimdLevel::Avx2 => unsafe { band_avx2(acc, a, a0, a_rs, kdim, bp, n, out) },
+        _ => band_portable(acc, a, a0, a_rs, kdim, bp, n, out),
+    }
+}
+
+/// Dispatches a rank-1 reduction chunk at the given SIMD level.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rank1_update(
+    level: SimdLevel,
+    a: &[f32],
+    cols: usize,
+    b: &[f32],
+    n: usize,
+    lo: usize,
+    hi: usize,
+    out: &mut [f32],
+) {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `gemm_band`.
+        SimdLevel::Avx2 => unsafe { rank1_avx2(a, cols, b, n, lo, hi, out) },
+        _ => rank1_portable(a, cols, b, n, lo, hi, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_len_pads_to_panels() {
+        assert_eq!(packed_len(3, 16), 3 * 16);
+        assert_eq!(packed_len(3, 17), 2 * 3 * 16);
+        assert_eq!(packed_len(5, 0), 0);
+        assert_eq!(packed_len(0, 7), 0);
+    }
+
+    #[test]
+    fn pack_rows_and_cols_agree_on_transpose() {
+        // B is 3×5; packing B row-major must equal packing Bᵀ col-wise.
+        let b: Vec<f32> = (0..15).map(|i| i as f32 + 1.0).collect();
+        let bt: Vec<f32> = {
+            let mut t = vec![0.0; 15];
+            for k in 0..3 {
+                for j in 0..5 {
+                    t[j * 3 + k] = b[k * 5 + j];
+                }
+            }
+            t
+        };
+        let mut p1 = vec![f32::NAN; packed_len(3, 5)];
+        let mut p2 = vec![f32::NAN; packed_len(3, 5)];
+        pack_rows(&mut p1, &b, 3, 5, 5);
+        pack_cols(&mut p2, &bt, 3, 5, 3);
+        assert_eq!(p1, p2);
+        // Padding lanes are zeroed, not NaN.
+        assert!(p1.iter().all(|v| v.is_finite()));
+    }
+}

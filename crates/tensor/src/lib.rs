@@ -10,16 +10,24 @@
 //! * `f32` throughout — all referenced GNN systems train in fp32;
 //! * no autograd: `kgtosa-nn` layers implement explicit backward passes,
 //!   property-tested against finite differences;
-//! * `*_into` variants reuse buffers in the training hot loop.
+//! * `*_into` variants reuse buffers in the training hot loop;
+//! * the dense products run on a cache-blocked packed SIMD core (`gemm`,
+//!   `simd`) with a canonical reduction order, so tiled/vectorized kernels
+//!   are bit-identical to a naive loop at any thread count and SIMD level;
+//! * scratch memory is explicit: `Workspace` (thread-local packing
+//!   buffers inside kernels) and `ScratchArena` (trainer-owned recyclable
+//!   intermediates).
 
 pub mod adam;
+mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod simd;
 pub mod state;
+pub mod workspace;
 
 pub use adam::{Adam, AdamConfig, SparseAdam};
-pub use state::StateIo;
 pub use init::{normalize_rows, uniform, xavier_uniform};
 pub use matrix::Matrix;
 pub use ops::{
@@ -27,3 +35,6 @@ pub use ops::{
     softmax_cross_entropy, softmax_cross_entropy_into, softmax_rows, softmax_rows_into,
     IGNORE_LABEL,
 };
+pub use simd::{avx2_supported, set_simd_level, simd_level, F32x8, SimdLevel};
+pub use state::StateIo;
+pub use workspace::{with_workspace, ScratchArena, Workspace};

@@ -1,9 +1,17 @@
 //! A dense row-major `f32` matrix with the kernels GNN training needs.
 //!
 //! This is deliberately a small, predictable building block: contiguous
-//! storage, cache-friendly `ikj` matmul, explicit transpose-variant products
-//! (needed by hand-written backward passes), and no hidden allocation in the
-//! hot paths (`*_into` variants reuse output buffers).
+//! storage, explicit transpose-variant products (needed by hand-written
+//! backward passes), and no hidden allocation in the hot paths (`*_into`
+//! variants reuse output buffers; packing scratch lives in the thread-local
+//! [`Workspace`](crate::workspace::Workspace)).
+//!
+//! The products run on the cache-blocked packed GEMM core in `gemm.rs`:
+//! B is packed into L1-sized panels once per call and a 4×16 register
+//! micro-kernel accumulates each output block across the full reduction
+//! dimension in the canonical order (sequential k, unfused multiply-add,
+//! lanes across columns — see `simd.rs`), so the SIMD/tiled kernels are
+//! bit-identical to a naive triple loop.
 //!
 //! The products are row-blocked over the `kgtosa-par` pool. `matmul_into`
 //! and `matmul_t` write disjoint output rows, so their parallel results are
@@ -12,6 +20,9 @@
 //! runs the *same* chunked structure serially, so thread count never changes
 //! its floating-point association either.
 
+use crate::gemm;
+use crate::simd::simd_level;
+use crate::workspace::with_workspace;
 use kgtosa_par::Pool;
 use std::fmt;
 
@@ -105,6 +116,13 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Consumes the matrix, returning its flat buffer (capacity intact) —
+    /// how [`ScratchArena`](crate::workspace::ScratchArena) recycles
+    /// intermediates without freeing them.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// `self @ other` → new matrix.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, other.cols);
@@ -116,99 +134,122 @@ impl Matrix {
     /// each worker owns a disjoint band of output rows, so the result is
     /// bit-identical to the serial loop at any thread count.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_core(other, out, false);
+    }
+
+    /// `out += self @ other` — the accumulating form layers use to sum
+    /// per-relation products without a temporary. Same banding, same
+    /// bit-determinism as [`Matrix::matmul_into`].
+    pub fn matmul_acc_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_core(other, out, true);
+    }
+
+    /// Packed + banded `self @ other`: pack B panels on the calling
+    /// thread, then run the register micro-kernel over disjoint output
+    /// bands (parallel when the work justifies thread spawns).
+    fn matmul_core(&self, other: &Matrix, out: &mut Matrix, acc: bool) {
         assert_eq!(self.cols, other.rows, "inner dimension mismatch");
         assert_eq!(out.shape(), (self.rows, other.cols), "output shape");
-        out.fill_zero();
         let n = other.cols;
-        let block = kgtosa_par::chunk_rows(n.max(self.cols));
-        let pool = Pool::for_work(self.rows * self.cols * n);
-        pool.par_chunks_mut("tensor.matmul", &mut out.data, block * n, |ci, band| {
-            for (off, out_row) in band.chunks_mut(n).enumerate() {
-                let a_row = self.row(ci * block + off);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[k * n..(k + 1) * n];
-                    for j in 0..n {
-                        out_row[j] += a * b_row[j];
-                    }
-                }
-            }
+        let k = self.cols;
+        if n == 0 || self.rows == 0 {
+            return;
+        }
+        let level = simd_level();
+        with_workspace(|ws| {
+            let bp = ws.packed(gemm::packed_len(k, n));
+            gemm::pack_rows(bp, &other.data, k, n, n);
+            let bp = &*bp;
+            let block = kgtosa_par::chunk_rows(n.max(k));
+            let pool = Pool::for_work(self.rows * k * n);
+            pool.par_chunks_mut("tensor.matmul", &mut out.data, block * n, |ci, band| {
+                gemm::gemm_band(level, acc, &self.data, ci * block * k, k, k, bp, n, band);
+            });
         });
     }
 
     /// `selfᵀ @ other` (e.g. `Xᵀ·G` for weight gradients).
     ///
-    /// The reduction runs over `self.rows`, so it cannot be row-blocked on
-    /// the (small) output. Instead the input rows are cut into fixed
-    /// shape-derived chunks, each chunk accumulates a partial product, and
-    /// partials merge **in chunk order** — the same structure serially and
-    /// in parallel, so results match bit-for-bit at every thread count.
+    /// See [`Matrix::t_matmul_into`]; this form allocates the output.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "row mismatch for t_matmul");
-        let n = other.cols;
-        let chunk = kgtosa_par::chunk_rows(self.cols.max(n));
-        if self.rows <= chunk {
-            return self.t_matmul_range(other, 0, self.rows);
-        }
-        let chunk_ids: Vec<usize> = (0..self.rows.div_ceil(chunk)).collect();
-        let pool = Pool::for_work(self.rows * self.cols * n);
-        let partials = pool.par_map_collect("tensor.t_matmul", &chunk_ids, |_, &ci| {
-            let lo = ci * chunk;
-            let hi = (lo + chunk).min(self.rows);
-            self.t_matmul_range(other, lo, hi)
-        });
-        let mut partials = partials.into_iter();
-        let mut out = partials.next().expect("at least one chunk");
-        for p in partials {
-            out.add_assign(&p);
-        }
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.t_matmul_into(other, &mut out);
         out
     }
 
-    /// Serial `selfᵀ @ other` restricted to input rows `lo..hi`.
-    fn t_matmul_range(&self, other: &Matrix, lo: usize, hi: usize) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, other.cols);
+    /// `out = selfᵀ @ other`, reusing `out`'s buffer.
+    ///
+    /// The reduction runs over `self.rows`, so it cannot be row-blocked on
+    /// the (small) output. Instead the input rows are cut into fixed
+    /// shape-derived chunks, each chunk accumulates a rank-1-update partial
+    /// carved out of the thread-local workspace (one flat buffer, not
+    /// O(chunks) transient matrices), and partials merge **in chunk
+    /// order** — the same structure serially and in parallel, so results
+    /// match bit-for-bit at every thread count.
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "row mismatch for t_matmul");
+        assert_eq!(out.shape(), (self.cols, other.cols), "output shape");
         let n = other.cols;
-        for r in lo..hi {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a * b_row[j];
+        let c = self.cols;
+        let level = simd_level();
+        let chunk = kgtosa_par::chunk_rows(c.max(n));
+        if self.rows <= chunk {
+            out.fill_zero();
+            gemm::rank1_update(level, &self.data, c, &other.data, n, 0, self.rows, &mut out.data);
+            return;
+        }
+        let n_chunks = self.rows.div_ceil(chunk);
+        let rows = self.rows;
+        with_workspace(|ws| {
+            let partials = ws.partials(n_chunks * c * n);
+            let pool = Pool::for_work(rows * c * n);
+            pool.par_chunks_mut("tensor.t_matmul", partials, c * n, |ci, part| {
+                part.fill(0.0);
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(rows);
+                gemm::rank1_update(level, &self.data, c, &other.data, n, lo, hi, part);
+            });
+            // Ordered merge into the single output accumulator.
+            out.data.copy_from_slice(&partials[..c * n]);
+            for ci in 1..n_chunks {
+                let part = &partials[ci * c * n..(ci + 1) * c * n];
+                for (o, &p) in out.data.iter_mut().zip(part) {
+                    *o += p;
                 }
             }
-        }
-        out
+        });
     }
 
     /// `self @ otherᵀ` (e.g. `G·Wᵀ` for input gradients). Row-blocked
     /// parallel with disjoint output bands, like [`Matrix::matmul_into`].
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "col mismatch for matmul_t");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        let n = other.rows;
-        let block = kgtosa_par::chunk_rows(n.max(self.cols));
-        let pool = Pool::for_work(self.rows * self.cols * n);
-        pool.par_chunks_mut("tensor.matmul_t", &mut out.data, block * n, |ci, band| {
-            for (off, out_row) in band.chunks_mut(n).enumerate() {
-                let a_row = self.row(ci * block + off);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = other.row(j);
-                    let mut acc = 0.0f32;
-                    for k in 0..self.cols {
-                        acc += a_row[k] * b_row[k];
-                    }
-                    *o = acc;
-                }
-            }
-        });
+        self.matmul_t_into(other, &mut out);
         out
+    }
+
+    /// `out = self @ otherᵀ`, reusing `out`'s buffer. B is packed through
+    /// its transpose (gathered columns), then the banded micro-kernel runs
+    /// exactly as in [`Matrix::matmul_into`].
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "col mismatch for matmul_t");
+        assert_eq!(out.shape(), (self.rows, other.rows), "output shape");
+        let n = other.rows;
+        let k = self.cols;
+        if n == 0 || self.rows == 0 {
+            return;
+        }
+        let level = simd_level();
+        with_workspace(|ws| {
+            let bp = ws.packed(gemm::packed_len(k, n));
+            gemm::pack_cols(bp, &other.data, k, n, k);
+            let bp = &*bp;
+            let block = kgtosa_par::chunk_rows(n.max(k));
+            let pool = Pool::for_work(self.rows * k * n);
+            pool.par_chunks_mut("tensor.matmul_t", &mut out.data, block * n, |ci, band| {
+                gemm::gemm_band(level, false, &self.data, ci * block * k, k, k, bp, n, band);
+            });
+        });
     }
 
     /// Element-wise `self += other`.
@@ -265,10 +306,17 @@ impl Matrix {
     /// Gathers rows by index into a new matrix (embedding lookup).
     pub fn gather_rows(&self, indices: &[u32]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Gathers rows by index into an existing buffer (embedding lookup in
+    /// the mini-batch hot loop).
+    pub fn gather_rows_into(&self, indices: &[u32], out: &mut Matrix) {
+        assert_eq!(out.shape(), (indices.len(), self.cols), "output shape");
         for (i, &idx) in indices.iter().enumerate() {
             out.row_mut(i).copy_from_slice(self.row(idx as usize));
         }
-        out
     }
 
     /// Scatter-adds `updates` rows into `self` at `indices` (the transpose

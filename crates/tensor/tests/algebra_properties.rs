@@ -185,6 +185,113 @@ mod parallel_determinism {
         }
     }
 
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// matmul_acc_into: accumulating into a pre-filled output matches
+        /// the naive incremental loop (`out[i][j] += a·b` starting from
+        /// the existing value) bit-for-bit at every thread count — the
+        /// semantics the RGCN forward relied on from the old add_matmul.
+        #[test]
+        fn matmul_acc_bit_identical(rows in 1usize..200, inner in 1usize..20, cols in 1usize..20) {
+            let a = big_matrix(rows, inner, 0.31);
+            let b = big_matrix(inner, cols, 0.47);
+            let seed = big_matrix(rows, cols, 0.19);
+            // Naive accumulate: same i,(k),j order, starting from seed.
+            let mut expect = seed.clone();
+            for i in 0..rows {
+                for j in 0..cols {
+                    let mut s = expect.get(i, j);
+                    #[allow(clippy::assign_op_pattern)]
+                    for k in 0..inner {
+                        s = a.get(i, k) * b.get(k, j) + s;
+                    }
+                    expect.set(i, j, s);
+                }
+            }
+            for threads in [1usize, 4, 8] {
+                let mut got = seed.clone();
+                with_threads(threads, || a.matmul_acc_into(&b, &mut got));
+                prop_assert_eq!(got.data(), expect.data(), "threads={}", threads);
+            }
+        }
+    }
+
+    /// Portable vs AVX2 instantiations produce identical bits — the
+    /// instruction-set half of the determinism contract. (On hardware
+    /// without AVX2 this degenerates to portable ≡ portable, which still
+    /// exercises the dispatch path.)
+    #[test]
+    fn simd_levels_bit_identical() {
+        use kgtosa_tensor::{avx2_supported, set_simd_level, simd_level, SimdLevel};
+        let restore = simd_level();
+        // Shapes straddling every tile boundary: MR=4 rows, NR=16 cols,
+        // 8-lane strips, plus scalar tails on both axes.
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 8, 16),
+            (5, 9, 17),
+            (64, 33, 48),
+            (130, 24, 31),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = big_matrix(m, k, 0.73);
+            let b = big_matrix(k, n, 0.41);
+            let bt = big_matrix(n, k, 0.59);
+            // t_matmul computes Aᵀ·C, so C shares A's row count.
+            let c = big_matrix(m, n, 0.67);
+            set_simd_level(SimdLevel::Portable).unwrap();
+            let (p1, p2, p3) = (a.matmul(&b), a.matmul_t(&bt), a.t_matmul(&c));
+            if avx2_supported() {
+                set_simd_level(SimdLevel::Avx2).unwrap();
+            }
+            let (v1, v2, v3) = (a.matmul(&b), a.matmul_t(&bt), a.t_matmul(&c));
+            assert_eq!(p1.data(), v1.data(), "matmul {m}x{k}x{n}");
+            assert_eq!(p2.data(), v2.data(), "matmul_t {m}x{k}x{n}");
+            assert_eq!(p3.data(), v3.data(), "t_matmul {m}x{k}x{n}");
+        }
+        set_simd_level(restore).unwrap();
+    }
+
+    /// Degenerate shapes (a dimension of zero) must not panic and must
+    /// produce the correctly-shaped (empty or zero) result.
+    #[test]
+    fn empty_matrices_are_handled() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        assert_eq!(a.matmul(&b).shape(), (0, 3));
+        assert_eq!(a.t_matmul(&Matrix::zeros(0, 4)).shape(), (5, 4));
+
+        let c = Matrix::zeros(4, 0);
+        let d = Matrix::zeros(0, 6);
+        // Inner dimension 0: the product is all zeros.
+        let prod = c.matmul(&d);
+        assert_eq!(prod.shape(), (4, 6));
+        assert!(prod.data().iter().all(|&v| v == 0.0));
+        // Accumulating form must leave the output untouched (adds zero).
+        let mut acc = big_matrix(4, 6, 0.83);
+        let before = acc.data().to_vec();
+        c.matmul_acc_into(&d, &mut acc);
+        assert_eq!(acc.data(), &before[..]);
+
+        let e = big_matrix(3, 4, 0.37);
+        assert_eq!(e.matmul(&Matrix::zeros(4, 0)).shape(), (3, 0));
+        assert_eq!(e.matmul_t(&Matrix::zeros(0, 4)).shape(), (3, 0));
+        assert_eq!(Matrix::zeros(0, 0).matmul(&Matrix::zeros(0, 0)).shape(), (0, 0));
+    }
+
+    /// gather_rows_into matches the allocating gather exactly.
+    #[test]
+    fn gather_rows_into_matches() {
+        let table = big_matrix(9, 7, 0.67);
+        let idx = [3u32, 0, 8, 3, 5];
+        let expect = table.gather_rows(&idx);
+        let mut got = Matrix::zeros(idx.len(), 7);
+        table.gather_rows_into(&idx, &mut got);
+        assert_eq!(got.data(), expect.data());
+    }
+
     /// _into variants match their allocating counterparts exactly.
     #[test]
     fn softmax_into_matches_out_of_place() {
