@@ -33,15 +33,6 @@ struct ChaosRow {
     faults_injected: u64,
 }
 
-/// Cumulative fault-layer counters (diffed around each run).
-fn counters() -> (u64, u64, u64) {
-    (
-        kgtosa_obs::counter("rdf.retries").get(),
-        kgtosa_obs::counter("rdf.giveups").get(),
-        kgtosa_obs::counter("rdf.faults").get(),
-    )
-}
-
 fn main() {
     let env = Env::from_env();
     println!(
@@ -59,22 +50,30 @@ fn main() {
     let base_fetch = FetchConfig { batch_size: 256, ..Default::default() };
 
     let mut rows: Vec<ChaosRow> = Vec::new();
+    // Each regime runs inside its own telemetry context, so the
+    // fault-layer counters are scoped deltas rather than diffs of the
+    // process-global counters — and SLO rules (when armed via
+    // KGTOSA_SLO / --slo on the wrapper) see every regime as a separate
+    // evaluation subject.
     let mut run = |regime: &str, fetch: &FetchConfig| -> ExtractionResult {
-        let before = counters();
-        let (res, seconds, _) = measure(|| {
-            extract_sparql(&store, &ext_task, &pattern, fetch)
-                .unwrap_or_else(|e| panic!("{regime} extraction failed: {e}"))
-        });
-        let after = counters();
+        let ctx = kgtosa_obs::TelemetryContext::new(&format!("chaos.{regime}"));
+        let (res, seconds, _) = {
+            let _scope = ctx.enter();
+            measure(|| {
+                extract_sparql(&store, &ext_task, &pattern, fetch)
+                    .unwrap_or_else(|e| panic!("{regime} extraction failed: {e}"))
+            })
+        };
+        ctx.finish();
         rows.push(ChaosRow {
             regime: regime.to_string(),
             seconds,
             triples: res.report.triples,
             requests: res.report.requests,
             completeness: res.report.completeness,
-            retries: after.0 - before.0,
-            giveups: after.1 - before.1,
-            faults_injected: after.2 - before.2,
+            retries: ctx.counter_delta("rdf.retries"),
+            giveups: ctx.counter_delta("rdf.giveups"),
+            faults_injected: ctx.counter_delta("rdf.faults"),
         });
         res
     };

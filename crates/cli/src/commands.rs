@@ -420,6 +420,9 @@ fn github_step_summary(markdown: &str) {
 /// ledger. A missing or empty ledger passes — the first run seeds history
 /// instead of failing on it.
 pub fn trace_trend(args: &Args) -> Result<(), String> {
+    if args.flag("compact") {
+        return trace_trend_compact(args);
+    }
     let (history_path, new_path) = match args.positionals.as_slice() {
         [history, new] => (history.as_str(), new.as_str()),
         _ => {
@@ -467,6 +470,65 @@ pub fn trace_trend(args: &Args) -> Result<(), String> {
             trend.diff.threshold_pct
         ));
     }
+    Ok(())
+}
+
+/// `kgtosa trace-trend --compact HISTORY`: rewrites the perf-history
+/// ledger in place, keeping only the newest `--cap` records per
+/// (kernel-set, threads) key. Rolling medians gate on the last `--window`
+/// records of a key, so any cap ≥ the window leaves every gate decision
+/// bit-identical while bounding ledger growth.
+fn trace_trend_compact(args: &Args) -> Result<(), String> {
+    // `--compact history.jsonl` parses as key=value, `history.jsonl
+    // --compact` as a positional — accept the ledger path from either.
+    let compact_val = args.options.get("compact").map(|s| s.as_str()).unwrap_or("true");
+    let history_path = match args.positionals.as_slice() {
+        [history] => history.as_str(),
+        [] if compact_val != "true" => compact_val,
+        _ => return Err("usage: kgtosa trace-trend --compact <history.jsonl> [--cap 64]".into()),
+    };
+    let cap: usize = args.parse_or("cap", 64)?;
+    let text = std::fs::read_to_string(history_path)
+        .map_err(|e| format!("cannot read {history_path}: {e}"))?;
+    let (compacted, report) = kgtosa_obs::compact_history(&text, cap)
+        .map_err(|e| format!("ledger {history_path}: {e}"))?;
+    if report.dropped == 0 {
+        println!(
+            "trace-trend: {history_path} already within cap ({} record(s), cap {cap} per key)",
+            report.kept
+        );
+        return Ok(());
+    }
+    // Write-then-rename so a crash mid-compaction never truncates the
+    // ledger CI gates on.
+    let tmp = format!("{history_path}.tmp");
+    std::fs::write(&tmp, &compacted).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, history_path)
+        .map_err(|e| format!("cannot replace {history_path}: {e}"))?;
+    println!(
+        "trace-trend: compacted {history_path}: kept {} record(s), dropped {} (cap {cap} per key)",
+        report.kept, report.dropped
+    );
+    Ok(())
+}
+
+/// `kgtosa trace-validate TRACE`: load-validates a Chrome-trace JSON file
+/// (as written by `--chrome-out`): event schema, monotone per-track
+/// timestamps, balanced B/E nesting, counter tracks. Exits nonzero on a
+/// malformed trace so CI can gate on the artifact it uploads.
+pub fn trace_validate(args: &Args) -> Result<(), String> {
+    let path = args
+        .positionals
+        .first()
+        .map(|s| s.as_str())
+        .ok_or("usage: kgtosa trace-validate <trace.json>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let stats = kgtosa_obs::validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid Chrome trace — {} span event(s), {} counter event(s), \
+         {} process track(s), max span depth {}",
+        stats.span_events, stats.counter_events, stats.pids, stats.max_depth
+    );
     Ok(())
 }
 
@@ -566,6 +628,24 @@ pub fn cache(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs one train/compare variant (FG, or a TOSG extraction + training)
+/// inside its own [`kgtosa_obs::TelemetryContext`] so the two runs of a
+/// `compare` stay separately attributable in `/contexts`, the Chrome
+/// trace, and SLO sweeps. With no telemetry consumer the closure runs
+/// uncontexted — numerics are identical either way.
+fn in_variant_ctx<T>(label: &str, f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    let ctx = kgtosa_obs::telemetry_active()
+        .then(|| kgtosa_obs::TelemetryContext::new(label));
+    let out = {
+        let _scope = ctx.as_ref().map(|c| c.enter());
+        f()
+    };
+    if let Some(ctx) = ctx {
+        ctx.finish();
+    }
+    out
+}
+
 fn print_report(label: &str, r: &TrainReport) {
     println!(
         "{label:<8} {:<12} metric {:.4} | train {:.2}s | infer {:.3}s | {} params",
@@ -623,44 +703,48 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
         };
         if compare || !args.options.contains_key("tosg") {
             let fg_cfg = TrainConfig { checkpoint: train_checkpoint(args, "fg")?, ..cfg.clone() };
-            let r =
-                run_nc(&fg_cfg, &d.gen.kg, &task.labels, &task.train, &task.valid, &task.test)?;
+            let r = in_variant_ctx("train.fg", || {
+                run_nc(&fg_cfg, &d.gen.kg, &task.labels, &task.train, &task.valid, &task.test)
+            })?;
             print_report("FG", &r);
         }
         if compare || args.options.contains_key("tosg") {
             let pattern = pattern_by_name(args.get_or("tosg", "d1h1"))?;
-            let store = RdfStore::new(&d.gen.kg);
-            let ext = ExtractionTask::node_classification(
-                &task.name,
-                &task.target_class,
-                task.targets(),
-            );
-            let fetch = fetch_config(
-                args,
-                checkpoint_dir(args)
-                    .map(|dir| dir.join(format!("tosg-{}.fetch.ckpt", pattern.label()))),
-            )?;
-            let (tosg, _) = extract_sparql_maybe_cached(args, &store, &ext, &pattern, &fetch)?;
-            let sub = &tosg.subgraph;
-            let mut labels = vec![u32::MAX; sub.kg.num_nodes()];
-            for v in 0..sub.kg.num_nodes() as u32 {
-                labels[v as usize] = task.labels[sub.map_up(Vid(v)).idx()];
-            }
-            let map = |ns: &[Vid]| -> Vec<Vid> {
-                ns.iter().filter_map(|&v| sub.map_down(v)).collect()
-            };
-            let tosg_cfg = TrainConfig {
-                checkpoint: train_checkpoint(args, &format!("tosg-{}", pattern.label()))?,
-                ..cfg.clone()
-            };
-            let r = run_nc(
-                &tosg_cfg,
-                &sub.kg,
-                &labels,
-                &map(&task.train),
-                &map(&task.valid),
-                &map(&task.test),
-            )?;
+            let r = in_variant_ctx(&format!("train.tosg-{}", pattern.label()), || {
+                let store = RdfStore::new(&d.gen.kg);
+                let ext = ExtractionTask::node_classification(
+                    &task.name,
+                    &task.target_class,
+                    task.targets(),
+                );
+                let fetch = fetch_config(
+                    args,
+                    checkpoint_dir(args)
+                        .map(|dir| dir.join(format!("tosg-{}.fetch.ckpt", pattern.label()))),
+                )?;
+                let (tosg, _) =
+                    extract_sparql_maybe_cached(args, &store, &ext, &pattern, &fetch)?;
+                let sub = &tosg.subgraph;
+                let mut labels = vec![u32::MAX; sub.kg.num_nodes()];
+                for v in 0..sub.kg.num_nodes() as u32 {
+                    labels[v as usize] = task.labels[sub.map_up(Vid(v)).idx()];
+                }
+                let map = |ns: &[Vid]| -> Vec<Vid> {
+                    ns.iter().filter_map(|&v| sub.map_down(v)).collect()
+                };
+                let tosg_cfg = TrainConfig {
+                    checkpoint: train_checkpoint(args, &format!("tosg-{}", pattern.label()))?,
+                    ..cfg.clone()
+                };
+                run_nc(
+                    &tosg_cfg,
+                    &sub.kg,
+                    &labels,
+                    &map(&task.train),
+                    &map(&task.valid),
+                    &map(&task.test),
+                )
+            })?;
             print_report(&format!("KG'({})", pattern.label()), &r);
         }
         return Ok(());
@@ -685,47 +769,52 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
         };
         if compare || !args.options.contains_key("tosg") {
             let fg_cfg = TrainConfig { checkpoint: train_checkpoint(args, "fg")?, ..cfg.clone() };
-            let r = run_lp(&fg_cfg, &d.gen.kg, &task.train, &task.valid, &task.test)?;
+            let r = in_variant_ctx("train.fg", || {
+                run_lp(&fg_cfg, &d.gen.kg, &task.train, &task.valid, &task.test)
+            })?;
             print_report("FG", &r);
         }
         if compare || args.options.contains_key("tosg") {
             let pattern = pattern_by_name(args.get_or("tosg", "d2h1"))?;
-            let store = RdfStore::new(&d.gen.kg);
-            let ext = ExtractionTask::link_prediction(
-                &task.name,
-                vec![task.src_class.clone(), task.dst_class.clone()],
-                task.target_nodes(&d.gen),
-                &task.predicate,
-            );
-            let fetch = fetch_config(
-                args,
-                checkpoint_dir(args)
-                    .map(|dir| dir.join(format!("tosg-{}.fetch.ckpt", pattern.label()))),
-            )?;
-            let (tosg, _) = extract_sparql_maybe_cached(args, &store, &ext, &pattern, &fetch)?;
-            let sub = &tosg.subgraph;
-            let remap = |ts: &[kgtosa_kg::Triple]| -> Vec<kgtosa_kg::Triple> {
-                ts.iter()
-                    .filter_map(|t| {
-                        Some(kgtosa_kg::Triple::new(
-                            sub.map_down(t.s)?,
-                            sub.kg.find_relation(d.gen.kg.relation_term(t.p))?,
-                            sub.map_down(t.o)?,
-                        ))
-                    })
-                    .collect()
-            };
-            let tosg_cfg = TrainConfig {
-                checkpoint: train_checkpoint(args, &format!("tosg-{}", pattern.label()))?,
-                ..cfg.clone()
-            };
-            let r = run_lp(
-                &tosg_cfg,
-                &sub.kg,
-                &remap(&task.train),
-                &remap(&task.valid),
-                &remap(&task.test),
-            )?;
+            let r = in_variant_ctx(&format!("train.tosg-{}", pattern.label()), || {
+                let store = RdfStore::new(&d.gen.kg);
+                let ext = ExtractionTask::link_prediction(
+                    &task.name,
+                    vec![task.src_class.clone(), task.dst_class.clone()],
+                    task.target_nodes(&d.gen),
+                    &task.predicate,
+                );
+                let fetch = fetch_config(
+                    args,
+                    checkpoint_dir(args)
+                        .map(|dir| dir.join(format!("tosg-{}.fetch.ckpt", pattern.label()))),
+                )?;
+                let (tosg, _) =
+                    extract_sparql_maybe_cached(args, &store, &ext, &pattern, &fetch)?;
+                let sub = &tosg.subgraph;
+                let remap = |ts: &[kgtosa_kg::Triple]| -> Vec<kgtosa_kg::Triple> {
+                    ts.iter()
+                        .filter_map(|t| {
+                            Some(kgtosa_kg::Triple::new(
+                                sub.map_down(t.s)?,
+                                sub.kg.find_relation(d.gen.kg.relation_term(t.p))?,
+                                sub.map_down(t.o)?,
+                            ))
+                        })
+                        .collect()
+                };
+                let tosg_cfg = TrainConfig {
+                    checkpoint: train_checkpoint(args, &format!("tosg-{}", pattern.label()))?,
+                    ..cfg.clone()
+                };
+                run_lp(
+                    &tosg_cfg,
+                    &sub.kg,
+                    &remap(&task.train),
+                    &remap(&task.valid),
+                    &remap(&task.test),
+                )
+            })?;
             print_report(&format!("KG'({})", pattern.label()), &r);
         }
         return Ok(());

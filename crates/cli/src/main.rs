@@ -58,6 +58,15 @@ COMMANDS:
              on regressions, passes when the ledger is empty
                kgtosa trace-trend HISTORY NEW [--window 10]
                [--threshold 25] [--min-seconds 0.001]
+             With --compact, rewrite the ledger in place instead,
+             keeping only the newest records per (kernel, threads) key
+             so rolling medians are unaffected
+               kgtosa trace-trend --compact HISTORY [--cap 64]
+  trace-validate
+             Load-validate a Chrome-trace JSON file (as written by
+             --chrome-out): schema, per-track span nesting discipline,
+             counter tracks; exits nonzero on malformed traces
+               kgtosa trace-validate trace.json
   prof       Profiler utilities
                kgtosa prof flame run.folded > flame.svg
              renders a collapsed-stack file (from --prof-out) as a
@@ -79,6 +88,22 @@ GLOBAL OPTIONS (any command):
                      CSR build, SPARQL fetch); KGTOSA_THREADS=N does the
                      same; defaults to the machine's available parallelism.
                      Results are bit-identical at any thread count.
+  --chrome-out FILE  Write a Chrome-trace / Perfetto JSON file at exit:
+                     each telemetry context is a process track, each
+                     worker thread a thread track, with B/E span events
+                     and counter tracks sampled at every heartbeat;
+                     KGTOSA_CHROME_TRACE=FILE does the same (open the
+                     result in ui.perfetto.dev or chrome://tracing)
+  --slo SPEC         Arm the SLO watchdog with declarative per-context
+                     rules, e.g. 'latency_s<=30;retries<=10;
+                     completeness_milli>=990;cache_hit_ratio>=0.5';
+                     signals: latency_s, retries, giveups,
+                     completeness_milli, cache_hit_ratio, counter:NAME,
+                     gauge:NAME; violations emit slo.violation events
+                     and flip /healthz to 503; KGTOSA_SLO=SPEC does the
+                     same, KGTOSA_SLO_MS sets the sweep interval
+  --strict-slo       Exit with status 3 when any SLO rule was violated
+                     during the run (for CI gating)
   --prof-out FILE    Arm the profiler (span-stack mirroring plus a
                      KGTOSA_PROF_HZ sampling tick, default 97 Hz; 0
                      disables the tick) and write collapsed stacks to
@@ -164,25 +189,78 @@ fn main() {
             Ok(())
         }
     };
-    let result = traced.and(served).and_then(|_| match args.command.as_str() {
-        "generate" => commands::generate(&args),
-        "stats" => commands::stats(&args),
-        "query" => commands::query(&args),
-        "extract" => commands::extract(&args),
-        "train" => commands::train(&args, false),
-        "compare" => commands::train(&args, true),
-        "cache" => commands::cache(&args),
-        "trace-summary" => commands::trace_summary(&args),
-        "trace-diff" => commands::trace_diff(&args),
-        "trace-trend" => commands::trace_trend(&args),
-        "prof" => commands::prof(&args),
-        "report" => commands::report(&args),
-        "help" | "" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
+    // Chrome-trace export: arm the collector before any span runs so the
+    // epoch covers the whole invocation.
+    let chrome_out = args
+        .options
+        .get("chrome-out")
+        .cloned()
+        .or_else(|| std::env::var("KGTOSA_CHROME_TRACE").ok().filter(|p| !p.is_empty()));
+    if chrome_out.is_some() {
+        kgtosa_obs::arm_chrome();
+    }
+    // SLO watchdog: parse the rule spec up front (a malformed spec is a
+    // usage error, same as any bad flag), then arm the sweeping thread.
+    let strict_slo = args.flag("strict-slo");
+    let slo_spec = args
+        .options
+        .get("slo")
+        .cloned()
+        .or_else(|| std::env::var("KGTOSA_SLO").ok().filter(|s| !s.is_empty()));
+    if let Some(spec) = &slo_spec {
+        match kgtosa_obs::parse_slo_spec(spec) {
+            Ok(rules) => {
+                kgtosa_obs::install_slo_rules(rules);
+                kgtosa_obs::start_slo_watchdog(kgtosa_obs::slo_interval_from_env());
+            }
+            Err(e) => {
+                eprintln!("error: --slo: {e}\n\n{USAGE}");
+                std::process::exit(2);
+            }
         }
-        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+    // The run context scopes every span and instrument delta of this
+    // invocation under one trace id, so `/contexts`, the Chrome trace,
+    // and SLO rules all see per-request numbers. Created only when a
+    // consumer exists — silent runs skip the (cheap, but nonzero) scoped
+    // bookkeeping entirely.
+    let run_ctx = (kgtosa_obs::telemetry_active()
+        || chrome_out.is_some()
+        || kgtosa_obs::slo_rules_installed() > 0)
+    .then(|| kgtosa_obs::TelemetryContext::new(&format!("cli.{}", args.command)));
+    let result = traced.and(served).and_then(|_| {
+        let _scope = run_ctx.as_ref().map(|c| c.enter());
+        match args.command.as_str() {
+            "generate" => commands::generate(&args),
+            "stats" => commands::stats(&args),
+            "query" => commands::query(&args),
+            "extract" => commands::extract(&args),
+            "train" => commands::train(&args, false),
+            "compare" => commands::train(&args, true),
+            "cache" => commands::cache(&args),
+            "trace-summary" => commands::trace_summary(&args),
+            "trace-diff" => commands::trace_diff(&args),
+            "trace-trend" => commands::trace_trend(&args),
+            "trace-validate" => commands::trace_validate(&args),
+            "prof" => commands::prof(&args),
+            "report" => commands::report(&args),
+            "help" | "" | "--help" | "-h" => {
+                println!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        }
     });
+    // Freeze the run context's wall clock and take a final SLO sweep over
+    // it so a violation in the last interval still counts (and still
+    // matters to --strict-slo even in short-lived batch runs that never
+    // saw a watchdog tick).
+    if let Some(ctx) = &run_ctx {
+        ctx.finish();
+    }
+    if kgtosa_obs::slo_rules_installed() > 0 {
+        kgtosa_obs::evaluate_slo_now();
+    }
     // Final accounting: the summary tree goes to stderr (it is telemetry,
     // not command output), and shutdown flushes the JSONL sink.
     if !kgtosa_obs::is_quiet() {
@@ -192,6 +270,12 @@ fn main() {
         }
     }
     kgtosa_obs::shutdown();
+    if let Some(path) = &chrome_out {
+        match kgtosa_obs::write_chrome_trace(path) {
+            Ok(()) => eprintln!("chrome: wrote trace to {path} (open in ui.perfetto.dev)"),
+            Err(e) => eprintln!("chrome: cannot write {path}: {e}"),
+        }
+    }
     if let Some(path) = &prof_out {
         match kgtosa_obs::write_folded(path) {
             Ok(()) => eprintln!("prof: wrote collapsed stacks to {path}"),
@@ -201,5 +285,10 @@ fn main() {
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
+    }
+    let violations = kgtosa_obs::slo_violation_count();
+    if strict_slo && violations > 0 {
+        eprintln!("slo: {violations} violation(s) during the run (--strict-slo)");
+        std::process::exit(3);
     }
 }

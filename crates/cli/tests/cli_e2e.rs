@@ -506,3 +506,112 @@ fn missing_options_fail_cleanly() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("missing required option"), "{stderr}");
 }
+
+#[test]
+fn chrome_out_writes_a_trace_that_trace_validate_accepts() {
+    let chrome = tmp("chrome-trace.json");
+    let _ = std::fs::remove_file(&chrome);
+    let out = kgtosa()
+        .args([
+            "train", "--dataset", "dblp", "--task", "PV/DBLP",
+            "--method", "rgcn", "--scale", "0.03", "--epochs", "2",
+            "--quiet", "--chrome-out", chrome.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("chrome: wrote trace"), "{stderr}");
+    assert!(chrome.exists());
+
+    // Round-trip: the CLI's own validator must accept the artifact it
+    // just wrote, and report at least one span event and process track.
+    let out = kgtosa()
+        .args(["trace-validate", chrome.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("valid Chrome trace"), "{stdout}");
+
+    // A malformed trace must exit nonzero.
+    let broken = tmp("chrome-broken.json");
+    std::fs::write(&broken, "{\"traceEvents\":[{\"ph\":\"E\"}]}").unwrap();
+    let out = kgtosa()
+        .args(["trace-validate", broken.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn strict_slo_passes_lenient_rules_and_exits_3_on_violation() {
+    // Lenient requirements every run meets: exit 0.
+    let out = kgtosa()
+        .args([
+            "train", "--dataset", "dblp", "--task", "PV/DBLP",
+            "--method", "rgcn", "--scale", "0.03", "--epochs", "2",
+            "--quiet", "--slo", "latency_s<=3600;retries<=1000000",
+            "--strict-slo",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // An unmeetable latency requirement: the final sweep flags the run
+    // context and --strict-slo maps that to exit code 3 (distinct from
+    // the generic error exit 1).
+    let out = kgtosa()
+        .args([
+            "train", "--dataset", "dblp", "--task", "PV/DBLP",
+            "--method", "rgcn", "--scale", "0.03", "--epochs", "2",
+            "--quiet", "--slo", "latency_s<=0", "--strict-slo",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("violation"), "{stderr}");
+
+    // A malformed rule spec is a usage error (exit 2), not a crash.
+    let out = kgtosa()
+        .args(["stats", "--kg", "x.nt", "--slo", "latency_s<>nope"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn trace_trend_compact_caps_the_ledger_in_place() {
+    let ledger = tmp("compact-ledger.jsonl");
+    let mut text = String::new();
+    for t in 0..6 {
+        text.push_str(&format!(
+            "{{\"t\":{t},\"rev\":\"r{t}\",\"threads\":4,\"spans\":{{\"kern\":{{\"wall_s\":1.0,\
+             \"self_s\":1.0,\"peak_bytes\":0,\"allocs\":0}}}},\"counters\":{{}}}}\n"
+        ));
+    }
+    std::fs::write(&ledger, &text).unwrap();
+    let out = kgtosa()
+        .args(["trace-trend", "--compact", ledger.to_str().unwrap(), "--cap", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kept 2"), "{stdout}");
+    assert!(stdout.contains("dropped 4"), "{stdout}");
+    let after = std::fs::read_to_string(&ledger).unwrap();
+    assert_eq!(after.lines().count(), 2);
+    // Newest records survive.
+    assert!(after.contains("\"rev\":\"r4\"") && after.contains("\"rev\":\"r5\""), "{after}");
+
+    // Idempotent second pass: already within cap.
+    let out = kgtosa()
+        .args(["trace-trend", "--compact", ledger.to_str().unwrap(), "--cap", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("already within cap"), "{stdout}");
+    assert_eq!(std::fs::read_to_string(&ledger).unwrap(), after);
+}

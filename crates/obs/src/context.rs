@@ -1,0 +1,640 @@
+//! Request-scoped telemetry contexts.
+//!
+//! A [`TelemetryContext`] is a trace identity plus its own span tree and
+//! instrument deltas, *layered over* the process-global registry: every
+//! counter add, gauge write, histogram observation, and finished span is
+//! still recorded globally exactly as before, and additionally into the
+//! context current on the recording thread. This is what makes two
+//! concurrent extractions attributable — each request enters its own
+//! context, and `/contexts`, the SLO watchdog, and the Chrome-trace
+//! exporter read the scoped view instead of the commingled globals.
+//!
+//! ## Propagation
+//!
+//! The current context lives on a thread-local stack ([`TelemetryContext::enter`]
+//! pushes, the returned [`ContextScope`] pops on drop). Causal propagation
+//! across threads is explicit and cheap: capture [`TelemetryContext::current`]
+//! before spawning, call `enter()` on the worker. The kgtosa-par pool does
+//! this at every scope boundary, so all workspace parallelism inherits the
+//! spawning context automatically.
+//!
+//! ## Determinism and overhead contract
+//!
+//! Contexts observe, they never steer: no numeric code path reads context
+//! state, so context-on and context-off runs are bit-identical (asserted
+//! by `models/tests/context_differential.rs` and
+//! `core/tests/context_isolation.rs`). With no context entered anywhere in
+//! the process, the interception hooks cost one relaxed atomic load; with
+//! a context active, a short mutex op per instrument update — the same
+//! <2% wall budget the profiler holds.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, Weak};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Sentinel bit pattern meaning "still running" in `end_s_bits`.
+const RUNNING: u64 = u64::MAX;
+
+/// Distinct keys captured per instrument map, per context. A runaway
+/// request (e.g. one minting a fresh counter name per item) saturates at
+/// the cap instead of growing its context without bound.
+const MAX_KEYS_PER_MAP: usize = 4096;
+
+/// Live entries kept in the process-wide context registry.
+const MAX_CONTEXTS: usize = 1024;
+
+/// Per-context aggregate for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CtxSpanStat {
+    pub count: u64,
+    pub total_s: f64,
+    pub max_s: f64,
+}
+
+/// Per-context aggregate for one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CtxHistStat {
+    pub count: u64,
+    pub sum: f64,
+    pub max: f64,
+}
+
+#[derive(Debug, Default)]
+struct ContextMaps {
+    counters: Mutex<HashMap<String, u64>>,
+    gauges: Mutex<HashMap<String, i64>>,
+    /// f64 bit patterns, mirroring [`crate::GaugeF64`]'s storage.
+    gauges_f64: Mutex<HashMap<String, u64>>,
+    hists: Mutex<HashMap<String, CtxHistStat>>,
+    spans: Mutex<HashMap<String, CtxSpanStat>>,
+}
+
+#[derive(Debug)]
+pub(crate) struct ContextInner {
+    id: u64,
+    name: String,
+    started: Instant,
+    /// Elapsed seconds at [`TelemetryContext::finish`] as f64 bits, or
+    /// [`RUNNING`].
+    end_s_bits: AtomicU64,
+    maps: ContextMaps,
+    /// SLO rules that have already fired for this context (edge trigger).
+    violations: Mutex<Vec<String>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Process-wide count of entered scopes: the single relaxed load that
+/// gates every interception hook when contexts are unused.
+static ENTERED: AtomicUsize = AtomicUsize::new(0);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static STACK: RefCell<Vec<Arc<ContextInner>>> = const { RefCell::new(Vec::new()) };
+    /// Small stable per-thread id for the Chrome-trace `tid` axis.
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn context_registry() -> &'static RwLock<Vec<Weak<ContextInner>>> {
+    static REG: OnceLock<RwLock<Vec<Weak<ContextInner>>>> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Whether any thread anywhere currently has an entered context. One
+/// relaxed atomic load — the hot-path gate.
+#[inline]
+pub(crate) fn scoping_active() -> bool {
+    ENTERED.load(Ordering::Relaxed) > 0
+}
+
+/// The context current on *this* thread, if any. Never panics: the
+/// thread-local may be gone during thread teardown or borrowed inside the
+/// panic hook, both of which degrade to `None`.
+fn current_inner() -> Option<Arc<ContextInner>> {
+    if !scoping_active() {
+        return None;
+    }
+    STACK
+        .try_with(|s| s.try_borrow().ok().and_then(|v| v.last().cloned()))
+        .ok()
+        .flatten()
+}
+
+/// Whether this thread is inside an entered context.
+pub fn context_active() -> bool {
+    current_inner().is_some()
+}
+
+/// The current context's id (the `ctx` field stamped onto trace events).
+pub(crate) fn current_id() -> Option<u64> {
+    current_inner().map(|c| c.id)
+}
+
+/// Stable small integer id for the calling thread, assigned on first use.
+pub(crate) fn current_tid() -> u64 {
+    TID.try_with(|c| {
+        let v = c.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+            v
+        }
+    })
+    .unwrap_or(0)
+}
+
+fn upsert<V: Default>(map: &Mutex<HashMap<String, V>>, name: &str, apply: impl FnOnce(&mut V)) {
+    let mut map = lock(map);
+    if let Some(v) = map.get_mut(name) {
+        apply(v);
+    } else if map.len() < MAX_KEYS_PER_MAP {
+        let mut v = V::default();
+        apply(&mut v);
+        map.insert(name.to_string(), v);
+    }
+}
+
+/// Interception hooks, called by the registry instruments and the span
+/// layer. Each is gated on [`scoping_active`] before touching the TLS.
+pub(crate) fn on_counter(name: &str, n: u64) {
+    if let Some(ctx) = current_inner() {
+        upsert(&ctx.maps.counters, name, |v| *v += n);
+    }
+}
+
+pub(crate) fn on_gauge(name: &str, v: i64) {
+    if let Some(ctx) = current_inner() {
+        upsert(&ctx.maps.gauges, name, |slot| *slot = v);
+    }
+}
+
+pub(crate) fn on_gauge_f64(name: &str, v: f64) {
+    if let Some(ctx) = current_inner() {
+        upsert(&ctx.maps.gauges_f64, name, |slot| *slot = v.to_bits());
+    }
+}
+
+pub(crate) fn on_histogram(name: &str, v: f64) {
+    if let Some(ctx) = current_inner() {
+        upsert(&ctx.maps.hists, name, |h| {
+            h.count += 1;
+            h.sum += v;
+            h.max = h.max.max(v);
+        });
+    }
+}
+
+/// Called by [`crate::span::SpanGuard`] when a span completes: records the
+/// span into the current context's tree, and hands the timed interval to
+/// the Chrome-trace buffer when the exporter is armed.
+pub(crate) fn on_span_record(path: &str, start: Instant, wall_s: f64) {
+    let ctx = current_inner();
+    if let Some(c) = &ctx {
+        upsert(&c.maps.spans, path, |s| {
+            s.count += 1;
+            s.total_s += wall_s;
+            s.max_s = s.max_s.max(wall_s);
+        });
+    }
+    if crate::chrome::chrome_armed() {
+        let pid = ctx.as_ref().map_or(0, |c| c.id);
+        crate::chrome::on_span_complete(pid, current_tid(), path, start, wall_s);
+    }
+}
+
+/// A request/task-scoped telemetry identity. Cloning shares the context;
+/// it stays live (listed on `/contexts`, watched by the SLO watchdog) as
+/// long as any handle exists.
+#[derive(Debug, Clone)]
+pub struct TelemetryContext {
+    inner: Arc<ContextInner>,
+}
+
+/// RAII guard returned by [`TelemetryContext::enter`]; pops the context
+/// off this thread's stack on drop. Not `Send`: the scope must end on the
+/// thread that opened it.
+#[derive(Debug)]
+pub struct ContextScope {
+    id: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl TelemetryContext {
+    /// Creates and registers a fresh context. Cheap: one small allocation
+    /// plus a registry push; no instrument is touched until it is entered.
+    pub fn new(name: &str) -> Self {
+        let inner = Arc::new(ContextInner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            name: name.to_string(),
+            started: Instant::now(),
+            end_s_bits: AtomicU64::new(RUNNING),
+            maps: ContextMaps::default(),
+            violations: Mutex::new(Vec::new()),
+        });
+        {
+            let mut reg = context_registry()
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            reg.retain(|w| w.strong_count() > 0);
+            if reg.len() < MAX_CONTEXTS {
+                reg.push(Arc::downgrade(&inner));
+            }
+        }
+        crate::chrome::on_context_created(inner.id, name);
+        TelemetryContext { inner }
+    }
+
+    /// The context current on this thread, if any — what a spawner
+    /// captures to propagate causality onto its workers.
+    pub fn current() -> Option<Self> {
+        current_inner().map(|inner| TelemetryContext { inner })
+    }
+
+    /// Makes this context current on the calling thread until the returned
+    /// scope drops. Nests: the innermost entered context receives the
+    /// attributions.
+    pub fn enter(&self) -> ContextScope {
+        let pushed = STACK
+            .try_with(|s| {
+                if let Ok(mut v) = s.try_borrow_mut() {
+                    v.push(Arc::clone(&self.inner));
+                    true
+                } else {
+                    false
+                }
+            })
+            .unwrap_or(false);
+        if pushed {
+            ENTERED.fetch_add(1, Ordering::Relaxed);
+        }
+        ContextScope {
+            id: if pushed { self.inner.id } else { 0 },
+            _not_send: PhantomData,
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Seconds since creation, frozen by [`finish`](Self::finish).
+    pub fn wall_s(&self) -> f64 {
+        let bits = self.inner.end_s_bits.load(Ordering::Relaxed);
+        if bits == RUNNING {
+            self.inner.started.elapsed().as_secs_f64()
+        } else {
+            f64::from_bits(bits)
+        }
+    }
+
+    pub fn finished(&self) -> bool {
+        self.inner.end_s_bits.load(Ordering::Relaxed) != RUNNING
+    }
+
+    /// Freezes the context's wall time (idempotent) and returns it. The
+    /// SLO latency signal reads this final value from then on.
+    pub fn finish(&self) -> f64 {
+        let elapsed = self.inner.started.elapsed().as_secs_f64();
+        let _ = self.inner.end_s_bits.compare_exchange(
+            RUNNING,
+            elapsed.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.wall_s()
+    }
+
+    /// This context's delta of a global counter (0 when never bumped
+    /// inside the context).
+    pub fn counter_delta(&self, name: &str) -> u64 {
+        lock(&self.inner.maps.counters).get(name).copied().unwrap_or(0)
+    }
+
+    /// Last value written to an integer gauge while this context was
+    /// current, if any.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        lock(&self.inner.maps.gauges).get(name).copied()
+    }
+
+    /// Last value written to an f64 gauge while this context was current.
+    pub fn gauge_f64_value(&self, name: &str) -> Option<f64> {
+        lock(&self.inner.maps.gauges_f64).get(name).map(|b| f64::from_bits(*b))
+    }
+
+    /// Scoped count/sum/max of a histogram, if it was observed inside
+    /// this context.
+    pub fn histogram_stats(&self, name: &str) -> Option<CtxHistStat> {
+        lock(&self.inner.maps.hists).get(name).copied()
+    }
+
+    /// This context's span tree as `(dotted path, stats)`, sorted by path.
+    pub fn span_stats(&self) -> Vec<(String, CtxSpanStat)> {
+        let mut rows: Vec<_> = lock(&self.inner.maps.spans)
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Derived cache hit ratio over this context's own lookups — the
+    /// per-request counterpart of the global `cache.hit_ratio` gauge
+    /// (stale and corrupt lookups count as misses). `None` before the
+    /// first lookup, so an SLO rule on it cannot fire early.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        let hits = self.counter_delta("cache.hits") as f64;
+        let lookups = hits
+            + self.counter_delta("cache.misses") as f64
+            + self.counter_delta("cache.stale") as f64
+            + self.counter_delta("cache.corrupt") as f64;
+        (lookups > 0.0).then(|| hits / lookups)
+    }
+
+    /// Records an SLO violation once per rule; returns whether it was new.
+    pub(crate) fn record_violation(&self, rule: &str) -> bool {
+        let mut v = lock(&self.inner.violations);
+        if v.iter().any(|r| r == rule) {
+            false
+        } else {
+            v.push(rule.to_string());
+            true
+        }
+    }
+
+    /// SLO rules that have fired for this context, in firing order.
+    pub fn violations(&self) -> Vec<String> {
+        lock(&self.inner.violations).clone()
+    }
+
+    /// The `/contexts` summary object for this context.
+    pub fn summary_json(&self) -> Json {
+        let counters: Vec<(String, Json)> = {
+            let mut rows: Vec<_> = lock(&self.inner.maps.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            rows
+        };
+        let gauges: Vec<(String, Json)> = {
+            let mut rows: Vec<(String, Json)> = lock(&self.inner.maps.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect();
+            rows.extend(
+                lock(&self.inner.maps.gauges_f64)
+                    .iter()
+                    .map(|(k, b)| (k.clone(), Json::Num(f64::from_bits(*b)))),
+            );
+            if let Some(ratio) = self.cache_hit_ratio() {
+                rows.retain(|(k, _)| k != "cache.hit_ratio");
+                rows.push(("cache.hit_ratio".into(), Json::Num(ratio)));
+            }
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            rows
+        };
+        let hists: Vec<(String, Json)> = {
+            let mut rows: Vec<_> = lock(&self.inner.maps.hists)
+                .iter()
+                .map(|(k, h)| {
+                    let mean = if h.count > 0 { h.sum / h.count as f64 } else { 0.0 };
+                    (
+                        k.clone(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::Num(h.count as f64)),
+                            ("mean".into(), Json::Num(mean)),
+                            ("max".into(), Json::Num(h.max)),
+                        ]),
+                    )
+                })
+                .collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            rows
+        };
+        let spans: Vec<(String, Json)> = self
+            .span_stats()
+            .into_iter()
+            .map(|(k, s)| {
+                (
+                    k,
+                    Json::Obj(vec![
+                        ("count".into(), Json::Num(s.count as f64)),
+                        ("total_s".into(), Json::Num(s.total_s)),
+                        ("max_s".into(), Json::Num(s.max_s)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("id".into(), Json::Num(self.inner.id as f64)),
+            ("name".into(), Json::Str(self.inner.name.clone())),
+            ("wall_s".into(), Json::Num(self.wall_s())),
+            ("finished".into(), Json::Bool(self.finished())),
+            ("spans".into(), Json::Obj(spans)),
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+            ("histograms".into(), Json::Obj(hists)),
+            (
+                "violations".into(),
+                Json::Arr(self.violations().into_iter().map(Json::Str).collect()),
+            ),
+        ])
+    }
+}
+
+impl Drop for ContextScope {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        ENTERED.fetch_sub(1, Ordering::Relaxed);
+        let _ = STACK.try_with(|s| {
+            if let Ok(mut v) = s.try_borrow_mut() {
+                // Pop this entry (and anything leaked above it), matching
+                // the span stack's truncation idiom.
+                if let Some(i) = v.iter().rposition(|c| c.id == self.id) {
+                    v.truncate(i);
+                }
+            }
+        });
+    }
+}
+
+/// Every context still alive (some handle exists), oldest first.
+pub(crate) fn live_contexts() -> Vec<TelemetryContext> {
+    context_registry()
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .filter_map(Weak::upgrade)
+        .map(|inner| TelemetryContext { inner })
+        .collect()
+}
+
+/// Number of live contexts (the `/healthz` payload reports it).
+pub fn active_context_count() -> usize {
+    live_contexts().len()
+}
+
+/// The `/contexts` payload: `{"contexts": [<summary>, ...]}`, one object
+/// per live context, oldest first.
+pub fn contexts_json() -> Json {
+    let items = live_contexts().iter().map(TelemetryContext::summary_json).collect();
+    Json::Obj(vec![("contexts".into(), Json::Arr(items))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_attribute_to_the_innermost_entered_context() {
+        let outer = TelemetryContext::new("ctx.test.outer");
+        let inner = TelemetryContext::new("ctx.test.inner");
+        assert_ne!(outer.id(), inner.id());
+
+        let _o = outer.enter();
+        crate::counter("ctx.test.counter").add(3);
+        {
+            let _i = inner.enter();
+            assert_eq!(TelemetryContext::current().unwrap().id(), inner.id());
+            crate::counter("ctx.test.counter").add(10);
+            crate::gauge("ctx.test.gauge").set(-7);
+            crate::gauge_f64("ctx.test.ratio").set(0.5);
+            crate::histogram_with_bounds("ctx.test.hist", &[1.0]).observe(2.0);
+        }
+        crate::counter("ctx.test.counter").add(4);
+
+        assert_eq!(outer.counter_delta("ctx.test.counter"), 7);
+        assert_eq!(inner.counter_delta("ctx.test.counter"), 10);
+        assert_eq!(inner.gauge_value("ctx.test.gauge"), Some(-7));
+        assert_eq!(outer.gauge_value("ctx.test.gauge"), None);
+        assert_eq!(inner.gauge_f64_value("ctx.test.ratio"), Some(0.5));
+        let h = inner.histogram_stats("ctx.test.hist").unwrap();
+        assert_eq!((h.count, h.sum, h.max), (1, 2.0, 2.0));
+        assert_eq!(outer.histogram_stats("ctx.test.hist"), None);
+    }
+
+    #[test]
+    fn uncontexted_updates_touch_no_context() {
+        let ctx = TelemetryContext::new("ctx.test.idle");
+        crate::counter("ctx.test.idle.counter").inc();
+        assert_eq!(ctx.counter_delta("ctx.test.idle.counter"), 0);
+        assert!(ctx.span_stats().is_empty());
+    }
+
+    #[test]
+    fn spans_record_into_the_current_context() {
+        let ctx = TelemetryContext::new("ctx.test.spans");
+        {
+            let _g = ctx.enter();
+            let _outer = crate::span("ctx_test_spans.outer");
+            crate::span("leaf").finish();
+        }
+        let stats = ctx.span_stats();
+        assert!(stats.iter().any(|(n, s)| n == "ctx_test_spans.outer" && s.count == 1));
+        assert!(stats
+            .iter()
+            .any(|(n, s)| n == "ctx_test_spans.outer.leaf" && s.count == 1 && s.total_s >= 0.0));
+    }
+
+    #[test]
+    fn propagates_across_threads_via_current_and_enter() {
+        let ctx = TelemetryContext::new("ctx.test.xthread");
+        let _g = ctx.enter();
+        let captured = TelemetryContext::current().expect("context is current");
+        std::thread::spawn(move || {
+            let _w = captured.enter();
+            crate::counter("ctx.test.xthread.work").add(5);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(ctx.counter_delta("ctx.test.xthread.work"), 5);
+    }
+
+    #[test]
+    fn finish_freezes_wall_time() {
+        let ctx = TelemetryContext::new("ctx.test.finish");
+        assert!(!ctx.finished());
+        let w = ctx.finish();
+        assert!(ctx.finished());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(ctx.wall_s(), w, "wall time frozen at finish");
+        assert_eq!(ctx.finish(), w, "finish is idempotent");
+    }
+
+    #[test]
+    fn cache_hit_ratio_derives_from_scoped_counters() {
+        let ctx = TelemetryContext::new("ctx.test.ratio");
+        assert_eq!(ctx.cache_hit_ratio(), None, "no lookups yet");
+        let _g = ctx.enter();
+        crate::counter("cache.hits").add(3);
+        crate::counter("cache.misses").add(1);
+        drop(_g);
+        assert_eq!(ctx.cache_hit_ratio(), Some(0.75));
+    }
+
+    #[test]
+    fn registry_lists_live_contexts_and_summary_shape() {
+        let ctx = TelemetryContext::new("ctx.test.registry");
+        {
+            let _g = ctx.enter();
+            crate::counter("ctx.test.registry.hits").inc();
+        }
+        let json = contexts_json();
+        let items = match json.get("contexts") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("expected contexts array, got {other:?}"),
+        };
+        let mine = items
+            .iter()
+            .find(|c| c.get("id").and_then(Json::as_f64) == Some(ctx.id() as f64))
+            .expect("live context listed");
+        assert_eq!(mine.get("name").and_then(Json::as_str), Some("ctx.test.registry"));
+        assert_eq!(
+            mine.get("counters")
+                .and_then(|c| c.get("ctx.test.registry.hits"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(mine.get("finished").and_then(Json::as_bool), Some(false));
+        // Text round-trip stays parseable (serving path).
+        assert!(Json::parse(&json.to_string()).is_ok());
+    }
+
+    #[test]
+    fn dropped_contexts_leave_the_registry() {
+        let id = {
+            let ctx = TelemetryContext::new("ctx.test.dropme");
+            ctx.id()
+        };
+        let json = contexts_json().to_string();
+        assert!(
+            !live_contexts().iter().any(|c| c.id() == id),
+            "dropped context still listed: {json}"
+        );
+    }
+
+    #[test]
+    fn violations_are_edge_triggered() {
+        let ctx = TelemetryContext::new("ctx.test.viol");
+        assert!(ctx.record_violation("latency_s<1"));
+        assert!(!ctx.record_violation("latency_s<1"), "same rule fires once");
+        assert!(ctx.record_violation("retries<=0"));
+        assert_eq!(ctx.violations().len(), 2);
+    }
+}

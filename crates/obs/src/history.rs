@@ -201,6 +201,59 @@ pub fn baseline_from_window(records: &[HistoryRecord], window: usize) -> Vec<Spa
     out
 }
 
+/// What [`compact_history`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    pub kept: usize,
+    pub dropped: usize,
+}
+
+/// A record's compaction key: runs of the same workload shape share one
+/// retention budget. Thread count plus the sorted span-name set is the
+/// ledger's notion of "(kernel, threads)" — the kernels bench writes one
+/// `<kernel>@<threads>t` span per record, so records from different
+/// kernels or thread counts never evict each other.
+fn compaction_key(rec: &HistoryRecord) -> (usize, String) {
+    let mut names: Vec<&str> = rec.spans.iter().map(|(n, ..)| n.as_str()).collect();
+    names.sort_unstable();
+    (rec.threads, names.join("\u{1f}"))
+}
+
+/// Compacts ledger text to the newest `cap` records per compaction key,
+/// preserving record order (`kgtosa trace-trend --compact`). The default
+/// cap comfortably exceeds the trend window, so the rolling-window median
+/// is computed over exactly the same tail records before and after
+/// compaction.
+pub fn compact_history(text: &str, cap: usize) -> Result<(String, CompactReport), String> {
+    use std::collections::HashMap;
+    let cap = cap.max(1);
+    let records = load_history(text)?;
+    let mut totals: HashMap<(usize, String), usize> = HashMap::new();
+    for rec in &records {
+        *totals.entry(compaction_key(rec)).or_insert(0) += 1;
+    }
+    let mut seen: HashMap<(usize, String), usize> = HashMap::new();
+    let mut out = String::new();
+    let mut report = CompactReport { kept: 0, dropped: 0 };
+    for rec in &records {
+        let key = compaction_key(rec);
+        let idx = {
+            let slot = seen.entry(key.clone()).or_insert(0);
+            *slot += 1;
+            *slot
+        };
+        // Keep a record iff fewer than `cap` records of its key follow it.
+        if totals[&key] - idx < cap {
+            out.push_str(&rec.to_json_line());
+            out.push('\n');
+            report.kept += 1;
+        } else {
+            report.dropped += 1;
+        }
+    }
+    Ok((out, report))
+}
+
 /// The trend gate's result: a standard diff report against the rolling
 /// median, plus how much history backed the baseline.
 #[derive(Debug, Clone)]
@@ -385,6 +438,58 @@ mod tests {
             trend_against_history("", &[agg("kern@4t", 0.5)], 5, &DiffOptions::default()).unwrap();
         assert_eq!(report.diff.regressions(), 0);
         assert_eq!(report.diff.only_new, vec!["kern@4t"]);
+    }
+
+    #[test]
+    fn compaction_keeps_the_newest_per_key_in_order() {
+        // 6 records of one key interleaved with 2 of another.
+        let mut other = rec(100, 2.0);
+        other.threads = 8;
+        let mut lines = String::new();
+        for t in 1..=6 {
+            lines.push_str(&rec(t, 0.5).to_json_line());
+            lines.push('\n');
+            if t <= 2 {
+                let mut o = other.clone();
+                o.t_unix = 100 + t;
+                lines.push_str(&o.to_json_line());
+                lines.push('\n');
+            }
+        }
+        let (compacted, report) = compact_history(&lines, 3).unwrap();
+        assert_eq!(report, CompactReport { kept: 5, dropped: 3 }, "6-of-8 over cap by 3");
+        let records = load_history(&compacted).unwrap();
+        // The 4t key keeps its newest 3 (t=4,5,6); the 8t key keeps both.
+        let fours: Vec<u64> = records.iter().filter(|r| r.threads == 4).map(|r| r.t_unix).collect();
+        assert_eq!(fours, vec![4, 5, 6]);
+        assert_eq!(records.iter().filter(|r| r.threads == 8).count(), 2);
+        // Order preserved: timestamps still ascend within each key.
+        let times: Vec<u64> = records.iter().map(|r| r.t_unix).collect();
+        assert_eq!(times, vec![101, 102, 4, 5, 6], "interleaving order kept: {times:?}");
+    }
+
+    #[test]
+    fn compaction_under_cap_is_identity() {
+        let text: String = (1..=4).map(|t| rec(t, 0.5).to_json_line() + "\n").collect();
+        let (out, report) = compact_history(&text, 64).unwrap();
+        assert_eq!(out, text);
+        assert_eq!(report, CompactReport { kept: 4, dropped: 0 });
+    }
+
+    #[test]
+    fn compaction_preserves_rolling_median_semantics() {
+        // 20 records; the trend baseline uses the last 5. Compacting to
+        // any cap >= the window leaves the same tail, hence the same
+        // median baseline.
+        let text: String = (1..=20)
+            .map(|t| rec(t, if t % 7 == 0 { 5.0 } else { 0.5 }).to_json_line() + "\n")
+            .collect();
+        let before = baseline_from_window(&load_history(&text).unwrap(), 5);
+        let (compacted, report) = compact_history(&text, 8).unwrap();
+        assert_eq!(report.kept, 8);
+        let after = baseline_from_window(&load_history(&compacted).unwrap(), 5);
+        assert_eq!(before.len(), after.len());
+        assert_eq!(before[0].total_s.to_bits(), after[0].total_s.to_bits());
     }
 
     #[test]

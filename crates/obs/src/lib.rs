@@ -32,11 +32,21 @@
 //! * **Crash-path telemetry** — [`install_panic_hook`] arms a panic hook
 //!   that emits a final `panic` event (message, location, live span
 //!   stack) and flushes the trace before the process dies.
+//! * **Request-scoped contexts** — a [`TelemetryContext`] layers its own
+//!   span tree and scoped instrument deltas over the global registry;
+//!   workers inherit the spawning context across thread boundaries, so
+//!   concurrent requests stay attributable. The Chrome-trace exporter
+//!   ([`arm_chrome`] / [`write_chrome_trace`]) renders contexts as
+//!   Perfetto process tracks, and the SLO watchdog
+//!   ([`parse_slo_spec`] / [`start_slo_watchdog`]) enforces declarative
+//!   per-context latency/retry/completeness/cache-hit requirements.
 //!
 //! Everything is std-only: no external dependencies, no global setup
 //! required. With no sink installed, a span costs two `Instant::now`
 //! calls, four atomic loads, and one registry update.
 
+mod chrome;
+mod context;
 mod diff;
 mod flame;
 mod history;
@@ -49,15 +59,24 @@ mod prometheus;
 mod registry;
 mod serve;
 mod sink;
+mod slo;
 mod span;
 mod summary;
 mod train;
 
+pub use chrome::{
+    arm_chrome, render_chrome_trace, sample_counter_tracks, validate_chrome_trace,
+    write_chrome_trace, ChromeTraceStats,
+};
+pub use context::{
+    active_context_count, context_active, contexts_json, ContextScope, CtxHistStat, CtxSpanStat,
+    TelemetryContext,
+};
 pub use diff::{diff_spans, diff_trace_texts, parse_trace_or_bench, DiffOptions, DiffReport, DiffRow};
 pub use flame::render_flame_svg;
 pub use history::{
-    append_record, baseline_from_window, current_git_rev, load_history, render_markdown,
-    trend_against_history, HistoryRecord, TrendReport,
+    append_record, baseline_from_window, compact_history, current_git_rev, load_history,
+    render_markdown, trend_against_history, CompactReport, HistoryRecord, TrendReport,
 };
 pub use json::Json;
 pub use prof::{
@@ -81,16 +100,24 @@ pub use sink::{
     emit_event, info_str, init_trace_from_env, init_trace_to, is_quiet, set_quiet, shutdown,
     trace_enabled,
 };
+pub use slo::{
+    evaluate_slo_now, evaluate_slo_rules, install_slo_rules, parse_slo_spec,
+    slo_interval_from_env, slo_ready, slo_rules_installed, slo_violation_count,
+    start_slo_watchdog, SloRule, SloViolation, DEFAULT_SLO_MS,
+};
 pub use span::{span, SpanGuard, SpanRecord};
 pub use summary::{render_summary_tree, render_trace_table, summarize_jsonl, SpanAgg};
 pub use train::{EpochEvent, Observer, TelemetryObserver, TrainObserver};
 
-/// Whether any live telemetry consumer exists — a JSONL trace sink or the
-/// embedded metrics server. Instrumentation sites with a non-trivial cost
-/// (e.g. computing subgraph quality indicators, registering progress
-/// tasks) gate on this so silent runs stay untouched.
+/// Whether any live telemetry consumer exists — a JSONL trace sink, the
+/// embedded metrics server, or a [`TelemetryContext`] entered on the
+/// calling thread (its scoped deltas feed `/contexts` and the SLO
+/// watchdog, so quality gauges and progress tasks must be captured for
+/// it). Instrumentation sites with a non-trivial cost (e.g. computing
+/// subgraph quality indicators, registering progress tasks) gate on this
+/// so silent runs stay untouched.
 pub fn telemetry_active() -> bool {
-    trace_enabled() || serve_addr().is_some()
+    trace_enabled() || serve_addr().is_some() || context_active()
 }
 
 /// Opens a hierarchical span: `let _s = span!("extract.brw");`.

@@ -25,6 +25,8 @@ const RUNNING: u64 = u64::MAX;
 #[derive(Debug)]
 struct TaskState {
     name: String,
+    /// Telemetry context current when the task was registered, if any.
+    ctx: Option<u64>,
     /// Total units of work; 0 means unknown (no ETA, rate only).
     total: AtomicU64,
     done: AtomicU64,
@@ -113,6 +115,8 @@ pub struct ProgressSnapshot {
     pub eta_s: Option<f64>,
     /// Whether the phase has completed.
     pub finished: bool,
+    /// Telemetry context the task belongs to, when registered inside one.
+    pub ctx: Option<u64>,
 }
 
 fn tasks() -> &'static RwLock<Vec<Arc<TaskState>>> {
@@ -129,6 +133,7 @@ const MAX_TASKS: usize = 256;
 pub fn progress_task(name: &str, total: Option<u64>) -> Progress {
     let state = Arc::new(TaskState {
         name: name.to_string(),
+        ctx: crate::context::current_id(),
         total: AtomicU64::new(total.unwrap_or(0)),
         done: AtomicU64::new(0),
         started: Instant::now(),
@@ -190,6 +195,7 @@ pub fn progress_snapshot() -> Vec<ProgressSnapshot> {
                 rate_per_s,
                 eta_s,
                 finished,
+                ctx: t.ctx,
             }
         })
         .collect()
@@ -218,6 +224,9 @@ pub fn progress_json() -> Json {
                     Json::Num(100.0 * done as f64 / total.max(1) as f64),
                 ));
             }
+            if let Some(ctx) = s.ctx {
+                fields.push(("ctx".to_string(), Json::Num(ctx as f64)));
+            }
             Json::Obj(fields)
         })
         .collect();
@@ -233,6 +242,9 @@ pub fn reset_progress() {
 /// JSONL trace and flushes it, so a later `kill -9` still leaves every
 /// event up to the last heartbeat on disk. No-op without a trace sink.
 pub fn emit_heartbeat() {
+    // Heartbeat ticks double as the Chrome counter-track sampler (no-op
+    // while the exporter is disarmed).
+    crate::chrome::sample_counter_tracks();
     if !sink::trace_enabled() {
         return;
     }

@@ -61,6 +61,16 @@ fn family(out: &mut String, name: &str, kind: &str, help: &str) {
 pub fn render_prometheus() -> String {
     let mut out = String::with_capacity(4096);
 
+    // Live request-scoped contexts (the per-request view lives at
+    // `/contexts`; this is the fleet-level count a dashboard alerts on).
+    family(
+        &mut out,
+        "kgtosa_active_contexts",
+        "gauge",
+        "Live telemetry contexts",
+    );
+    let _ = writeln!(out, "kgtosa_active_contexts {}", crate::context::active_context_count());
+
     for (name, value) in registry::counter_values() {
         let metric = format!("kgtosa_{}_total", sanitize_name(&name));
         family(&mut out, &metric, "counter", "kgtosa counter");
@@ -264,6 +274,23 @@ mod tests {
         assert!(text.contains("kgtosa_test_prom_counter_total 3"));
         assert!(text.contains("# TYPE kgtosa_test_prom_gauge gauge"));
         assert!(text.contains("kgtosa_test_prom_gauge -4"));
+    }
+
+    #[test]
+    fn active_contexts_gauge_renders_live_count() {
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE kgtosa_active_contexts gauge"), "{text}");
+        let ctx = crate::TelemetryContext::new("prom-ctx");
+        let _scope = ctx.enter();
+        let text = render_prometheus();
+        // At least this context is live (sibling tests may hold more).
+        let count: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("kgtosa_active_contexts "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(count >= 1, "{text}");
     }
 
     #[test]

@@ -12,18 +12,31 @@ use std::sync::{Arc, OnceLock, RwLock};
 use crate::json::Json;
 
 /// Monotonically increasing event count.
+///
+/// Registry-created instruments know their own name, which is what lets
+/// every update additionally flow into the telemetry context current on
+/// the updating thread (see [`crate::TelemetryContext`]); a
+/// default-constructed instrument has no name and skips that layer.
 #[derive(Debug, Default)]
 pub struct Counter {
+    name: String,
     value: AtomicU64,
 }
 
 impl Counter {
+    fn named(name: &str) -> Self {
+        Counter { name: name.to_string(), value: AtomicU64::new(0) }
+    }
+
     pub fn inc(&self) {
         self.add(1);
     }
 
     pub fn add(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
+        if !self.name.is_empty() {
+            crate::context::on_counter(&self.name, n);
+        }
     }
 
     pub fn get(&self) -> u64 {
@@ -34,16 +47,27 @@ impl Counter {
 /// Last-write-wins signed level (queue depths, worker counts, …).
 #[derive(Debug, Default)]
 pub struct Gauge {
+    name: String,
     value: AtomicI64,
 }
 
 impl Gauge {
+    fn named(name: &str) -> Self {
+        Gauge { name: name.to_string(), value: AtomicI64::new(0) }
+    }
+
     pub fn set(&self, v: i64) {
         self.value.store(v, Ordering::Relaxed);
+        if !self.name.is_empty() {
+            crate::context::on_gauge(&self.name, v);
+        }
     }
 
     pub fn add(&self, delta: i64) {
-        self.value.fetch_add(delta, Ordering::Relaxed);
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        if !self.name.is_empty() {
+            crate::context::on_gauge(&self.name, now);
+        }
     }
 
     pub fn get(&self) -> i64 {
@@ -56,22 +80,30 @@ impl Gauge {
 /// `AtomicU64`, so it stays lock-free like [`Gauge`].
 #[derive(Debug)]
 pub struct GaugeF64 {
+    name: String,
     bits: AtomicU64,
 }
 
 impl Default for GaugeF64 {
     fn default() -> Self {
-        GaugeF64 { bits: AtomicU64::new(0f64.to_bits()) }
+        GaugeF64 { name: String::new(), bits: AtomicU64::new(0f64.to_bits()) }
     }
 }
 
 impl GaugeF64 {
+    fn named(name: &str) -> Self {
+        GaugeF64 { name: name.to_string(), ..Default::default() }
+    }
+
     /// Sets the level. Non-finite values are dropped rather than stored —
     /// a ratio gauge must never poison the Prometheus exposition or the
     /// JSON snapshot with `NaN`/`inf`.
     pub fn set(&self, v: f64) {
         if v.is_finite() {
             self.bits.store(v.to_bits(), Ordering::Relaxed);
+            if !self.name.is_empty() {
+                crate::context::on_gauge_f64(&self.name, v);
+            }
         }
     }
 
@@ -86,6 +118,7 @@ impl GaugeF64 {
 /// stays lock-free.
 #[derive(Debug)]
 pub struct Histogram {
+    name: String,
     bounds: Vec<f64>,
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
@@ -94,7 +127,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(bounds: Vec<f64>) -> Self {
+    fn new(name: &str, bounds: Vec<f64>) -> Self {
         assert!(!bounds.is_empty(), "histogram needs at least one bound");
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
@@ -102,6 +135,7 @@ impl Histogram {
         );
         let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
         Histogram {
+            name: name.to_string(),
             bounds,
             buckets,
             count: AtomicU64::new(0),
@@ -111,6 +145,9 @@ impl Histogram {
     }
 
     pub fn observe(&self, v: f64) {
+        if !self.name.is_empty() {
+            crate::context::on_histogram(&self.name, v);
+        }
         let idx = self.bounds.partition_point(|&b| b < v);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -223,7 +260,10 @@ pub fn counter(name: &str) -> Arc<Counter> {
         return Arc::clone(c);
     }
     let mut map = registry().counters.write().unwrap_or_else(std::sync::PoisonError::into_inner);
-    Arc::clone(map.entry(name.to_string()).or_default())
+    Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::named(name))),
+    )
 }
 
 pub fn gauge(name: &str) -> Arc<Gauge> {
@@ -231,7 +271,10 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
         return Arc::clone(g);
     }
     let mut map = registry().gauges.write().unwrap_or_else(std::sync::PoisonError::into_inner);
-    Arc::clone(map.entry(name.to_string()).or_default())
+    Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::named(name))),
+    )
 }
 
 pub fn gauge_f64(name: &str) -> Arc<GaugeF64> {
@@ -239,7 +282,10 @@ pub fn gauge_f64(name: &str) -> Arc<GaugeF64> {
         return Arc::clone(g);
     }
     let mut map = registry().gauges_f64.write().unwrap_or_else(std::sync::PoisonError::into_inner);
-    Arc::clone(map.entry(name.to_string()).or_default())
+    Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(GaugeF64::named(name))),
+    )
 }
 
 /// Default time buckets: 1µs → ~1000s, one per decade-third (1/2/5 feel).
@@ -262,7 +308,7 @@ pub fn histogram_with_bounds(name: &str, bounds: &[f64]) -> Arc<Histogram> {
     let mut map = registry().histograms.write().unwrap_or_else(std::sync::PoisonError::into_inner);
     Arc::clone(
         map.entry(name.to_string())
-            .or_insert_with(|| Arc::new(Histogram::new(bounds.to_vec()))),
+            .or_insert_with(|| Arc::new(Histogram::new(name, bounds.to_vec()))),
     )
 }
 

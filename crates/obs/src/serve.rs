@@ -9,6 +9,10 @@
 //! * `GET /progress` — progress tasks with rate and ETA as JSON,
 //! * `GET /prof`     — profiler state: self-time attribution over the
 //!   live registry plus accumulated sampler stacks,
+//! * `GET /contexts` — every live telemetry context's scoped span tree,
+//!   counters, gauges, and recorded SLO violations as JSON,
+//! * `GET /healthz`  — readiness JSON: `200` while no live context has an
+//!   SLO violation, `503` otherwise,
 //! * `GET /`         — a plain-text index of the routes.
 //!
 //! The server exists for *introspection of long runs* (scrape cadence:
@@ -86,6 +90,27 @@ pub fn register_core_metrics() {
     let _ = registry::gauge("cache.bytes");
     let _ = registry::gauge("par.queue_depth");
     let _ = registry::gauge_f64("cache.hit_ratio");
+    let _ = registry::counter("slo.violations");
+}
+
+/// The `/healthz` payload. Readiness is live: a violating context flips
+/// it to false until that context is dropped.
+fn healthz_json(ready: bool) -> Json {
+    Json::Obj(vec![
+        ("ready".into(), Json::Bool(ready)),
+        (
+            "active_contexts".into(),
+            Json::Num(crate::context::active_context_count() as f64),
+        ),
+        (
+            "slo_rules".into(),
+            Json::Num(crate::slo::slo_rules_installed() as f64),
+        ),
+        (
+            "slo_violations".into(),
+            Json::Num(crate::slo::slo_violation_count() as f64),
+        ),
+    ])
 }
 
 fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
@@ -125,11 +150,26 @@ fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
         "/spans" => respond(&mut stream, 200, "application/json", &spans_json().to_string()),
         "/progress" => respond(&mut stream, 200, "application/json", &progress_json().to_string()),
         "/prof" => respond(&mut stream, 200, "application/json", &crate::prof::prof_json().to_string()),
-        "/" | "/healthz" => respond(
+        "/contexts" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &crate::context::contexts_json().to_string(),
+        ),
+        "/healthz" => {
+            let ready = crate::slo::slo_ready();
+            respond(
+                &mut stream,
+                if ready { 200 } else { 503 },
+                "application/json",
+                &healthz_json(ready).to_string(),
+            )
+        }
+        "/" => respond(
             &mut stream,
             200,
             "text/plain; charset=utf-8",
-            "kgtosa metrics server\nroutes: /metrics /spans /progress /prof\n",
+            "kgtosa metrics server\nroutes: /metrics /spans /progress /prof /contexts /healthz\n",
         ),
         _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
     }
@@ -145,6 +185,7 @@ fn respond(
         200 => "OK",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     let head = format!(
@@ -263,5 +304,70 @@ mod tests {
             .iter()
             .any(|s| s.get("name").and_then(Json::as_str) == Some("test_serve_span")));
         assert!(spans.iter().all(|s| s.get("self_s").is_some()));
+    }
+
+    #[test]
+    fn serves_contexts_and_healthz() {
+        let addr = serve_metrics("127.0.0.1:0").expect("bind loopback");
+        let ctx = crate::TelemetryContext::new("serve.test.request");
+        {
+            let _g = ctx.enter();
+            crate::counter("serve.test.lookups").add(4);
+            crate::span("serve_test.work").finish();
+        }
+        ctx.finish();
+
+        let (status, ctype, body) = http_get(addr, "/contexts");
+        assert_eq!(status, 200);
+        assert!(ctype.contains("application/json"));
+        let json = Json::parse(&body).expect("contexts is valid JSON");
+        let items = match json.get("contexts") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("expected contexts array, got {other:?}"),
+        };
+        let mine = items
+            .iter()
+            .find(|c| c.get("name").and_then(Json::as_str) == Some("serve.test.request"))
+            .expect("live context listed");
+        assert_eq!(
+            mine.get("counters")
+                .and_then(|c| c.get("serve.test.lookups"))
+                .and_then(Json::as_f64),
+            Some(4.0)
+        );
+        assert!(mine
+            .get("spans")
+            .and_then(|s| s.get("serve_test.work"))
+            .is_some());
+
+        // Healthy with no SLO rules installed.
+        let (status, ctype, body) = http_get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(ctype.contains("application/json"));
+        let json = Json::parse(&body).expect("healthz is valid JSON");
+        assert_eq!(json.get("ready").and_then(Json::as_bool), Some(true));
+        assert!(json.get("active_contexts").and_then(Json::as_f64).unwrap() >= 1.0);
+
+        // Arm a rule only this test's context can break (every other
+        // context keeps the probe counter at 0 and so satisfies `<=0`),
+        // sweep, and readiness must flip to 503 while the context lives.
+        {
+            let _g = ctx.enter();
+            crate::counter("serve.test.healthz.probe").inc();
+        }
+        let rules = crate::parse_slo_spec("counter:serve.test.healthz.probe<=0").unwrap();
+        crate::install_slo_rules(rules);
+        assert!(crate::evaluate_slo_now() >= 1, "probe rule must fire");
+        let (status, _, body) = http_get(addr, "/healthz");
+        assert_eq!(status, 503, "violating context flips readiness: {body}");
+        let json = Json::parse(&body).unwrap();
+        assert_eq!(json.get("ready").and_then(Json::as_bool), Some(false));
+        assert!(json.get("slo_violations").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert!(!ctx.violations().is_empty());
+
+        // Disarm so sibling tests see a rule-free process again.
+        crate::install_slo_rules(Vec::new());
+        let (status, _, _) = http_get(addr, "/healthz");
+        assert_eq!(status, 200);
     }
 }

@@ -103,9 +103,14 @@ fn write_line(json: &Json) {
 
 fn stamp(kind: &str, mut fields: Vec<(String, Json)>) -> Json {
     let t = trace_epoch().elapsed().as_secs_f64();
-    let mut all = Vec::with_capacity(fields.len() + 2);
+    let mut all = Vec::with_capacity(fields.len() + 3);
     all.push(("ev".to_string(), Json::Str(kind.to_string())));
     all.push(("t".to_string(), Json::Num(t)));
+    // Events emitted inside a telemetry context carry its id, so a JSONL
+    // trace from concurrent requests can be split per request.
+    if let Some(id) = crate::context::current_id() {
+        all.push(("ctx".to_string(), Json::Num(id as f64)));
+    }
     all.append(&mut fields);
     Json::Obj(all)
 }
@@ -176,6 +181,7 @@ pub fn info_str(msg: &str) {
 pub fn shutdown() {
     crate::prof::stop_sampler();
     crate::progress::stop_heartbeat();
+    crate::slo::stop_watchdog();
     if trace_enabled() {
         let snapshot = registry::metrics_snapshot();
         let fields = match snapshot {

@@ -1,0 +1,439 @@
+//! Declarative SLO rules and the watchdog that enforces them.
+//!
+//! ## Rule grammar
+//!
+//! A spec (`--slo` or `KGTOSA_SLO`) is `rule(';'rule)*`, each rule a
+//! *requirement* of the form `signal op number`:
+//!
+//! ```text
+//! latency_s<120; retries<=10; giveups==0; completeness_milli>=950; cache_hit_ratio>0.5
+//! ```
+//!
+//! Operators: `<` `<=` `>` `>=` `==` `!=`. Signals are evaluated
+//! **per telemetry context**, against that context's scoped deltas:
+//!
+//! | signal | source |
+//! |---|---|
+//! | `latency_s` | context wall time (frozen by `finish`) |
+//! | `retries` / `giveups` | `rdf.retries` / `rdf.giveups` counter deltas |
+//! | `completeness_milli` | `extract.quality.completeness_milli` gauge (skipped until written) |
+//! | `cache_hit_ratio` | derived from the context's own `cache.*` counter deltas (skipped before the first lookup) |
+//! | `counter:NAME` | any counter delta (0 when never bumped) |
+//! | `gauge:NAME` | any integer or f64 gauge (skipped until written) |
+//!
+//! A rule **violates** when its signal is present and the comparison does
+//! not hold. Gauge-backed signals that were never written are skipped
+//! rather than treated as zero, so a rule like `completeness_milli>=950`
+//! cannot fire on a context that never ran an extraction.
+//!
+//! ## Watchdog
+//!
+//! [`start_slo_watchdog`] spawns a background thread that sweeps every
+//! live context each interval (`KGTOSA_SLO_MS`, default 200 ms). New
+//! violations are edge-triggered per `(context, rule)`: each emits one
+//! structured `slo.violation` trace event, bumps the `slo.violations`
+//! counter, and flips `/healthz` to 503 while the offending context
+//! lives. `--strict-slo` batch mode turns any violation into exit code 3.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::context::{live_contexts, TelemetryContext};
+use crate::json::Json;
+
+/// Default watchdog sweep interval in milliseconds.
+pub const DEFAULT_SLO_MS: u64 = 200;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Signal {
+    LatencyS,
+    Retries,
+    Giveups,
+    CompletenessMilli,
+    CacheHitRatio,
+    Counter(String),
+    Gauge(String),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl Op {
+    fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            Op::Lt => value < threshold,
+            Op::Le => value <= threshold,
+            Op::Gt => value > threshold,
+            Op::Ge => value >= threshold,
+            Op::Eq => value == threshold,
+            Op::Ne => value != threshold,
+        }
+    }
+}
+
+/// One parsed requirement. `raw` is the normalized rule text, used both
+/// for display and as the edge-trigger key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    raw: String,
+    signal: Signal,
+    op: Op,
+    threshold: f64,
+}
+
+impl SloRule {
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+}
+
+/// A rule that failed for a context, with the observed signal value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloViolation {
+    pub rule: String,
+    pub value: f64,
+}
+
+fn parse_signal(name: &str) -> Result<Signal, String> {
+    if let Some(rest) = name.strip_prefix("counter:") {
+        if rest.is_empty() {
+            return Err("empty counter name".into());
+        }
+        return Ok(Signal::Counter(rest.to_string()));
+    }
+    if let Some(rest) = name.strip_prefix("gauge:") {
+        if rest.is_empty() {
+            return Err("empty gauge name".into());
+        }
+        return Ok(Signal::Gauge(rest.to_string()));
+    }
+    match name {
+        "latency_s" => Ok(Signal::LatencyS),
+        "retries" => Ok(Signal::Retries),
+        "giveups" => Ok(Signal::Giveups),
+        "completeness_milli" => Ok(Signal::CompletenessMilli),
+        "cache_hit_ratio" => Ok(Signal::CacheHitRatio),
+        other => Err(format!(
+            "unknown signal {other:?} (expected latency_s, retries, giveups, \
+             completeness_milli, cache_hit_ratio, counter:NAME, or gauge:NAME)"
+        )),
+    }
+}
+
+/// Parses a full `--slo` / `KGTOSA_SLO` spec into rules. Empty rules
+/// (from trailing `;`) are skipped; an empty spec yields no rules.
+pub fn parse_slo_spec(spec: &str) -> Result<Vec<SloRule>, String> {
+    let mut rules = Vec::new();
+    for part in spec.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        // Two-character operators first, so `<=` doesn't parse as `<`.
+        const OPS: [(&str, Op); 6] = [
+            ("<=", Op::Le),
+            (">=", Op::Ge),
+            ("==", Op::Eq),
+            ("!=", Op::Ne),
+            ("<", Op::Lt),
+            (">", Op::Gt),
+        ];
+        let (idx, tok, op) = OPS
+            .iter()
+            .filter_map(|&(tok, op)| part.find(tok).map(|i| (i, tok, op)))
+            .min_by_key(|&(i, tok, _)| (i, std::cmp::Reverse(tok.len())))
+            .ok_or_else(|| format!("rule {part:?}: no comparison operator"))?;
+        let signal = parse_signal(part[..idx].trim())
+            .map_err(|e| format!("rule {part:?}: {e}"))?;
+        let rhs = part[idx + tok.len()..].trim();
+        let threshold: f64 = rhs
+            .parse()
+            .map_err(|_| format!("rule {part:?}: threshold {rhs:?} is not a number"))?;
+        if !threshold.is_finite() {
+            return Err(format!("rule {part:?}: threshold must be finite"));
+        }
+        rules.push(SloRule {
+            raw: format!("{}{}{}", part[..idx].trim(), tok, rhs),
+            signal,
+            op,
+            threshold,
+        });
+    }
+    Ok(rules)
+}
+
+/// The signal's current value for a context, or `None` when the signal is
+/// absent (rule skipped).
+fn signal_value(ctx: &TelemetryContext, signal: &Signal) -> Option<f64> {
+    match signal {
+        Signal::LatencyS => Some(ctx.wall_s()),
+        Signal::Retries => Some(ctx.counter_delta("rdf.retries") as f64),
+        Signal::Giveups => Some(ctx.counter_delta("rdf.giveups") as f64),
+        Signal::CompletenessMilli => ctx
+            .gauge_value("extract.quality.completeness_milli")
+            .map(|v| v as f64),
+        Signal::CacheHitRatio => ctx.cache_hit_ratio(),
+        Signal::Counter(name) => Some(ctx.counter_delta(name) as f64),
+        Signal::Gauge(name) => ctx
+            .gauge_value(name)
+            .map(|v| v as f64)
+            .or_else(|| ctx.gauge_f64_value(name)),
+    }
+}
+
+/// Pure evaluation: which rules does this context violate *right now*?
+/// No events, no global state — the watchdog and tests share this.
+pub fn evaluate_slo_rules(ctx: &TelemetryContext, rules: &[SloRule]) -> Vec<SloViolation> {
+    rules
+        .iter()
+        .filter_map(|rule| {
+            let value = signal_value(ctx, &rule.signal)?;
+            (!rule.op.holds(value, rule.threshold)).then(|| SloViolation {
+                rule: rule.raw.clone(),
+                value,
+            })
+        })
+        .collect()
+}
+
+fn installed_rules() -> &'static RwLock<Vec<SloRule>> {
+    static RULES: OnceLock<RwLock<Vec<SloRule>>> = OnceLock::new();
+    RULES.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+static VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Installs the process-wide rule set (replacing any previous one),
+/// pre-registers the `slo.violations` counter, and announces the armed
+/// rules with a `slo.armed` trace event.
+pub fn install_slo_rules(rules: Vec<SloRule>) {
+    crate::counter("slo.violations");
+    let raws: Vec<Json> = rules.iter().map(|r| Json::Str(r.raw.clone())).collect();
+    crate::emit_event(
+        "slo.armed",
+        vec![
+            ("rules".into(), Json::Num(rules.len() as f64)),
+            ("spec".into(), Json::Arr(raws)),
+        ],
+    );
+    *installed_rules()
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = rules;
+}
+
+/// Number of rules currently installed.
+pub fn slo_rules_installed() -> usize {
+    installed_rules()
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len()
+}
+
+/// Total violations recorded since the rules were armed.
+pub fn slo_violation_count() -> u64 {
+    VIOLATIONS.load(Ordering::Relaxed)
+}
+
+/// Sweeps every live context against the installed rules. New violations
+/// (edge-triggered per context × rule) each emit a `slo.violation` event
+/// and bump the counters; returns how many were new this sweep. The
+/// watchdog calls this periodically; batch mode calls it once more after
+/// the run context finishes, so even sub-interval runs get a verdict.
+pub fn evaluate_slo_now() -> usize {
+    let rules = installed_rules()
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    if rules.is_empty() {
+        return 0;
+    }
+    let mut new = 0;
+    for ctx in live_contexts() {
+        for v in evaluate_slo_rules(&ctx, &rules) {
+            if !ctx.record_violation(&v.rule) {
+                continue;
+            }
+            new += 1;
+            VIOLATIONS.fetch_add(1, Ordering::Relaxed);
+            crate::counter("slo.violations").inc();
+            crate::emit_event(
+                "slo.violation",
+                vec![
+                    ("ctx".into(), Json::Num(ctx.id() as f64)),
+                    ("context".into(), Json::Str(ctx.name().to_string())),
+                    ("rule".into(), Json::Str(v.rule.clone())),
+                    ("value".into(), Json::Num(v.value)),
+                ],
+            );
+            crate::info!(
+                "SLO violation: context {} ({}) breaks {} (value {:.6})",
+                ctx.id(),
+                ctx.name(),
+                v.rule,
+                v.value
+            );
+        }
+    }
+    new
+}
+
+/// `/healthz` readiness: true when no *live* context has a recorded
+/// violation (and trivially true with no rules installed). A violating
+/// context flips readiness until it is dropped, after which the process
+/// recovers — batch exit codes use [`slo_violation_count`] instead, which
+/// is sticky.
+pub fn slo_ready() -> bool {
+    if slo_rules_installed() == 0 {
+        return true;
+    }
+    live_contexts().iter().all(|c| c.violations().is_empty())
+}
+
+static WATCHDOG_STARTED: AtomicBool = AtomicBool::new(false);
+static WATCHDOG_STOP: AtomicBool = AtomicBool::new(false);
+
+fn watchdog_handle() -> &'static Mutex<Option<JoinHandle<()>>> {
+    static HANDLE: OnceLock<Mutex<Option<JoinHandle<()>>>> = OnceLock::new();
+    HANDLE.get_or_init(|| Mutex::new(None))
+}
+
+/// Starts the watchdog thread (idempotent). Sleeps are sliced so
+/// [`stop_watchdog`] joins promptly.
+pub fn start_slo_watchdog(interval_ms: u64) {
+    if WATCHDOG_STARTED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let interval_ms = interval_ms.max(10);
+    let handle = std::thread::Builder::new()
+        .name("kgtosa-slo".into())
+        .spawn(move || loop {
+            let mut slept = 0;
+            while slept < interval_ms {
+                if WATCHDOG_STOP.load(Ordering::Relaxed) {
+                    return;
+                }
+                let slice = (interval_ms - slept).min(50);
+                std::thread::sleep(Duration::from_millis(slice));
+                slept += slice;
+            }
+            evaluate_slo_now();
+        })
+        .ok();
+    *watchdog_handle()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = handle;
+}
+
+/// Watchdog interval from `KGTOSA_SLO_MS`, defaulting to
+/// [`DEFAULT_SLO_MS`].
+pub fn slo_interval_from_env() -> u64 {
+    std::env::var("KGTOSA_SLO_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SLO_MS)
+}
+
+/// Stops and joins the watchdog thread. Called by [`crate::shutdown`].
+pub fn stop_watchdog() {
+    WATCHDOG_STOP.store(true, Ordering::SeqCst);
+    let handle = watchdog_handle()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_all_operators_and_signals() {
+        let rules = parse_slo_spec(
+            "latency_s<120; retries<=10; giveups==0; completeness_milli>=950; \
+             cache_hit_ratio>0.5; counter:rdf.requests!=0; gauge:par.utilization>=0;",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 7);
+        assert_eq!(rules[0].raw(), "latency_s<120");
+        assert_eq!(rules[1].op, Op::Le);
+        assert_eq!(rules[2].op, Op::Eq);
+        assert_eq!(rules[5].signal, Signal::Counter("rdf.requests".into()));
+        assert_eq!(rules[6].signal, Signal::Gauge("par.utilization".into()));
+        assert!(parse_slo_spec("").unwrap().is_empty());
+        assert!(parse_slo_spec("  ;  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn spec_rejects_malformed_rules() {
+        assert!(parse_slo_spec("latency_s").is_err(), "no operator");
+        assert!(parse_slo_spec("bogus<1").is_err(), "unknown signal");
+        assert!(parse_slo_spec("latency_s<abc").is_err(), "non-numeric threshold");
+        assert!(parse_slo_spec("counter:<1").is_err(), "empty counter name");
+        assert!(parse_slo_spec("latency_s<inf").is_err(), "non-finite threshold");
+    }
+
+    #[test]
+    fn rules_are_requirements_evaluated_per_context() {
+        let ctx = TelemetryContext::new("slo.test.eval");
+        {
+            let _g = ctx.enter();
+            crate::counter("rdf.retries").add(3);
+            crate::counter("cache.hits").add(1);
+            crate::counter("cache.misses").add(3);
+        }
+        ctx.finish();
+
+        let rules = parse_slo_spec("retries<=10; giveups==0; cache_hit_ratio>0.5").unwrap();
+        let violations = evaluate_slo_rules(&ctx, &rules);
+        // retries=3 and giveups=0 satisfy their requirements; hit ratio
+        // 0.25 breaks the >0.5 requirement.
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "cache_hit_ratio>0.5");
+        assert_eq!(violations[0].value, 0.25);
+
+        let tight = parse_slo_spec("retries<3").unwrap();
+        let v = evaluate_slo_rules(&ctx, &tight);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].value, 3.0);
+    }
+
+    #[test]
+    fn absent_gauge_signals_are_skipped_not_zero() {
+        let ctx = TelemetryContext::new("slo.test.absent");
+        // Neither completeness nor hit ratio exists on an idle context:
+        // requirements on them must not fire.
+        let rules =
+            parse_slo_spec("completeness_milli>=950; cache_hit_ratio>0.9; gauge:never.set>1")
+                .unwrap();
+        assert!(evaluate_slo_rules(&ctx, &rules).is_empty());
+        // Counters are genuinely zero when untouched, so counter
+        // requirements do apply.
+        let counter_rule = parse_slo_spec("counter:slo.test.absent.c>0").unwrap();
+        let v = evaluate_slo_rules(&ctx, &counter_rule);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].value, 0.0);
+    }
+
+    #[test]
+    fn latency_rule_uses_frozen_wall_time() {
+        let ctx = TelemetryContext::new("slo.test.latency");
+        std::thread::sleep(Duration::from_millis(3));
+        ctx.finish();
+        let strict = parse_slo_spec("latency_s<0.000001").unwrap();
+        assert_eq!(evaluate_slo_rules(&ctx, &strict).len(), 1, "3ms run breaks 1µs budget");
+        let lenient = parse_slo_spec("latency_s<60").unwrap();
+        assert!(evaluate_slo_rules(&ctx, &lenient).is_empty());
+    }
+}

@@ -108,6 +108,7 @@ impl SpanGuard {
         });
         prof::on_span_pop(self.depth);
         registry::record_span(&record.path, record.wall_s, record.peak_delta_bytes, record.allocs);
+        crate::context::on_span_record(&record.path, self.start, record.wall_s);
         sink::emit_span(&record);
         record
     }

@@ -1,9 +1,33 @@
 //! The scoped thread pool and its chunked primitives.
 
 use std::cell::Cell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use parking_lot::Mutex;
+
+/// Interned `"par.<name>"` region label. Region names are compile-time
+/// string literals at every call site, so the intern table is bounded by
+/// the number of distinct regions in the binary; after the first region
+/// entry the hot path is one read-locked map probe instead of a fresh
+/// `String` allocation per parallel region.
+fn region_label(name: &str) -> &'static str {
+    static LABELS: OnceLock<std::sync::RwLock<HashMap<String, &'static str>>> = OnceLock::new();
+    let labels = LABELS.get_or_init(|| std::sync::RwLock::new(HashMap::new()));
+    if let Some(&label) = labels
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(name)
+    {
+        return label;
+    }
+    let mut map = labels
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    map.entry(name.to_string())
+        .or_insert_with(|| Box::leak(format!("par.{name}").into_boxed_str()))
+}
 
 /// Elements per row-block chunk. Chunk boundaries derive from this and the
 /// problem shape only — never from the thread count — which is half of the
@@ -146,13 +170,19 @@ impl Pool {
             }
             return;
         }
-        let _span = kgtosa_obs::span(&format!("par.{name}"));
+        let _span = kgtosa_obs::span(region_label(name));
         let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
         let telemetry = Telemetry::new(n_chunks);
+        // Causal context propagation: workers run under the telemetry
+        // context of the thread that opened the region, so scoped counter
+        // and span attributions stay per-request. Observability only —
+        // chunking and scheduling never read the context.
+        let ctx = kgtosa_obs::TelemetryContext::current();
         let region_start = std::time::Instant::now();
         crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|_| {
+                    let _ctx = ctx.as_ref().map(|c| c.enter());
                     let mut handled = 0u64;
                     let mut busy_s = 0.0f64;
                     loop {
@@ -187,14 +217,16 @@ impl Pool {
         if workers <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
-        let _span = kgtosa_obs::span(&format!("par.{name}"));
+        let _span = kgtosa_obs::span(region_label(name));
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
         let telemetry = Telemetry::new(items.len());
+        let ctx = kgtosa_obs::TelemetryContext::current();
         let region_start = std::time::Instant::now();
         crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|_| {
+                    let _ctx = ctx.as_ref().map(|c| c.enter());
                     let mut local: Vec<(usize, R)> = Vec::new();
                     let mut busy_s = 0.0f64;
                     loop {
@@ -232,8 +264,14 @@ impl Pool {
         if self.threads < 2 {
             return (fa(), fb());
         }
+        // `fa` runs on the caller (already in context); only the spawned
+        // side needs to inherit it.
+        let ctx = kgtosa_obs::TelemetryContext::current();
         crossbeam::thread::scope(|scope| {
-            let hb = scope.spawn(|_| fb());
+            let hb = scope.spawn(|_| {
+                let _ctx = ctx.as_ref().map(|c| c.enter());
+                fb()
+            });
             let a = fa();
             let b = hb.join().expect("par_join closure panicked");
             (a, b)
@@ -392,6 +430,46 @@ mod tests {
         );
         let util = kgtosa_obs::gauge_f64("par.utilization").get();
         assert!((0.0..=1.0).contains(&util), "utilization out of range: {util}");
+    }
+
+    #[test]
+    fn region_labels_are_interned_statics() {
+        let a = region_label("test.intern");
+        let b = region_label("test.intern");
+        assert_eq!(a, "par.test.intern");
+        // Same leaked allocation both times, not merely equal text.
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(region_label("test.intern2"), "par.test.intern2");
+    }
+
+    #[test]
+    fn workers_inherit_the_spawning_context() {
+        let ctx = kgtosa_obs::TelemetryContext::new("par.test.ctx");
+        let _g = ctx.enter();
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [2, 4, 8] {
+            let _ = Pool::new(threads).par_map_collect("test.ctx", &items, |_, &x| {
+                kgtosa_obs::counter("par.test.ctx.units").inc();
+                x
+            });
+        }
+        let mut data = vec![0u8; 128];
+        Pool::new(4).par_chunks_mut("test.ctx", &mut data, 8, |_, chunk| {
+            kgtosa_obs::counter("par.test.ctx.units").add(chunk.len() as u64);
+        });
+        let (_, _) = Pool::new(2).par_join(
+            || kgtosa_obs::counter("par.test.ctx.units").inc(),
+            || kgtosa_obs::counter("par.test.ctx.units").inc(),
+        );
+        // Every unit of work, regardless of which worker thread ran it,
+        // attributed to the spawning thread's context: 3×64 map items,
+        // 128 chunk elements, 2 join sides.
+        assert_eq!(ctx.counter_delta("par.test.ctx.units"), 3 * 64 + 128 + 2);
+        // The region spans landed in the context's tree too.
+        assert!(ctx
+            .span_stats()
+            .iter()
+            .any(|(name, _)| name.contains("par.test.ctx")));
     }
 
     #[test]

@@ -128,7 +128,12 @@ impl<'s, 'kg> InProcessEndpoint<'s, 'kg> {
 
 impl SparqlEndpoint for InProcessEndpoint<'_, '_> {
     fn select(&self, query: &Query) -> Result<ResultSet, RdfError> {
+        // Per-request latency feeds the global histogram and, through it,
+        // the scoped view of whichever telemetry context issued the
+        // request (an SLO `gauge:`/histogram signal per tenant later).
+        let start = std::time::Instant::now();
         let rs = SparqlEngine::new(self.store).execute(query)?;
+        kgtosa_obs::histogram("rdf.request_s").observe(start.elapsed().as_secs_f64());
         self.stats.record(&rs);
         Ok(rs)
     }
