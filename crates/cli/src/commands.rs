@@ -830,3 +830,63 @@ pub fn train(args: &Args, compare: bool) -> Result<(), String> {
         "task {task_name:?} not found in dataset {dataset_name:?}; available: {available:?}"
     ))
 }
+
+/// `kgtosa serve` — the overload-safe extraction/inference daemon.
+///
+/// Loads one dataset snapshot and a checkpoint registry, binds the
+/// address, and serves until SIGTERM/SIGINT (or `POST /admin/shutdown`)
+/// drains it. The drain report is printed on stdout; telemetry flushing
+/// (JSONL trace, Chrome trace, summary tree) is handled by the shared
+/// CLI epilogue, so a drained daemon exits 0 with complete traces.
+pub fn serve(args: &Args) -> Result<(), String> {
+    use std::time::Duration;
+
+    let mut cfg = kgtosa_serve::ServeConfig {
+        addr: args.get_or("addr", "127.0.0.1:0").to_string(),
+        dataset: args.get_or("dataset", "mag").to_string(),
+        scale: args.parse_or("scale", 0.05)?,
+        seed: args.parse_or("seed", 7u64)?,
+        dim: args.parse_or("dim", 16usize)?,
+        lr: args.parse_or("lr", 0.02f32)?,
+        workers: args.parse_or("workers", 4usize)?.max(1),
+        queue_cap: args.parse_or("queue-cap", 64usize)?.max(1),
+        max_inflight_bytes: args.parse_or("max-inflight-bytes", 8 * 1024 * 1024usize)?,
+        max_body_bytes: args.parse_or("max-body-bytes", 1024 * 1024usize)?,
+        default_deadline: Duration::from_millis(args.parse_or("default-deadline-ms", 2_000u64)?),
+        max_deadline: Duration::from_millis(args.parse_or("max-deadline-ms", 30_000u64)?),
+        ..Default::default()
+    };
+    if let Some(spec) = args.options.get("breaker") {
+        cfg.breaker =
+            kgtosa_rdf::BreakerPolicy::parse(spec).map_err(|e| format!("--breaker: {e}"))?;
+    }
+    if let Some(spec) = args.options.get("retry") {
+        cfg.retry = RetryPolicy::parse(spec).map_err(|e| format!("--retry: {e}"))?;
+    }
+    if let Some(spec) = args.options.get("fault-spec") {
+        cfg.fault = Some(FaultPlan::parse(spec).map_err(|e| format!("--fault-spec: {e}"))?);
+    }
+    if !args.flag("no-cache") {
+        cfg.cache_dir = args
+            .options
+            .get("cache-dir")
+            .cloned()
+            .or_else(|| std::env::var("KGTOSA_CACHE_DIR").ok())
+            .filter(|d| !d.is_empty())
+            .map(PathBuf::from);
+    }
+    cfg.checkpoint_dir = checkpoint_dir(args);
+
+    let state = kgtosa_serve::ServeState::from_dataset(cfg)?;
+    let server = kgtosa_serve::Server::bind(state)
+        .map_err(|e| format!("cannot bind serve address: {e}"))?;
+    // The bound address goes to stdout so scripts (and port-0 runs) can
+    // read it back.
+    println!("serve: listening on http://{}", server.addr());
+    let report = server.run().map_err(|e| format!("serve loop failed: {e}"))?;
+    println!(
+        "serve: drained — served={} sheds={} handler_panics={} deadline_expired={}",
+        report.served, report.sheds, report.handler_panics, report.deadline_expired
+    );
+    Ok(())
+}

@@ -42,6 +42,21 @@ COMMANDS:
                [--tosg d1h1] [--scale 0.1] [--epochs 15] [--dim 16] [--seed 7]
   compare    Train on FG and on the KG-TOSA subgraph, print both
                (same options as train)
+  serve      Run the overload-safe extraction/inference daemon
+               --addr HOST:PORT (port 0 picks a free port, printed on
+               stdout) [--dataset mag] [--scale 0.05] [--seed 7]
+               [--dim 16] [--lr 0.02] [--workers 4] [--queue-cap 64]
+               [--max-inflight-bytes 8388608] [--max-body-bytes 1048576]
+               [--default-deadline-ms 2000] [--max-deadline-ms 30000]
+               [--breaker trip=5,cooldown=16,seed=7] [--retry SPEC]
+               [--fault-spec SPEC] [--cache-dir DIR]
+               [--checkpoint-dir DIR (serves its *.ckpt via POST /infer)]
+             Routes: POST /extract {task|target_class, pattern,
+             deadline_ms}, POST /infer {checkpoint, task, nodes},
+             GET /serve (live stats), POST /admin/fault, POST
+             /admin/shutdown, plus the obs /metrics family. Admission
+             beyond --queue-cap or the in-flight byte budget sheds with
+             429; SIGTERM/SIGINT drains gracefully and exits 0.
   cache      Inspect or reset the extraction artifact cache
                kgtosa cache ls|stats|clear (--cache-dir DIR or
                KGTOSA_CACHE_DIR=DIR)
@@ -237,6 +252,7 @@ fn main() {
             "extract" => commands::extract(&args),
             "train" => commands::train(&args, false),
             "compare" => commands::train(&args, true),
+            "serve" => commands::serve(&args),
             "cache" => commands::cache(&args),
             "trace-summary" => commands::trace_summary(&args),
             "trace-diff" => commands::trace_diff(&args),

@@ -148,6 +148,59 @@ fn sanitize(method: &str) -> String {
         .collect()
 }
 
+/// A `KGTOSAC1` checkpoint file parsed and checksum-verified, but not yet
+/// bound to any particular run's config fingerprint. The serving layer's
+/// [`crate::registry`] works at this level: it trusts the checksum for
+/// integrity and the fingerprint for identity, without needing the
+/// originating [`TrainConfig`].
+#[derive(Debug)]
+pub struct RawCheckpoint<'a> {
+    /// Config+dataset fingerprint the trainer stamped at save time.
+    pub fingerprint: u64,
+    /// Last fully-completed epoch.
+    pub completed_epoch: usize,
+    /// Convergence trace up to that epoch.
+    pub trace: Vec<TracePoint>,
+    /// The opaque trainer state blob (checksum already verified).
+    pub state: &'a [u8],
+}
+
+/// Parses checkpoint `bytes` structurally: magic, header, trace, and the
+/// state blob with its FNV-1a checksum verified. Does *not* compare the
+/// fingerprint against anything — callers decide what identity means.
+pub fn parse_checkpoint_bytes(bytes: &[u8]) -> io::Result<RawCheckpoint<'_>> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut r: &[u8] = bytes;
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let fingerprint = read_u64(&mut r)?;
+    let completed_epoch = read_u64(&mut r)? as usize;
+    let count = read_u64(&mut r)? as usize;
+    if count > bytes.len() {
+        return Err(bad("trace count exceeds file size"));
+    }
+    let mut trace = Vec::with_capacity(count);
+    for _ in 0..count {
+        trace.push(TracePoint {
+            epoch: read_u64(&mut r)? as usize,
+            elapsed_s: f64::from_bits(read_u64(&mut r)?),
+            metric: f64::from_bits(read_u64(&mut r)?),
+        });
+    }
+    let state_len = read_u64(&mut r)? as usize;
+    if state_len + 8 > r.len() {
+        return Err(bad("truncated state blob"));
+    }
+    let (state, mut tail) = r.split_at(state_len);
+    if read_u64(&mut tail)? != fnv64(state) {
+        return Err(bad("state checksum mismatch"));
+    }
+    Ok(RawCheckpoint { fingerprint, completed_epoch, trace, state })
+}
+
 /// Per-trainer checkpoint driver: resolves the file path, validates resume
 /// candidates, and performs atomic interval saves.
 pub struct Checkpointer {
@@ -213,38 +266,14 @@ impl Checkpointer {
     }
 
     fn parse<'a>(&self, bytes: &'a [u8]) -> io::Result<(usize, Vec<TracePoint>, &'a [u8])> {
-        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-        let mut r: &[u8] = bytes;
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(bad("bad magic"));
+        let raw = parse_checkpoint_bytes(bytes)?;
+        if raw.fingerprint != self.fingerprint {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "config/dataset fingerprint mismatch",
+            ));
         }
-        if read_u64(&mut r)? != self.fingerprint {
-            return Err(bad("config/dataset fingerprint mismatch"));
-        }
-        let epoch = read_u64(&mut r)? as usize;
-        let count = read_u64(&mut r)? as usize;
-        if count > bytes.len() {
-            return Err(bad("trace count exceeds file size"));
-        }
-        let mut trace = Vec::with_capacity(count);
-        for _ in 0..count {
-            trace.push(TracePoint {
-                epoch: read_u64(&mut r)? as usize,
-                elapsed_s: f64::from_bits(read_u64(&mut r)?),
-                metric: f64::from_bits(read_u64(&mut r)?),
-            });
-        }
-        let state_len = read_u64(&mut r)? as usize;
-        if state_len + 8 > r.len() {
-            return Err(bad("truncated state blob"));
-        }
-        let (state, mut tail) = r.split_at(state_len);
-        if read_u64(&mut tail)? != fnv64(state) {
-            return Err(bad("state checksum mismatch"));
-        }
-        Ok((epoch, trace, state))
+        Ok((raw.completed_epoch, raw.trace, raw.state))
     }
 
     /// Saves after epoch `epoch` (1-based) when the interval or the final

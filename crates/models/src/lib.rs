@@ -20,12 +20,14 @@
 
 pub mod checkpoint;
 pub mod common;
+pub mod infer;
 pub mod lhgnn;
 pub mod lp_common;
 pub mod morse;
 pub mod rgcn_basis_nc;
 pub mod rgcn_lp;
 pub mod rgcn_nc;
+pub mod registry;
 pub mod saint_nc;
 pub mod sehgnn_nc;
 pub mod shadow_nc;
@@ -34,8 +36,12 @@ mod testutil;
 mod testutil_lp;
 pub mod view;
 
-pub use checkpoint::{state_fingerprint, CheckpointConfig};
+pub use checkpoint::{parse_checkpoint_bytes, state_fingerprint, CheckpointConfig, RawCheckpoint};
 pub use common::{LpDataset, NcDataset, TracePoint, TrainConfig, TrainReport};
+pub use infer::{NcModelShape, RgcnNcModel};
+pub use registry::{
+    inspect_checkpoint, read_validated_state, CheckpointInfo, CheckpointRegistry,
+};
 pub use lhgnn::train_lhgnn_lp;
 pub use lp_common::{
     corrupt_entity, evaluate_ranking, evaluate_ranking_filtered, evaluate_ranking_sided, Decoder,

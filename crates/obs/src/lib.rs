@@ -50,6 +50,7 @@ mod context;
 mod diff;
 mod flame;
 mod history;
+pub mod httpd;
 mod json;
 mod panic_hook;
 mod prof;
@@ -74,6 +75,10 @@ pub use context::{
 };
 pub use diff::{diff_spans, diff_trace_texts, parse_trace_or_bench, DiffOptions, DiffReport, DiffRow};
 pub use flame::render_flame_svg;
+pub use httpd::{
+    builtin_route, read_request, write_response, HttpRequest, HttpResponse, RequestError,
+    MAX_BODY_BYTES, MAX_HEAD_BYTES,
+};
 pub use history::{
     append_record, baseline_from_window, compact_history, current_git_rev, load_history,
     render_markdown, trend_against_history, CompactReport, HistoryRecord, TrendReport,

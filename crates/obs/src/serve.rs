@@ -20,14 +20,11 @@
 //! right weight — there is no worker pool to interfere with the
 //! deterministic kernels being measured.
 
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::OnceLock;
 use std::time::Duration;
 
-use crate::json::Json;
-use crate::progress::progress_json;
-use crate::prometheus::render_prometheus;
+use crate::httpd::{builtin_route, read_request, write_response, HttpResponse, MAX_HEAD_BYTES};
 use crate::registry;
 
 static BOUND: OnceLock<SocketAddr> = OnceLock::new();
@@ -93,134 +90,33 @@ pub fn register_core_metrics() {
     let _ = registry::counter("slo.violations");
 }
 
-/// The `/healthz` payload. Readiness is live: a violating context flips
-/// it to false until that context is dropped.
-fn healthz_json(ready: bool) -> Json {
-    Json::Obj(vec![
-        ("ready".into(), Json::Bool(ready)),
-        (
-            "active_contexts".into(),
-            Json::Num(crate::context::active_context_count() as f64),
-        ),
-        (
-            "slo_rules".into(),
-            Json::Num(crate::slo::slo_rules_installed() as f64),
-        ),
-        (
-            "slo_violations".into(),
-            Json::Num(crate::slo::slo_violation_count() as f64),
-        ),
-    ])
-}
-
 fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    // Read until the end of the request head (or a small cap — GET only).
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(_) => break,
-        };
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-            break;
-        }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let mut parts = head.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("/");
-    // Strip any query string.
-    let path = path.split('?').next().unwrap_or("/");
-
-    if method != "GET" {
-        return respond(&mut stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
-    }
-    match path {
-        "/metrics" => respond(
-            &mut stream,
-            200,
-            "text/plain; version=0.0.4; charset=utf-8",
-            &render_prometheus(),
-        ),
-        "/spans" => respond(&mut stream, 200, "application/json", &spans_json().to_string()),
-        "/progress" => respond(&mut stream, 200, "application/json", &progress_json().to_string()),
-        "/prof" => respond(&mut stream, 200, "application/json", &crate::prof::prof_json().to_string()),
-        "/contexts" => respond(
-            &mut stream,
-            200,
-            "application/json",
-            &crate::context::contexts_json().to_string(),
-        ),
-        "/healthz" => {
-            let ready = crate::slo::slo_ready();
-            respond(
-                &mut stream,
-                if ready { 200 } else { 503 },
-                "application/json",
-                &healthz_json(ready).to_string(),
-            )
-        }
-        "/" => respond(
-            &mut stream,
-            200,
-            "text/plain; charset=utf-8",
-            "kgtosa metrics server\nroutes: /metrics /spans /progress /prof /contexts /healthz\n",
-        ),
-        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
-    }
-}
-
-fn respond(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        503 => "Service Unavailable",
-        _ => "Error",
+    let req = match read_request(&mut stream, MAX_HEAD_BYTES, 8192) {
+        Ok(req) => req,
+        Err(_) => return Ok(()),
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
-/// The `/spans` payload: `{"spans": {<name>: {...}}}` mirroring the final
-/// `metrics` trace event's span section.
-fn spans_json() -> Json {
-    let spans: Vec<(String, Json)> = registry::span_stats()
-        .into_iter()
-        .map(|(name, s)| {
-            (
-                name,
-                Json::Obj(vec![
-                    ("count".into(), Json::Num(s.count as f64)),
-                    ("total_s".into(), Json::Num(s.total_s)),
-                    ("max_s".into(), Json::Num(s.max_s)),
-                    ("peak_delta_max".into(), Json::Num(s.peak_delta_max as f64)),
-                    ("allocs".into(), Json::Num(s.allocs as f64)),
-                ]),
-            )
-        })
-        .collect();
-    Json::Obj(vec![("spans".into(), Json::Obj(spans))])
+    let response = if req.method != "GET" {
+        HttpResponse::text(405, "method not allowed\n")
+    } else if let Some(builtin) = builtin_route(&req) {
+        builtin
+    } else if req.path == "/" {
+        HttpResponse::text(
+            200,
+            "kgtosa metrics server\nroutes: /metrics /spans /progress /prof /contexts /healthz\n",
+        )
+    } else {
+        HttpResponse::text(404, "not found\n")
+    };
+    write_response(&mut stream, &response)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::Json;
+    use std::io::{Read, Write};
 
     fn http_get(addr: SocketAddr, path: &str) -> (u16, String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();

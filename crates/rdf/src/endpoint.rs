@@ -179,6 +179,12 @@ pub struct FetchConfig {
     /// TOSG patterns). Composed *outside* the retry layer, so a page
     /// that needed retries still fills the cache exactly once.
     pub page_cache: Option<PageCache>,
+    /// Circuit breaker shared across fetches against the same backend
+    /// (clone of one [`CircuitBreaker`]). Composed outside the retry
+    /// layer — it sees give-ups and fatal errors, not absorbed transient
+    /// attempts — and inside the page cache, so cached pages are served
+    /// even while the backend is quarantined.
+    pub breaker: Option<crate::breaker::CircuitBreaker>,
 }
 
 impl Default for FetchConfig {
@@ -191,6 +197,7 @@ impl Default for FetchConfig {
             mode: FetchMode::Strict,
             checkpoint: None,
             page_cache: None,
+            breaker: None,
         }
     }
 }
@@ -302,6 +309,17 @@ pub fn fetch_triples_robust<E: SparqlEndpoint>(
         Some(policy) => {
             retrying = RetryingEndpoint::new(base, policy.clone());
             &retrying
+        }
+        None => base,
+    };
+    // Breaker outside the retries: it reacts to give-ups and fatal
+    // errors (the backend is genuinely failing), never to the transient
+    // attempts the retry layer absorbs.
+    let breaking;
+    let base: &dyn SparqlEndpoint = match &cfg.breaker {
+        Some(breaker) => {
+            breaking = breaker.wrap(base);
+            &breaking
         }
         None => base,
     };

@@ -18,6 +18,15 @@ pub enum RdfError {
     /// the same request may succeed if retried. Parse/Exec errors are fatal
     /// — resending an ill-formed query cannot help.
     Transient(String),
+    /// The request's wall-clock budget ran out (or the remaining budget
+    /// could not cover the next backoff sleep). Not retryable: a doomed
+    /// request must stop burning the pool, not time out at the socket.
+    Deadline(String),
+    /// The circuit breaker is open: the backend has been failing and the
+    /// request was rejected *without* being sent. Not retryable through
+    /// the same breaker — callers degrade (e.g. to cache-only answers)
+    /// or fail fast instead of cascading.
+    BreakerOpen(String),
 }
 
 impl RdfError {
@@ -39,10 +48,31 @@ impl RdfError {
         RdfError::Transient(message.into())
     }
 
+    /// Builds a deadline-exceeded error.
+    pub fn deadline(message: impl Into<String>) -> Self {
+        RdfError::Deadline(message.into())
+    }
+
+    /// Builds a breaker-open rejection.
+    pub fn breaker_open(message: impl Into<String>) -> Self {
+        RdfError::BreakerOpen(message.into())
+    }
+
     /// Classifies the error for retry purposes: `true` means the request
     /// may succeed on resend, `false` means retrying is pointless.
     pub fn is_transient(&self) -> bool {
         matches!(self, RdfError::Transient(_))
+    }
+
+    /// Whether the error is a deadline-budget exhaustion.
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, RdfError::Deadline(_))
+    }
+
+    /// Whether the error is a circuit-breaker rejection (the request was
+    /// never sent to the backend).
+    pub fn is_breaker_open(&self) -> bool {
+        matches!(self, RdfError::BreakerOpen(_))
     }
 }
 
@@ -54,6 +84,8 @@ impl fmt::Display for RdfError {
             }
             RdfError::Exec(message) => write!(f, "execution error: {message}"),
             RdfError::Transient(message) => write!(f, "transient endpoint error: {message}"),
+            RdfError::Deadline(message) => write!(f, "deadline exceeded: {message}"),
+            RdfError::BreakerOpen(message) => write!(f, "circuit breaker open: {message}"),
         }
     }
 }

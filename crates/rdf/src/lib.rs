@@ -30,6 +30,7 @@
 //! ```
 
 pub mod ast;
+pub mod breaker;
 pub mod checkpoint;
 pub mod endpoint;
 pub mod error;
@@ -44,6 +45,9 @@ pub mod retry;
 pub mod store;
 
 pub use ast::{Element, Group, Query, Selection, Term, TriplePattern};
+pub use breaker::{
+    BreakerEndpoint, BreakerPolicy, BreakerState, BreakerTransition, CircuitBreaker,
+};
 pub use checkpoint::FetchCheckpoint;
 pub use endpoint::{
     fetch_triples, fetch_triples_robust, EndpointStats, FetchConfig, FetchMode, FetchOutcome,

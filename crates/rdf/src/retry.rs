@@ -97,6 +97,20 @@ impl RetryPolicy {
         Ok(policy)
     }
 
+    /// Derives a policy whose request and fetch deadlines are capped at
+    /// `budget` (an existing tighter deadline wins). The serving layer
+    /// uses this to propagate a request's *remaining* wall-clock budget
+    /// into every endpoint round-trip it triggers, so a doomed request
+    /// stops retrying instead of timing out at the socket.
+    pub fn capped_to_budget(&self, budget: Duration) -> Self {
+        let cap = |d: Option<Duration>| Some(d.map_or(budget, |d| d.min(budget)));
+        Self {
+            request_deadline: cap(self.request_deadline),
+            fetch_deadline: cap(self.fetch_deadline),
+            ..self.clone()
+        }
+    }
+
     /// Backoff before retry number `retry` (1-based) of the request
     /// identified by `key`: exponential growth capped at `max_backoff_us`,
     /// scaled into `[1/2, 1)` of the nominal delay by seeded jitter so
@@ -163,9 +177,16 @@ impl<E: SparqlEndpoint> RetryingEndpoint<E> {
                 ],
             );
         }
-        // The give-up is final: downgrade to a fatal error so no outer
-        // layer retries a request this policy already abandoned.
-        RdfError::exec(format!("gave up after {attempt} attempts ({why}): {err}"))
+        let msg = format!("gave up after {attempt} attempts ({why}): {err}");
+        // The give-up is final: neither variant is transient, so no outer
+        // layer retries a request this policy already abandoned. Deadline
+        // give-ups keep their classification so the serving layer can
+        // answer with a budget-exhausted status instead of a plain error.
+        if why.contains("deadline") {
+            RdfError::deadline(msg)
+        } else {
+            RdfError::exec(msg)
+        }
     }
 }
 
@@ -194,6 +215,34 @@ impl<E: SparqlEndpoint> SparqlEndpoint for RetryingEndpoint<E> {
                 return Err(self.give_up(key, attempt, "request deadline exceeded", err));
             }
             let backoff = self.policy.backoff(key, attempt);
+            // A backoff that would sleep past the remaining budget cannot
+            // lead to a successful retry — the next attempt would start
+            // already expired. Give up now instead of burning a worker on
+            // a sleep whose outcome is predetermined.
+            if self
+                .policy
+                .request_deadline
+                .is_some_and(|d| request_start.elapsed() + backoff >= d)
+            {
+                return Err(self.give_up(
+                    key,
+                    attempt,
+                    "request deadline precludes next backoff",
+                    err,
+                ));
+            }
+            if self
+                .policy
+                .fetch_deadline
+                .is_some_and(|d| self.started.elapsed() + backoff >= d)
+            {
+                return Err(self.give_up(
+                    key,
+                    attempt,
+                    "fetch deadline precludes next backoff",
+                    err,
+                ));
+            }
             self.retries.fetch_add(1, Ordering::Relaxed);
             kgtosa_obs::counter("rdf.retries").inc();
             if kgtosa_obs::telemetry_active() {
@@ -308,6 +357,54 @@ mod tests {
         assert!(err.to_string().contains("gave up after 3 attempts"));
         assert_eq!(retrying.retries(), 2);
         assert_eq!(retrying.giveups(), 1);
+    }
+
+    #[test]
+    fn backoff_longer_than_remaining_budget_gives_up_immediately() {
+        let kg = kg();
+        let store = RdfStore::new(&kg);
+        let ep = InProcessEndpoint::new(&store);
+        let plan = FaultPlan {
+            fault_rate: 1.0,
+            max_burst: 10,
+            ..FaultPlan::default()
+        };
+        // The next backoff (~0.25-0.5s) dwarfs the 50ms budget: the layer
+        // must give up *now* with a deadline classification instead of
+        // sleeping past the deadline and failing at the next attempt.
+        let policy = RetryPolicy {
+            base_backoff_us: 500_000,
+            max_backoff_us: 500_000,
+            request_deadline: Some(Duration::from_millis(50)),
+            ..RetryPolicy::default()
+        };
+        let retrying = RetryingEndpoint::new(FaultyEndpoint::new(&ep, plan), policy);
+        let q = parse("SELECT ?s ?o WHERE { ?s <writes> ?o }").unwrap();
+        let start = Instant::now();
+        let err = retrying.select(&q).unwrap_err();
+        assert!(err.is_deadline(), "expected deadline classification: {err}");
+        assert!(!err.is_transient());
+        assert!(
+            start.elapsed() < Duration::from_millis(250),
+            "gave up after {:?} — it slept through the doomed backoff",
+            start.elapsed()
+        );
+        assert_eq!(retrying.retries(), 0, "no retry can fit in the budget");
+        assert_eq!(retrying.giveups(), 1);
+    }
+
+    #[test]
+    fn capped_to_budget_tightens_never_loosens() {
+        let p = RetryPolicy {
+            request_deadline: Some(Duration::from_millis(5)),
+            fetch_deadline: None,
+            ..RetryPolicy::default()
+        };
+        let capped = p.capped_to_budget(Duration::from_millis(100));
+        assert_eq!(capped.request_deadline, Some(Duration::from_millis(5)));
+        assert_eq!(capped.fetch_deadline, Some(Duration::from_millis(100)));
+        let tighter = p.capped_to_budget(Duration::from_millis(2));
+        assert_eq!(tighter.request_deadline, Some(Duration::from_millis(2)));
     }
 
     #[test]

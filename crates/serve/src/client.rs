@@ -1,0 +1,83 @@
+//! A minimal blocking HTTP/1.1 client — just enough to drive the daemon
+//! from the loadgen harness, the e2e tests, and health probes. One
+//! request per connection (the server answers `Connection: close`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed reply: status code plus the raw body.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response body (the daemon always answers UTF-8 JSON or text).
+    pub body: String,
+}
+
+/// `GET path`.
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<HttpReply> {
+    call(addr, "GET", path, &[], b"", timeout)
+}
+
+/// `POST path` with a JSON body.
+pub fn post_json(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<HttpReply> {
+    call(
+        addr,
+        "POST",
+        path,
+        &[("Content-Type", "application/json")],
+        body.as_bytes(),
+        timeout,
+    )
+}
+
+/// One request/response round trip with connect/read/write timeouts.
+pub fn call(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<HttpReply> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_reply(&raw)
+}
+
+fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
+    let text = String::from_utf8_lossy(raw);
+    let mut lines = text.splitn(2, "\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let body = match text.split_once("\r\n\r\n") {
+        Some((_, b)) => b.to_string(),
+        None => String::new(),
+    };
+    Ok(HttpReply { status, body })
+}

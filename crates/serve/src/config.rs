@@ -1,0 +1,85 @@
+//! Daemon configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use kgtosa_rdf::{BreakerPolicy, FaultPlan, RetryPolicy};
+
+/// Everything `kgtosa serve` needs to build its state and run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port `0` picks a free port).
+    pub addr: String,
+    /// Dataset the daemon loads (`mag`, `dblp`, ...).
+    pub dataset: String,
+    /// Generator scale factor.
+    pub scale: f64,
+    /// Generator / model seed. Must match the seed checkpoints were
+    /// trained with for `/infer` to reconstruct their exact state.
+    pub seed: u64,
+    /// Model dimension expected of checkpoints (`--dim` at train time).
+    pub dim: usize,
+    /// Model learning rate expected of checkpoints (`--lr` at train time;
+    /// shapes the optimizer-state blob, not serving math).
+    pub lr: f32,
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Bounded admission-queue capacity; connections beyond it are shed
+    /// with `429` before any work happens.
+    pub queue_cap: usize,
+    /// Budget on the summed body bytes concurrently being handled;
+    /// requests that would exceed it are shed with `429`.
+    pub max_inflight_bytes: usize,
+    /// Per-request body cap (`413` beyond it).
+    pub max_body_bytes: usize,
+    /// Deadline applied when a request does not carry its own.
+    pub default_deadline: Duration,
+    /// Upper clamp on any requested deadline.
+    pub max_deadline: Duration,
+    /// Circuit-breaker policy guarding the extraction endpoint.
+    pub breaker: BreakerPolicy,
+    /// Retry policy for endpoint fetches (per-request deadline budgets
+    /// are layered on top via [`RetryPolicy::capped_to_budget`]).
+    pub retry: RetryPolicy,
+    /// Initial deterministic fault plan (admin-togglable at runtime).
+    pub fault: Option<FaultPlan>,
+    /// On-disk extraction artifact cache directory; `None` disables the
+    /// cache (and with it the breaker-open degraded-answer path).
+    pub cache_dir: Option<PathBuf>,
+    /// Directory scanned for `*.ckpt` training checkpoints served by
+    /// `/infer`; `None` serves an empty model registry.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            dataset: "mag".into(),
+            scale: 0.05,
+            seed: 7,
+            dim: 16,
+            lr: 0.02,
+            workers: 4,
+            queue_cap: 64,
+            max_inflight_bytes: 8 * 1024 * 1024,
+            max_body_bytes: 1024 * 1024,
+            default_deadline: Duration::from_millis(2_000),
+            max_deadline: Duration::from_millis(30_000),
+            breaker: BreakerPolicy::default(),
+            retry: RetryPolicy::default(),
+            fault: None,
+            cache_dir: None,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Clamps a requested per-request deadline into `[1ms, max_deadline]`,
+    /// falling back to the default when absent.
+    pub fn clamp_deadline(&self, requested_ms: Option<u64>) -> Duration {
+        let ms = requested_ms.unwrap_or(self.default_deadline.as_millis() as u64);
+        Duration::from_millis(ms.clamp(1, self.max_deadline.as_millis() as u64))
+    }
+}

@@ -1,0 +1,177 @@
+//! Shared daemon state: the loaded KG, its RDF store, the checkpoint
+//! registry, and the robustness machinery every request flows through.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+use std::sync::{Arc, Mutex};
+
+use kgtosa_cache::ArtifactCache;
+use kgtosa_core::transform;
+use kgtosa_datagen::{Dataset, NcTask};
+use kgtosa_kg::{HeteroGraph, KnowledgeGraph};
+use kgtosa_models::{
+    read_validated_state, CheckpointInfo, CheckpointRegistry, NcModelShape, RgcnNcModel,
+};
+use kgtosa_rdf::{CircuitBreaker, FaultPlan, PageCache, RdfStore};
+
+use crate::config::ServeConfig;
+
+/// Everything a request handler can touch, shared across workers.
+///
+/// The KG (and the datagen tasks over it) are leaked to `'static`: the
+/// daemon serves them for the life of the process, and [`RdfStore`]
+/// borrows the graph — a deliberate one-time leak per daemon, not a drip.
+pub struct ServeState {
+    /// The daemon's configuration.
+    pub cfg: ServeConfig,
+    kg: &'static KnowledgeGraph,
+    store: RdfStore<'static>,
+    graph: HeteroGraph,
+    fingerprint: u64,
+    nc_tasks: &'static [NcTask],
+    registry: CheckpointRegistry,
+    models: Mutex<HashMap<u64, Arc<RgcnNcModel>>>,
+    /// Extraction artifact cache (the breaker-open degraded-answer path).
+    pub cache: Option<ArtifactCache>,
+    /// SPARQL page cache shared across requests.
+    pub page_cache: PageCache,
+    /// Circuit breaker shared by every extraction against the backend.
+    pub breaker: CircuitBreaker,
+    /// Runtime-togglable deterministic fault plan (`POST /admin/fault`).
+    pub fault: Mutex<Option<FaultPlan>>,
+    /// Set once drain begins; the accept loop stops admitting.
+    pub draining: AtomicBool,
+    /// Responses written, by coarse class.
+    pub served: AtomicU64,
+    /// Body bytes currently being handled (the in-flight budget).
+    pub inflight_bytes: AtomicUsize,
+}
+
+impl ServeState {
+    /// Builds the state for `cfg`: generates the dataset, indexes it in
+    /// the RDF store, builds adjacency for inference, scans the
+    /// checkpoint registry, and opens the artifact cache.
+    pub fn from_dataset(cfg: ServeConfig) -> Result<Arc<Self>, String> {
+        let guard = kgtosa_obs::span!("serve.startup");
+        let d = dataset_by_name(&cfg.dataset, cfg.scale, cfg.seed)?;
+        let d: &'static Dataset = Box::leak(Box::new(d));
+        let kg = &d.gen.kg;
+        let fingerprint = kgtosa_kg::fingerprint(kg);
+        let store = RdfStore::new(kg);
+        let (graph, _) = transform(kg);
+        let registry = match &cfg.checkpoint_dir {
+            Some(dir) => CheckpointRegistry::scan(dir)
+                .map_err(|e| format!("cannot scan checkpoint dir {}: {e}", dir.display()))?,
+            None => CheckpointRegistry::default(),
+        };
+        let cache = match &cfg.cache_dir {
+            Some(dir) => Some(
+                ArtifactCache::open(dir)
+                    .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))?,
+            ),
+            None => None,
+        };
+        let breaker = CircuitBreaker::new(cfg.breaker.clone());
+        let fault = Mutex::new(cfg.fault.clone());
+        drop(guard);
+        kgtosa_obs::info!(
+            "serve: loaded {} ({} nodes, {} triples, fingerprint {fingerprint:016x}), {} checkpoint(s)",
+            cfg.dataset,
+            kg.num_nodes(),
+            kg.num_triples(),
+            registry.entries().len()
+        );
+        Ok(Arc::new(Self {
+            cfg,
+            kg,
+            store,
+            graph,
+            fingerprint,
+            nc_tasks: &d.nc,
+            registry,
+            models: Mutex::new(HashMap::new()),
+            cache,
+            page_cache: PageCache::new(),
+            breaker,
+            fault,
+            draining: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            inflight_bytes: AtomicUsize::new(0),
+        }))
+    }
+
+    /// The loaded knowledge graph.
+    pub fn kg(&self) -> &KnowledgeGraph {
+        self.kg
+    }
+
+    /// The RDF store indexing it.
+    pub fn store(&self) -> &RdfStore<'static> {
+        &self.store
+    }
+
+    /// Adjacency views for inference forward passes.
+    pub fn graph(&self) -> &HeteroGraph {
+        &self.graph
+    }
+
+    /// FNV fingerprint of the loaded KG snapshot.
+    pub fn kg_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The dataset's node-classification tasks.
+    pub fn nc_tasks(&self) -> &[NcTask] {
+        self.nc_tasks
+    }
+
+    /// The checkpoint registry scanned at startup.
+    pub fn registry(&self) -> &CheckpointRegistry {
+        &self.registry
+    }
+
+    /// Loads (or returns the cached) inference model for a checkpoint.
+    /// The state blob is checksum-verified on first load; later requests
+    /// share one frozen in-memory model.
+    pub fn model_for(
+        &self,
+        info: &CheckpointInfo,
+        num_labels: usize,
+    ) -> Result<Arc<RgcnNcModel>, String> {
+        if let Some(m) = self.models.lock().unwrap().get(&info.fingerprint) {
+            return Ok(m.clone());
+        }
+        let (_, state) = read_validated_state(&info.path)
+            .map_err(|e| format!("checkpoint {} unreadable: {e}", info.path.display()))?;
+        let shape = NcModelShape {
+            nodes: self.graph.num_nodes(),
+            relations: self.graph.num_relations(),
+            dim: self.cfg.dim,
+            num_labels,
+            lr: self.cfg.lr,
+            seed: self.cfg.seed,
+        };
+        let model = Arc::new(
+            RgcnNcModel::from_state(shape, &state)
+                .map_err(|e| format!("checkpoint {} does not fit shape {shape:?}: {e}", info.path.display()))?,
+        );
+        self.models
+            .lock()
+            .unwrap()
+            .insert(info.fingerprint, model.clone());
+        Ok(model)
+    }
+}
+
+fn dataset_by_name(name: &str, scale: f64, seed: u64) -> Result<Dataset, String> {
+    match name {
+        "mag" => Ok(kgtosa_datagen::mag(scale, seed)),
+        "yago30" => Ok(kgtosa_datagen::yago30(scale, seed)),
+        "dblp" => Ok(kgtosa_datagen::dblp(scale, seed)),
+        "wikikg2" => Ok(kgtosa_datagen::wikikg2(scale, seed)),
+        "yago3-10" => Ok(kgtosa_datagen::yago3_10(scale, seed)),
+        other => Err(format!(
+            "unknown dataset {other:?} (expected mag|yago30|dblp|wikikg2|yago3-10)"
+        )),
+    }
+}
