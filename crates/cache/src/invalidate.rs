@@ -1,0 +1,50 @@
+//! Pattern-scoped invalidation when the source KG changes under a delta.
+//!
+//! Any triple change flips the whole-graph canonical fingerprint, which
+//! would naïvely orphan *every* cached artifact (their keys embed the old
+//! fingerprint). The fingerprint sweep
+//! ([`crate::ArtifactCache::sweep_fingerprint`]) walks entries keyed by
+//! the old fingerprint and lets the caller decide, per entry, whether the
+//! delta's signature intersects the entry's pattern/task reachability:
+//!
+//! * **intersecting** entries are invalidated (removed — the extraction
+//!   they hold is no longer what a fresh run would produce), or replaced
+//!   outright when the caller has already repaired them;
+//! * **non-intersecting** entries are *migrated*: re-published under the
+//!   new fingerprint with a payload the caller re-encodes for the new
+//!   graph (parent-space node counts may have grown), so an untouched
+//!   pattern keeps cache-hitting across updates.
+//!
+//! What "intersects" means is deliberately not decided here: the byte
+//! store stays policy-free. `kgtosa-core` supplies the conservative
+//! class-reachability oracle; this module supplies the mechanism, the
+//! action vocabulary, and the report the `delta.*` telemetry is fed from.
+
+/// Caller's verdict for one cache entry during a fingerprint sweep.
+#[derive(Debug)]
+pub enum SweepAction {
+    /// The delta touches this entry's frontier: drop it. The next lookup
+    /// misses and a fresh extraction repopulates the slot.
+    Invalidate,
+    /// The entry survives the delta: publish this payload under the same
+    /// key re-pinned to the new fingerprint. The payload is the caller's
+    /// to choose — byte-identical for a pure migration, or a repaired
+    /// extraction when the caller patched the TOSG in place.
+    Migrate(Vec<u8>),
+}
+
+/// What a fingerprint sweep did, entry by entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Artifacts examined (all `.kgc` files in the store).
+    pub scanned: usize,
+    /// Entries keyed by a fingerprint other than the old one (left alone).
+    pub skipped: usize,
+    /// Entries removed because the caller judged them stale.
+    pub invalidated: usize,
+    /// Entries re-published under the new fingerprint.
+    pub migrated: usize,
+    /// Entries whose bytes failed validation mid-sweep (removed; the
+    /// slot is clean for re-extraction).
+    pub failed: usize,
+}

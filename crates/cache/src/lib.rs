@@ -24,8 +24,10 @@
 //!   re-extract — never a panic, never a wrong graph;
 //! - a byte budget is enforced by least-recently-used eviction.
 
+pub mod invalidate;
 pub mod key;
 pub mod store;
 
+pub use invalidate::{SweepAction, SweepReport};
 pub use key::{CacheKey, FORMAT_VERSION};
 pub use store::{ArtifactCache, CacheLookup, CacheOutcome, CacheStats, DiskStats, EntryInfo};

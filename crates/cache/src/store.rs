@@ -38,6 +38,7 @@ use std::time::SystemTime;
 
 use kgtosa_kg::fnv64;
 
+use crate::invalidate::{SweepAction, SweepReport};
 use crate::key::{CacheKey, FORMAT_VERSION};
 
 const MAGIC: &[u8; 8] = b"KGTOSAA1";
@@ -108,6 +109,7 @@ pub struct EntryInfo {
     pub bytes: u64,
     /// Header fields, if the header was readable.
     pub kg_fingerprint: Option<u64>,
+    pub params: Option<u64>,
     pub pattern: Option<String>,
     pub task: Option<String>,
     pub extractor: Option<String>,
@@ -326,14 +328,84 @@ impl ArtifactCache {
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
             let header = fs::File::open(&path).ok().and_then(|f| read_header(f).ok());
-            let (kg_fingerprint, pattern, task, extractor, version) = match header {
-                Some(h) => (Some(h.kg_fingerprint), Some(h.pattern), Some(h.task), Some(h.extractor), Some(h.version)),
-                None => (None, None, None, None, None),
+            let (kg_fingerprint, params, pattern, task, extractor, version) = match header {
+                Some(h) => (
+                    Some(h.kg_fingerprint),
+                    Some(h.params),
+                    Some(h.pattern),
+                    Some(h.task),
+                    Some(h.extractor),
+                    Some(h.version),
+                ),
+                None => (None, None, None, None, None, None),
             };
-            rows.push(EntryInfo { file_name, bytes, kg_fingerprint, pattern, task, extractor, version });
+            rows.push(EntryInfo { file_name, bytes, kg_fingerprint, params, pattern, task, extractor, version });
         }
         rows.sort_by(|a, b| a.file_name.cmp(&b.file_name));
         Ok(rows)
+    }
+
+    /// Re-keys the store across a KG fingerprint change (delta apply).
+    ///
+    /// Every artifact keyed by `old_fp` is read, validated against its own
+    /// embedded key, and handed to `decide` together with its payload. The
+    /// caller returns a [`SweepAction`]: `Invalidate` removes the entry
+    /// (its extraction no longer matches what a fresh run would produce),
+    /// `Migrate(payload)` atomically publishes the given payload under the
+    /// identical key re-pinned to `new_fp` and removes the old file — so
+    /// entries untouched by the delta keep hitting after the update.
+    /// Entries keyed by other fingerprints are skipped; entries whose
+    /// bytes fail validation are removed and counted as `failed`.
+    pub fn sweep_fingerprint(
+        &self,
+        old_fp: u64,
+        new_fp: u64,
+        mut decide: impl FnMut(&EntryInfo, Vec<u8>) -> SweepAction,
+    ) -> io::Result<SweepReport> {
+        let mut report = SweepReport::default();
+        for info in self.entries()? {
+            report.scanned += 1;
+            if info.kg_fingerprint != Some(old_fp) {
+                report.skipped += 1;
+                continue;
+            }
+            let path = self.dir.join(&info.file_name);
+            let remove_entry = |path: &Path| {
+                let _ = fs::remove_file(path);
+                let _ = fs::remove_file(self.touch_path_for(path));
+            };
+            let (Some(params), Some(pattern), Some(task), Some(extractor)) =
+                (info.params, info.pattern.clone(), info.task.clone(), info.extractor.clone())
+            else {
+                remove_entry(&path);
+                report.failed += 1;
+                continue;
+            };
+            let old_key =
+                CacheKey { kg_fingerprint: old_fp, pattern, task, extractor, params };
+            let payload = fs::read(&path).ok().and_then(|bytes| parse_artifact(&bytes, &old_key).ok());
+            let Some(payload) = payload else {
+                remove_entry(&path);
+                report.failed += 1;
+                continue;
+            };
+            match decide(&info, payload) {
+                SweepAction::Invalidate => {
+                    remove_entry(&path);
+                    report.invalidated += 1;
+                    kgtosa_obs::counter("cache.invalidations").inc();
+                }
+                SweepAction::Migrate(new_payload) => {
+                    let new_key = CacheKey { kg_fingerprint: new_fp, ..old_key };
+                    self.store(&new_key, &new_payload)?;
+                    remove_entry(&path);
+                    report.migrated += 1;
+                    kgtosa_obs::counter("cache.migrations").inc();
+                }
+            }
+        }
+        self.publish_bytes_gauge();
+        Ok(report)
     }
 
     /// Deletes every artifact, marker, temp file, and quarantined file;
@@ -591,6 +663,59 @@ mod tests {
         assert_eq!(rows[0].task.as_deref(), Some("nc:Paper"));
         assert_eq!(rows[0].pattern.as_deref(), Some("d1h1"));
         assert_eq!(rows[0].version, Some(FORMAT_VERSION));
+    }
+
+    #[test]
+    fn sweep_migrates_clean_entries_and_drops_stale_ones() {
+        let cache = ArtifactCache::open(tmpdir("sweep")).unwrap();
+        let stale_key = key("nc:Paper");
+        let clean_key = key("nc:Venue");
+        let other_fp = CacheKey { kg_fingerprint: 99, ..key("nc:Other") };
+        cache.store(&stale_key, b"stale-payload").unwrap();
+        cache.store(&clean_key, b"clean-payload").unwrap();
+        cache.store(&other_fp, b"other-payload").unwrap();
+
+        let report = cache
+            .sweep_fingerprint(42, 43, |info, payload| {
+                if info.task.as_deref() == Some("nc:Paper") {
+                    SweepAction::Invalidate
+                } else {
+                    SweepAction::Migrate(payload)
+                }
+            })
+            .unwrap();
+        assert_eq!(report.scanned, 3);
+        assert_eq!(report.skipped, 1, "foreign fingerprint untouched");
+        assert_eq!(report.invalidated, 1);
+        assert_eq!(report.migrated, 1);
+        assert_eq!(report.failed, 0);
+
+        // The stale entry is gone under both fingerprints.
+        assert_eq!(cache.lookup(&stale_key).outcome, CacheOutcome::Miss);
+        let stale_new = CacheKey { kg_fingerprint: 43, ..key("nc:Paper") };
+        assert_eq!(cache.lookup(&stale_new).outcome, CacheOutcome::Miss);
+        // The clean entry now hits under the new fingerprint only, with
+        // the payload carried over byte-identically.
+        assert_eq!(cache.lookup(&clean_key).outcome, CacheOutcome::Miss);
+        let clean_new = CacheKey { kg_fingerprint: 43, ..key("nc:Venue") };
+        let hit = cache.lookup(&clean_new);
+        assert_eq!(hit.outcome, CacheOutcome::Hit);
+        assert_eq!(hit.payload.as_deref(), Some(&b"clean-payload"[..]));
+        // The unrelated fingerprint still hits untouched.
+        assert_eq!(cache.lookup(&other_fp).outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn sweep_removes_unreadable_entries() {
+        let cache = ArtifactCache::open(tmpdir("sweep-corrupt")).unwrap();
+        let k = key("nc:Paper");
+        let path = cache.store(&k, b"payload").unwrap();
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 2]).unwrap();
+        let report = cache.sweep_fingerprint(42, 43, |_, p| SweepAction::Migrate(p)).unwrap();
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.migrated, 0);
+        assert!(!path.exists(), "unreadable entry leaves the slot clean");
     }
 
     #[test]

@@ -23,16 +23,18 @@ fn constant(name: &str) -> Term {
     Term::Const(name.to_string())
 }
 
-/// One directed step of the expansion.
+/// One directed step of the expansion. Crate-visible so the incremental
+/// repair path (`crate::repair`) and the staleness oracle (`crate::delta`)
+/// can walk the exact branch shapes the compiler emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Step {
+pub(crate) enum Step {
     Out,
     In,
 }
 
 /// Enumerates the direction sequences for every hop level `1..=h`.
 /// `d1`: only all-outgoing sequences; `d2`: every `{out,in}^L` combination.
-fn direction_sequences(pattern: &GraphPattern) -> Vec<Vec<Step>> {
+pub(crate) fn direction_sequences(pattern: &GraphPattern) -> Vec<Vec<Step>> {
     let mut sequences = Vec::new();
     for level in 1..=pattern.hops.max(1) {
         match pattern.direction {

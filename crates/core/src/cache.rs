@@ -82,12 +82,25 @@ pub fn encode_extraction(
     parent_nodes: usize,
     quality: &SubgraphQuality,
 ) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 + res.subgraph.to_parent.len() * 4);
+    encode_extraction_parts(&res.report.method, &res.subgraph, &res.targets, parent_nodes, quality)
+}
+
+/// The parts-level encoder behind [`encode_extraction`], also used by the
+/// delta path to re-encode a decoded artifact (payload migration after an
+/// update, repaired-subgraph republish).
+pub fn encode_extraction_parts(
+    method: &str,
+    subgraph: &InducedSubgraph,
+    targets: &[Vid],
+    parent_nodes: usize,
+    quality: &SubgraphQuality,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + subgraph.to_parent.len() * 4);
     out.extend_from_slice(PAYLOAD_MAGIC);
-    write_str(&mut out, &res.report.method);
+    write_str(&mut out, method);
     out.extend_from_slice(&(parent_nodes as u64).to_le_bytes());
-    write_vids(&mut out, &res.targets);
-    write_vids(&mut out, &res.subgraph.to_parent);
+    write_vids(&mut out, targets);
+    write_vids(&mut out, &subgraph.to_parent);
     for v in [
         quality.num_nodes as u64,
         quality.num_triples as u64,
@@ -105,8 +118,30 @@ pub fn encode_extraction(
     ] {
         out.extend_from_slice(&f.to_bits().to_le_bytes());
     }
-    write_snapshot(&res.subgraph.kg, &mut out).expect("in-memory snapshot write cannot fail");
+    write_snapshot(&subgraph.kg, &mut out).expect("in-memory snapshot write cannot fail");
     out
+}
+
+/// Rewrites an artifact payload for a parent graph that grew from
+/// `old_parent_nodes` to `new_parent_nodes` vertices (delta apply with
+/// vertex interning). The subgraph bytes, mappings and quality are carried
+/// over untouched — only the embedded parent size changes, because
+/// [`decode_extraction`] validates it against the live graph. Valid only
+/// when the entry's extraction is unaffected by the delta; deciding that
+/// is the staleness oracle's job (`crate::delta`).
+pub fn migrate_payload(
+    payload: &[u8],
+    old_parent_nodes: usize,
+    new_parent_nodes: usize,
+) -> io::Result<Vec<u8>> {
+    let dec = decode_extraction(payload, old_parent_nodes)?;
+    Ok(encode_extraction_parts(
+        &dec.method,
+        &dec.subgraph,
+        &dec.targets,
+        new_parent_nodes,
+        &dec.quality,
+    ))
 }
 
 /// A decoded artifact payload, before it is dressed up as an
@@ -195,8 +230,24 @@ pub fn extract_sparql_cached(
     fetch: &FetchConfig,
     cache: &ArtifactCache,
 ) -> Result<(ExtractionResult, CacheOutcome), RdfError> {
+    let fp = kgtosa_kg::fingerprint(store.kg());
+    extract_sparql_cached_with_fingerprint(store, task, pattern, fetch, cache, fp)
+}
+
+/// [`extract_sparql_cached`] with the source graph's canonical fingerprint
+/// supplied by the caller. Long-lived servers hold the fingerprint in
+/// their epoch state; re-hashing the whole KG on every request would be
+/// O(|KG|) per extract for a value that only changes on delta apply.
+pub fn extract_sparql_cached_with_fingerprint(
+    store: &RdfStore<'_>,
+    task: &ExtractionTask,
+    pattern: &GraphPattern,
+    fetch: &FetchConfig,
+    cache: &ArtifactCache,
+    kg_fingerprint: u64,
+) -> Result<(ExtractionResult, CacheOutcome), RdfError> {
     let kg = store.kg();
-    let key = sparql_cache_key(kgtosa_kg::fingerprint(kg), task, pattern);
+    let key = sparql_cache_key(kg_fingerprint, task, pattern);
     let lookup = cache.lookup(&key);
     if let (CacheOutcome::Hit, Some(payload)) = (lookup.outcome, &lookup.payload) {
         let guard = kgtosa_obs::span!("extract.cache.load");
@@ -354,6 +405,30 @@ mod tests {
         write_snapshot(&res.subgraph.kg, &mut fresh).unwrap();
         write_snapshot(&dec.subgraph.kg, &mut cached).unwrap();
         assert_eq!(fresh, cached, "snapshot bytes must be identical");
+    }
+
+    #[test]
+    fn migrate_payload_re_pins_parent_size() {
+        let (kg, task) = academic();
+        let store = RdfStore::new(&kg);
+        let res =
+            extract_sparql(&store, &task, &GraphPattern::D1H1, &FetchConfig::default()).unwrap();
+        let q = kgtosa_kg::quality(&res.subgraph.kg, &res.targets);
+        let payload = encode_extraction(&res, kg.num_nodes(), &q);
+        // The parent grew by 3 vertices under a delta; the migrated
+        // payload decodes against the new size and carries everything
+        // else over byte-identically.
+        let migrated = migrate_payload(&payload, kg.num_nodes(), kg.num_nodes() + 3).unwrap();
+        assert!(decode_extraction(&migrated, kg.num_nodes()).is_err());
+        let dec = decode_extraction(&migrated, kg.num_nodes() + 3).unwrap();
+        assert_eq!(dec.targets, res.targets);
+        assert_eq!(dec.subgraph.to_parent, res.subgraph.to_parent);
+        assert_eq!(dec.quality, q);
+        let mut fresh = Vec::new();
+        let mut moved = Vec::new();
+        write_snapshot(&res.subgraph.kg, &mut fresh).unwrap();
+        write_snapshot(&dec.subgraph.kg, &mut moved).unwrap();
+        assert_eq!(fresh, moved);
     }
 
     #[test]

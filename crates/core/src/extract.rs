@@ -59,7 +59,10 @@ pub struct ExtractionResult {
 }
 
 impl ExtractionResult {
-    fn new(
+    /// Crate-visible so the incremental repair path (`crate::repair`) can
+    /// produce results through the exact same accounting/quality funnel as
+    /// the extractors.
+    pub(crate) fn new(
         method: String,
         subgraph: InducedSubgraph,
         parent_targets: &[Vid],

@@ -36,17 +36,21 @@
 
 pub mod bgp;
 pub mod cache;
+pub mod delta;
 pub mod extract;
 pub mod metapath_extract;
 pub mod pattern;
 pub mod pipeline;
 pub mod quality;
+pub mod repair;
 
 pub use bgp::{compile_subqueries, compile_union, Subquery};
 pub use cache::{
-    decode_extraction, encode_extraction, extract_sparql_cached, sparql_cache_key, task_label,
+    decode_extraction, encode_extraction, encode_extraction_parts, extract_sparql_cached,
+    extract_sparql_cached_with_fingerprint, migrate_payload, sparql_cache_key, task_label,
     task_params, DecodedExtraction,
 };
+pub use delta::{sweep_cache_after_delta, DeltaSweepOutcome, StalenessOracle};
 pub use extract::{
     extract_brw, extract_ibs, extract_sparql, extract_urw, ExtractionReport, ExtractionResult,
 };
@@ -54,3 +58,6 @@ pub use metapath_extract::{extract_metapath, MetapathConfig};
 pub use pattern::{Direction, ExtractionTask, GraphPattern};
 pub use pipeline::{run_full_graph, run_on_tosg, transform, CostBreakdown};
 pub use quality::QualityRow;
+pub use repair::{
+    parent_triples, repair_extraction, FallbackReason, RepairConfig, RepairReport,
+};

@@ -1,0 +1,481 @@
+//! Incremental TOSG repair under a triple delta.
+//!
+//! After a [`kgtosa_kg::KgDelta`] is applied to the parent KG, a previously
+//! extracted TOSG is stale only where the delta touched its BGP frontier.
+//! Re-running Algorithm 3 from scratch re-pays the full pagination cost; this
+//! module instead *patches* the old extraction:
+//!
+//! 1. enumerate **candidate** triples whose membership in the pattern's match
+//!    set can have changed — the delta's own triples, plus (for `h = 2`) every
+//!    triple incident to a delta endpoint, since a two-hop chain can gain or
+//!    lose its prefix edge there;
+//! 2. re-evaluate the branch predicate for each candidate directly against the
+//!    adjacency index, mirroring the exact branch shapes `crate::bgp` compiles
+//!    (anchor `?v0 a <class>`, then the direction sequence);
+//! 3. splice accepted/rejected candidates into the old parent-space triple
+//!    set and rebuild the compacted subgraph.
+//!
+//! The result is **bit-identical** to a fresh [`extract_sparql`] run on the
+//! updated KG (the differential harness in `tests/delta_differential.rs`
+//! proves this): both paths end in `subgraph_from_triples_and_nodes` over the
+//! same sorted, deduplicated triple set. Repair cost scales with the delta and
+//! its incident frontier, not with `|KG|`.
+//!
+//! When the candidate frontier grows past a configurable fraction of the KG,
+//! or the task/pattern is outside the supported shape (link prediction, more
+//! than two hops), repair falls back to the full extractor — correctness never
+//! depends on the cheap path being applicable.
+
+use kgtosa_kg::{
+    subgraph_from_triples_and_nodes, FxHashSet, HeteroGraph, KnowledgeGraph, Rid, Triple, Vid,
+};
+use kgtosa_rdf::{FetchConfig, RdfError, RdfStore};
+
+use crate::bgp::{direction_sequences, Step};
+use crate::extract::{extract_sparql, ExtractionResult};
+use crate::pattern::{ExtractionTask, GraphPattern};
+
+/// Tuning knobs for the repair-vs-rebuild decision.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Fall back to full extraction when the candidate triple count exceeds
+    /// this fraction of the parent KG's triples: past that point the repair
+    /// walk stops being cheaper than re-running the paginated fetch.
+    pub max_candidate_ratio: f64,
+    /// Candidate counts below this floor never trigger fallback, so small
+    /// graphs (where any delta is a large *fraction*) still take the
+    /// incremental path.
+    pub min_candidate_floor: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        Self {
+            max_candidate_ratio: 0.25,
+            min_candidate_floor: 64,
+        }
+    }
+}
+
+/// Why a repair attempt fell back to full re-extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Link-prediction tasks add the `⟨?s, p_T, ?o⟩` connecting branch,
+    /// which the frontier predicate does not model.
+    LinkPrediction,
+    /// Patterns deeper than two hops (none of the paper's four variants).
+    HopsUnsupported,
+    /// The candidate frontier exceeded [`RepairConfig::max_candidate_ratio`].
+    FrontierTooLarge,
+}
+
+/// Accounting for one repair attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct RepairReport {
+    /// Candidate triples whose membership was re-evaluated (0 on an early
+    /// fallback, i.e. before candidates were enumerated).
+    pub candidates: usize,
+    /// `Some` when the full extractor ran instead of the incremental patch.
+    pub fallback: Option<FallbackReason>,
+}
+
+/// Maps an extracted subgraph's triples back into parent-KG id space.
+///
+/// The subgraph re-interns relations, so predicate ids are translated through
+/// their terms; dictionaries are append-only across deltas, which keeps the
+/// parent ids stable and the lookup infallible for any subgraph extracted
+/// from (an ancestor of) `parent`.
+pub fn parent_triples(
+    parent: &KnowledgeGraph,
+    sub: &kgtosa_kg::InducedSubgraph,
+) -> Vec<Triple> {
+    sub.kg
+        .triples()
+        .iter()
+        .map(|t| {
+            let p = parent
+                .find_relation(sub.kg.relation_term(t.p))
+                .expect("subgraph relation term must exist in parent");
+            Triple::new(sub.map_up(t.s), p, sub.map_up(t.o))
+        })
+        .collect()
+}
+
+/// Does `t` exist in the (updated) parent KG? Candidates sourced from the
+/// delta's removed ops may no longer be present.
+fn edge_exists(graph: &HeteroGraph, t: Triple) -> bool {
+    graph
+        .relation(t.p)
+        .out
+        .neighbors(t.s)
+        .contains(&t.o.0)
+}
+
+/// Would a fresh run of branch `(class, seq)` emit `t` as its final-hop
+/// triple? Mirrors `bgp::branch_patterns`: the chain node is `t.s` for an
+/// outgoing final step and `t.o` for an incoming one; the prefix is walked
+/// *backwards* (an `Out` prefix step means the earlier chain node is an
+/// in-neighbor, `In` means an out-neighbor) until a node of the anchor class
+/// is reached.
+fn branch_emits(
+    graph: &HeteroGraph,
+    class: kgtosa_kg::Cid,
+    seq: &[Step],
+    t: Triple,
+) -> bool {
+    let (last, prefix) = match seq.split_last() {
+        Some(split) => split,
+        None => return false,
+    };
+    let chain_node = match last {
+        Step::Out => t.s,
+        Step::In => t.o,
+    };
+    let mut frontier: FxHashSet<Vid> = FxHashSet::default();
+    frontier.insert(chain_node);
+    for step in prefix.iter().rev() {
+        let mut next: FxHashSet<Vid> = FxHashSet::default();
+        for &v in &frontier {
+            match step {
+                // Prefix pattern (v_i, p_i, v_{i+1}): predecessors of the
+                // current frontier are its in-neighbors.
+                Step::Out => {
+                    for r in 0..graph.num_relations() {
+                        for &s in graph.relation(Rid(r as u32)).inc.neighbors(v) {
+                            next.insert(Vid(s));
+                        }
+                    }
+                }
+                // Prefix pattern (v_{i+1}, p_i, v_i): predecessors are
+                // out-neighbors.
+                Step::In => {
+                    for &o in graph.merged_out().neighbors(v) {
+                        next.insert(Vid(o));
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            return false;
+        }
+        frontier = next;
+    }
+    frontier.iter().any(|&v| graph.class_of(v) == class)
+}
+
+/// Repairs a cached extraction after a delta, producing a result
+/// bit-identical to [`extract_sparql`] on the updated store.
+///
+/// * `store`/`graph` — the **updated** KG (post-[`kgtosa_kg::apply_delta`]);
+///   `graph` must be built from `store.kg()`.
+/// * `old_parent_triples` — the previous extraction's triples lifted into
+///   parent id space (see [`parent_triples`]); ids are stable across deltas.
+/// * `added`/`removed` — the delta's ops resolved to parent-space triples
+///   ([`kgtosa_kg::DeltaApplication::added`] / `removed`).
+/// * `fetch` — only used when repair falls back to the full extractor.
+#[allow(clippy::too_many_arguments)]
+pub fn repair_extraction(
+    store: &RdfStore<'_>,
+    graph: &HeteroGraph,
+    task: &ExtractionTask,
+    pattern: &GraphPattern,
+    old_parent_triples: &[Triple],
+    added: &[Triple],
+    removed: &[Triple],
+    fetch: &FetchConfig,
+    cfg: &RepairConfig,
+) -> Result<(ExtractionResult, RepairReport), RdfError> {
+    let fallback = |reason, candidates| -> Result<(ExtractionResult, RepairReport), RdfError> {
+        let result = extract_sparql(store, task, pattern, fetch)?;
+        Ok((
+            result,
+            RepairReport {
+                candidates,
+                fallback: Some(reason),
+            },
+        ))
+    };
+    if task.lp_predicate.is_some() {
+        return fallback(FallbackReason::LinkPrediction, 0);
+    }
+    if pattern.hops > 2 {
+        return fallback(FallbackReason::HopsUnsupported, 0);
+    }
+
+    let kg = store.kg();
+    let guard = kgtosa_obs::span!("extract.repair");
+
+    // Candidate enumeration: the delta's own triples always qualify; at two
+    // hops, any triple incident to a delta endpoint can gain or lose a
+    // prefix chain through that endpoint.
+    let mut candidates: FxHashSet<Triple> = added.iter().chain(removed).copied().collect();
+    if pattern.hops >= 2 {
+        let mut endpoints: FxHashSet<Vid> = FxHashSet::default();
+        for t in added.iter().chain(removed) {
+            endpoints.insert(t.s);
+            endpoints.insert(t.o);
+        }
+        let merged = graph.merged_out();
+        for &v in &endpoints {
+            for (&o, &r) in merged.neighbors(v).iter().zip(merged.rels(v)) {
+                candidates.insert(Triple::new(v, Rid(r), Vid(o)));
+            }
+            for r in 0..graph.num_relations() {
+                for &s in graph.relation(Rid(r as u32)).inc.neighbors(v) {
+                    candidates.insert(Triple::new(Vid(s), Rid(r as u32), v));
+                }
+            }
+        }
+    }
+    let limit = ((kg.num_triples() as f64) * cfg.max_candidate_ratio).ceil() as usize;
+    if candidates.len() > limit.max(cfg.min_candidate_floor) {
+        return fallback(FallbackReason::FrontierTooLarge, candidates.len());
+    }
+
+    // Branch shapes, exactly as the BGP compiler would emit them. A target
+    // class whose name is shadowed by a vertex term matches nothing: the
+    // store resolves query constants vertex-first, so the anchor
+    // `?v0 a <class>` binds to the vertex, which is never an rdf:type object.
+    let seqs = direction_sequences(pattern);
+    let mut branches: Vec<(kgtosa_kg::Cid, &[Step])> = Vec::new();
+    for class in &task.target_classes {
+        if kg.find_node(class).is_some() {
+            continue;
+        }
+        if let Some(cid) = kg.find_class(class) {
+            for seq in &seqs {
+                branches.push((cid, seq.as_slice()));
+            }
+        }
+    }
+
+    let mut set: FxHashSet<Triple> = old_parent_triples.iter().copied().collect();
+    for &t in &candidates {
+        let member = edge_exists(graph, t)
+            && branches
+                .iter()
+                .any(|&(cid, seq)| branch_emits(graph, cid, seq, t));
+        if member {
+            set.insert(t);
+        } else {
+            set.remove(&t);
+        }
+    }
+    let mut triples: Vec<Triple> = set.into_iter().collect();
+    triples.sort_unstable();
+
+    let sub = subgraph_from_triples_and_nodes(kg, &triples, &task.targets);
+    let sampled = sub.kg.num_nodes();
+    let result = ExtractionResult::new(
+        format!("KG-TOSA_{}", pattern.label()),
+        sub,
+        &task.targets,
+        guard.finish().wall_s,
+        sampled,
+        0,
+        1.0,
+    );
+    Ok((
+        result,
+        RepairReport {
+            candidates: candidates.len(),
+            fallback: None,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgtosa_kg::{apply_delta, fingerprint, DeltaOp, KgDelta, MultisetFingerprint};
+
+    fn academic_kg() -> (KnowledgeGraph, ExtractionTask) {
+        let mut kg = KnowledgeGraph::new();
+        for i in 0..8 {
+            let p = format!("p{i}");
+            kg.add_triple_terms(&p, "Paper", "publishedIn", &format!("v{}", i % 2), "Venue");
+            kg.add_triple_terms(&format!("a{}", i % 3), "Author", "writes", &p, "Paper");
+            if i > 0 {
+                kg.add_triple_terms(&p, "Paper", "cites", &format!("p{}", i - 1), "Paper");
+            }
+        }
+        kg.add_triple_terms("a0", "Author", "memberOf", "o0", "Org");
+        let targets = kg.nodes_of_class(kg.find_class("Paper").unwrap());
+        let task = ExtractionTask::node_classification("PV", "Paper", targets);
+        (kg, task)
+    }
+
+    fn sample_delta(kg: &KnowledgeGraph) -> KgDelta {
+        let existing = kg.triples()[2];
+        KgDelta {
+            base_fingerprint: fingerprint(kg),
+            ops: vec![
+                DeltaOp::Add {
+                    s: "p9".into(),
+                    s_class: "Paper".into(),
+                    p: "cites".into(),
+                    o: "p0".into(),
+                    o_class: "Paper".into(),
+                },
+                DeltaOp::Add {
+                    s: "a9".into(),
+                    s_class: "Author".into(),
+                    p: "writes".into(),
+                    o: "p1".into(),
+                    o_class: "Paper".into(),
+                },
+                DeltaOp::Remove {
+                    s: kg.node_term(existing.s).into(),
+                    p: kg.relation_term(existing.p).into(),
+                    o: kg.node_term(existing.o).into(),
+                },
+            ],
+        }
+    }
+
+    fn assert_identical(a: &ExtractionResult, b: &ExtractionResult) {
+        let mut abytes = Vec::new();
+        let mut bbytes = Vec::new();
+        kgtosa_kg::write_snapshot(&a.subgraph.kg, &mut abytes).unwrap();
+        kgtosa_kg::write_snapshot(&b.subgraph.kg, &mut bbytes).unwrap();
+        assert_eq!(abytes, bbytes, "subgraph snapshots differ");
+        assert_eq!(a.subgraph.to_parent, b.subgraph.to_parent);
+        assert_eq!(a.subgraph.from_parent, b.subgraph.from_parent);
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(a.report.method, b.report.method);
+    }
+
+    #[test]
+    fn repair_matches_fresh_extraction_on_all_variants() {
+        let (kg, task) = academic_kg();
+        let old_store = RdfStore::new(&kg);
+        let delta = sample_delta(&kg);
+        let app = apply_delta(&kg, fingerprint(&kg), MultisetFingerprint::of(&kg), &delta)
+            .expect("delta applies");
+        let new_store = RdfStore::new(&app.kg);
+        let graph = HeteroGraph::build(&app.kg);
+        let fetch = FetchConfig::default();
+        for pattern in &GraphPattern::VARIANTS {
+            let old = extract_sparql(&old_store, &task, pattern, &fetch).unwrap();
+            let old_triples = parent_triples(&kg, &old.subgraph);
+            let (repaired, report) = repair_extraction(
+                &new_store,
+                &graph,
+                &task,
+                pattern,
+                &old_triples,
+                &app.added,
+                &app.removed,
+                &fetch,
+                &RepairConfig::default(),
+            )
+            .unwrap();
+            assert!(report.fallback.is_none(), "{}: fell back", pattern.label());
+            assert!(report.candidates > 0);
+            let fresh = extract_sparql(&new_store, &task, pattern, &fetch).unwrap();
+            assert_identical(&repaired, &fresh);
+        }
+    }
+
+    #[test]
+    fn repair_handles_class_shadowed_by_vertex() {
+        // A vertex literally named "Paper" makes the anchor resolve to the
+        // vertex, so fresh extraction returns nothing for the class — repair
+        // must agree.
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_terms("Paper", "Thing", "rel", "x", "Thing");
+        kg.add_triple_terms("p1", "Paper", "cites", "p2", "Paper");
+        let targets = kg.nodes_of_class(kg.find_class("Paper").unwrap());
+        let task = ExtractionTask::node_classification("PV", "Paper", targets);
+        let delta = KgDelta {
+            base_fingerprint: fingerprint(&kg),
+            ops: vec![DeltaOp::Add {
+                s: "p3".into(),
+                s_class: "Paper".into(),
+                p: "cites".into(),
+                o: "p1".into(),
+                o_class: "Paper".into(),
+            }],
+        };
+        let app = apply_delta(&kg, fingerprint(&kg), MultisetFingerprint::of(&kg), &delta)
+            .unwrap();
+        let new_store = RdfStore::new(&app.kg);
+        let graph = HeteroGraph::build(&app.kg);
+        let fetch = FetchConfig::default();
+        let old_store = RdfStore::new(&kg);
+        for pattern in &GraphPattern::VARIANTS {
+            let old = extract_sparql(&old_store, &task, pattern, &fetch).unwrap();
+            let old_triples = parent_triples(&kg, &old.subgraph);
+            let (repaired, _) = repair_extraction(
+                &new_store,
+                &graph,
+                &task,
+                pattern,
+                &old_triples,
+                &app.added,
+                &app.removed,
+                &fetch,
+                &RepairConfig::default(),
+            )
+            .unwrap();
+            let fresh = extract_sparql(&new_store, &task, pattern, &fetch).unwrap();
+            assert_identical(&repaired, &fresh);
+        }
+    }
+
+    #[test]
+    fn oversized_frontier_falls_back_to_full_extraction() {
+        let (kg, task) = academic_kg();
+        let delta = sample_delta(&kg);
+        let app = apply_delta(&kg, fingerprint(&kg), MultisetFingerprint::of(&kg), &delta)
+            .unwrap();
+        let new_store = RdfStore::new(&app.kg);
+        let graph = HeteroGraph::build(&app.kg);
+        let cfg = RepairConfig {
+            max_candidate_ratio: 0.0,
+            min_candidate_floor: 0,
+        };
+        let (result, report) = repair_extraction(
+            &new_store,
+            &graph,
+            &task,
+            &GraphPattern::D1H1,
+            &[],
+            &app.added,
+            &app.removed,
+            &FetchConfig::default(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(report.fallback, Some(FallbackReason::FrontierTooLarge));
+        let fresh = extract_sparql(&new_store, &task, &GraphPattern::D1H1, &FetchConfig::default())
+            .unwrap();
+        assert_identical(&result, &fresh);
+    }
+
+    #[test]
+    fn link_prediction_always_falls_back() {
+        let (kg, _) = academic_kg();
+        let task = ExtractionTask::link_prediction(
+            "AP",
+            vec!["Author".into(), "Paper".into()],
+            kg.nodes_of_class(kg.find_class("Author").unwrap()),
+            "writes",
+        );
+        let store = RdfStore::new(&kg);
+        let graph = HeteroGraph::build(&kg);
+        let (_, report) = repair_extraction(
+            &store,
+            &graph,
+            &task,
+            &GraphPattern::D1H1,
+            &[],
+            &[],
+            &[],
+            &FetchConfig::default(),
+            &RepairConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.fallback, Some(FallbackReason::LinkPrediction));
+    }
+}

@@ -30,6 +30,7 @@
 //! assert_eq!(sub.kg.num_triples(), 1); // only a1-writes-p1 survives
 //! ```
 
+pub mod delta;
 pub mod dict;
 pub mod fingerprint;
 pub mod fxhash;
@@ -41,6 +42,10 @@ pub mod stats;
 pub mod subgraph;
 pub mod triples;
 
+pub use delta::{
+    apply_delta, read_delta, write_delta, DeltaApplication, DeltaError, DeltaOp, KgDelta,
+    MultisetFingerprint,
+};
 pub use dict::Dictionary;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use graph::{Csr, HeteroGraph, LabeledCsr, RelAdj};
@@ -52,7 +57,7 @@ pub use snapshot::{
 };
 pub use stats::{
     average_degree, distances_to_targets, neighbor_type_entropy, quality, quality_with_graph,
-    SubgraphQuality,
+    KgStats, SubgraphQuality,
 };
 pub use subgraph::{
     induced_subgraph, live_classes, live_relations, map_targets, subgraph_from_triples,

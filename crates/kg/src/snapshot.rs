@@ -176,7 +176,7 @@ fn read_str(r: &mut impl Read) -> io::Result<String> {
 }
 
 /// LEB128 unsigned varint.
-fn write_varint(w: &mut impl Write, mut v: u64) -> io::Result<()> {
+pub(crate) fn write_varint(w: &mut impl Write, mut v: u64) -> io::Result<()> {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -196,7 +196,7 @@ fn read_varint_u32(r: &mut impl Read) -> io::Result<u32> {
     u32::try_from(v).map_err(|_| bad("id varint exceeds u32 range"))
 }
 
-fn read_varint(r: &mut impl Read) -> io::Result<u64> {
+pub(crate) fn read_varint(r: &mut impl Read) -> io::Result<u64> {
     let mut out = 0u64;
     let mut shift = 0u32;
     loop {

@@ -240,6 +240,15 @@ impl KnowledgeGraph {
             + self.triples.capacity() * std::mem::size_of::<Triple>()
     }
 
+    /// Keeps only the triples for which `f` returns `true`, preserving
+    /// insertion order. Vertices, relations and classes are never removed:
+    /// dictionaries are append-only so ids stay stable across mutations
+    /// (the delta layer depends on this to patch extracted subgraphs
+    /// without remapping).
+    pub fn retain_triples(&mut self, f: impl FnMut(&Triple) -> bool) {
+        self.triples.retain(f);
+    }
+
     /// Sorts and deduplicates the triple list in place, returning the number
     /// of duplicates removed. Mirrors the `dropDuplicates` step of
     /// Algorithm 3 in the paper.

@@ -1,0 +1,142 @@
+//! Robustness fuzzing for the `KGTOSAD1` delta-log decoder, in the style
+//! of `fuzz_snapshot.rs`: arbitrary and adversarially mutated byte streams
+//! must never panic, and the delta checksum means corruption can never
+//! survive to the apply path — a delta either decodes exactly or is
+//! rejected whole. Apply itself is all-or-nothing on top of that: a
+//! rejected delta leaves the base graph byte-identical.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+
+use kgtosa_kg::{
+    apply_delta, fingerprint, read_delta, write_delta, DeltaOp, KgDelta, KnowledgeGraph,
+    MultisetFingerprint,
+};
+
+/// A small random KG: up to 12 nodes across 3 classes, 4 relations.
+fn arb_kg() -> impl Strategy<Value = KnowledgeGraph> {
+    (
+        1usize..12,
+        proptest::collection::vec((0usize..12, 0usize..4, 0usize..12), 0..60),
+    )
+        .prop_map(|(n, triples)| {
+            let mut kg = KnowledgeGraph::new();
+            for i in 0..n {
+                kg.add_node(&format!("n{i}"), ["A", "B", "C"][i % 3]);
+            }
+            for (s, p, o) in triples {
+                if s < n && o < n {
+                    kg.add_triple_terms(
+                        &format!("n{s}"),
+                        ["A", "B", "C"][s % 3],
+                        ["r0", "r1", "r2", "r3"][p],
+                        &format!("n{o}"),
+                        ["A", "B", "C"][o % 3],
+                    );
+                }
+            }
+            kg
+        })
+}
+
+/// A random op: adds over a small term universe plus removes that may or
+/// may not resolve against the graph (apply must reject the bad ones).
+fn arb_op() -> impl Strategy<Value = DeltaOp> {
+    (0usize..2, 0usize..16, 0usize..4, 0usize..16).prop_map(|(kind, s, p, o)| {
+        if kind == 0 {
+            DeltaOp::Add {
+                s: format!("n{s}"),
+                s_class: ["A", "B", "C"][s % 3].into(),
+                p: ["r0", "r1", "r2", "r3"][p].into(),
+                o: format!("n{o}"),
+                o_class: ["A", "B", "C"][o % 3].into(),
+            }
+        } else {
+            DeltaOp::Remove {
+                s: format!("n{s}"),
+                p: ["r0", "r1", "r2", "r3"][p].into(),
+                o: format!("n{o}"),
+            }
+        }
+    })
+}
+
+fn arb_delta() -> impl Strategy<Value = KgDelta> {
+    (any::<u64>(), proptest::collection::vec(arb_op(), 0..20))
+        .prop_map(|(base_fingerprint, ops)| KgDelta { base_fingerprint, ops })
+}
+
+fn delta_bytes(delta: &KgDelta) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_delta(delta, &mut buf).expect("in-memory write cannot fail");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure noise never panics the decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = read_delta(Cursor::new(bytes));
+    }
+
+    /// Noise behind a valid magic reaches the varint/op decoders — hostile
+    /// op counts, oversized varints, bad tags — and still never panics.
+    #[test]
+    fn magic_prefixed_noise_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let mut buf = b"KGTOSAD1".to_vec();
+        buf.extend_from_slice(&bytes);
+        let _ = read_delta(Cursor::new(buf));
+    }
+
+    /// Bit flips of a real delta never panic, and the trailing checksum
+    /// guarantees a flip can never yield a *different* delta: whatever
+    /// decodes must equal the original exactly.
+    #[test]
+    fn bit_flips_never_yield_wrong_delta(delta in arb_delta(), byte_pick in 0usize..1 << 16, bit in 0u8..8) {
+        let mut buf = delta_bytes(&delta);
+        let i = byte_pick % buf.len();
+        buf[i] ^= 1 << bit;
+        if let Ok(decoded) = read_delta(Cursor::new(buf)) {
+            prop_assert_eq!(decoded, delta);
+        }
+    }
+
+    /// Every truncation point errors: the checksum trailer makes any
+    /// proper prefix undecodable, so a cut stream can never apply at all
+    /// (let alone partially).
+    #[test]
+    fn truncation_always_rejected(delta in arb_delta(), cut_pick in 0usize..1 << 16) {
+        let buf = delta_bytes(&delta);
+        let at = cut_pick % buf.len();
+        prop_assert!(read_delta(Cursor::new(&buf[..at])).is_err());
+    }
+
+    /// Round-trip is exact.
+    #[test]
+    fn roundtrip_exact(delta in arb_delta()) {
+        let buf = delta_bytes(&delta);
+        let back = read_delta(Cursor::new(&buf)).expect("own delta must read");
+        prop_assert_eq!(back, delta);
+    }
+
+    /// Apply is all-or-nothing: random op streams either produce a patched
+    /// graph whose incrementally maintained multiset fingerprint matches a
+    /// full recomputation, or they are rejected with the base graph
+    /// untouched. There is no partial-application state.
+    #[test]
+    fn apply_never_partial(kg in arb_kg(), ops in proptest::collection::vec(arb_op(), 0..20)) {
+        let fp = fingerprint(&kg);
+        let ms = MultisetFingerprint::of(&kg);
+        let delta = KgDelta { base_fingerprint: fp, ops };
+        match apply_delta(&kg, fp, ms, &delta) {
+            Ok(app) => {
+                prop_assert_eq!(app.multiset, MultisetFingerprint::of(&app.kg));
+            }
+            Err(_) => {
+                prop_assert_eq!(fingerprint(&kg), fp, "rejected delta must not mutate");
+            }
+        }
+    }
+}

@@ -134,6 +134,15 @@ impl PageCache {
         }
     }
 
+    /// Drops every cached page. Used when the underlying store's contents
+    /// change (e.g. a KG delta lands): rendered query text no longer
+    /// identifies the same result, so the whole cache is stale at once.
+    pub fn clear(&self) {
+        let mut lru = self.lock();
+        lru.map.clear();
+        lru.bytes = 0;
+    }
+
     /// Inserts a page, evicting LRU entries to stay within budget. A
     /// page larger than the whole budget is not cached at all (caching
     /// it would evict everything else only to be evicted next).
@@ -315,6 +324,24 @@ mod tests {
         let before = ep.stats().requests();
         caching.select(&q.with_page(4, 0)).unwrap();
         assert_eq!(ep.stats().requests(), before, "MRU page survived eviction");
+    }
+
+    #[test]
+    fn clear_empties_the_cache_and_later_selects_refill() {
+        let kg = kg();
+        let store = RdfStore::new(&kg);
+        let ep = InProcessEndpoint::new(&store);
+        let cache = PageCache::new();
+        let caching = CachingEndpoint::new(&ep, cache.clone());
+        let q = parse("SELECT ?s ?o WHERE { ?s <writes> ?o }").unwrap();
+        caching.select(&q).unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+        caching.select(&q).unwrap();
+        assert_eq!(ep.stats().requests(), 2, "post-clear select must refill");
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

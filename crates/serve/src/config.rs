@@ -49,6 +49,10 @@ pub struct ServeConfig {
     /// Directory scanned for `*.ckpt` training checkpoints served by
     /// `/infer`; `None` serves an empty model registry.
     pub checkpoint_dir: Option<PathBuf>,
+    /// `POST /admin/update` repair budget: fall back to a full re-extract
+    /// when a stale entry's candidate frontier exceeds this fraction of
+    /// the KG's triples (see `kgtosa_core::RepairConfig`).
+    pub repair_frontier_ratio: f64,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +75,7 @@ impl Default for ServeConfig {
             fault: None,
             cache_dir: None,
             checkpoint_dir: None,
+            repair_frontier_ratio: 0.25,
         }
     }
 }

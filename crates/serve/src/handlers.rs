@@ -10,16 +10,18 @@ use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use kgtosa_cache::CacheOutcome;
-use kgtosa_core::{extract_sparql, extract_sparql_cached, ExtractionTask, GraphPattern};
+use kgtosa_core::{
+    extract_sparql, extract_sparql_cached_with_fingerprint, ExtractionTask, GraphPattern,
+};
 use kgtosa_kg::Vid;
 use kgtosa_obs::httpd::{builtin_route, HttpRequest, HttpResponse};
 use kgtosa_obs::Json;
 use kgtosa_rdf::{BreakerState, FaultPlan, FetchConfig};
 
-use crate::state::ServeState;
+use crate::state::{KgEpoch, ServeState};
 
 /// Parses the body as JSON when non-empty; an empty body is `{}`.
-fn body_json(req: &HttpRequest) -> Result<Json, String> {
+pub(crate) fn body_json(req: &HttpRequest) -> Result<Json, String> {
     if req.body.is_empty() {
         return Ok(Json::Obj(Vec::new()));
     }
@@ -77,11 +79,12 @@ fn route(state: &ServeState, req: &HttpRequest, admitted: Instant) -> HttpRespon
             200,
             "kgtosa serve\nroutes: POST /extract  POST /infer  GET /serve  \
              GET /metrics /spans /progress /prof /contexts /healthz  \
-             POST /admin/fault /admin/shutdown\n",
+             POST /admin/update /admin/fault /admin/shutdown\n",
         ),
         ("GET", "/serve") => serve_stats(state),
         ("POST", "/extract") => with_deadline(state, req, admitted, extract_handler),
         ("POST", "/infer") => with_deadline(state, req, admitted, infer_handler),
+        ("POST", "/admin/update") => crate::update::admin_update(state, req),
         ("POST", "/admin/fault") => admin_fault(state, req),
         ("POST", "/admin/shutdown") => {
             state.draining.store(true, Ordering::SeqCst);
@@ -126,7 +129,11 @@ fn extract_handler(state: &ServeState, body: &Json, remaining: Duration) -> Http
     else {
         return HttpResponse::error(400, format!("unknown pattern {pattern_label:?}"));
     };
-    let task = match resolve_task(state, body) {
+    // One epoch for the whole request: task resolution, extraction, and
+    // the reported fingerprint all see the same generation even if a
+    // delta lands concurrently.
+    let epoch = state.epoch();
+    let task = match resolve_task(state, &epoch, body) {
         Ok(t) => t,
         Err(resp) => return *resp,
     };
@@ -138,16 +145,23 @@ fn extract_handler(state: &ServeState, body: &Json, remaining: Duration) -> Http
     let fetch = FetchConfig {
         retry: Some(state.cfg.retry.capped_to_budget(remaining)),
         fault: state.fault.lock().unwrap().clone(),
-        page_cache: Some(state.page_cache.clone()),
+        page_cache: Some(epoch.page_cache.clone()),
         breaker: Some(state.breaker.clone()),
         ..FetchConfig::default()
     };
 
     let started = Instant::now();
     let outcome = match &state.cache {
-        Some(cache) => extract_sparql_cached(state.store(), &task, &pattern, &fetch, cache)
-            .map(|(res, o)| (res, o == CacheOutcome::Hit)),
-        None => extract_sparql(state.store(), &task, &pattern, &fetch).map(|res| (res, false)),
+        Some(cache) => extract_sparql_cached_with_fingerprint(
+            &epoch.store,
+            &task,
+            &pattern,
+            &fetch,
+            cache,
+            epoch.fingerprint,
+        )
+        .map(|(res, o)| (res, o == CacheOutcome::Hit)),
+        None => extract_sparql(&epoch.store, &task, &pattern, &fetch).map(|res| (res, false)),
     };
     match outcome {
         Ok((res, cache_hit)) => {
@@ -173,6 +187,11 @@ fn extract_handler(state: &ServeState, body: &Json, remaining: Duration) -> Http
                     Json::Str(format!("{:016x}", kgtosa_kg::fingerprint(&res.subgraph.kg))),
                 ),
                 (
+                    "kg_fingerprint".into(),
+                    Json::Str(format!("{:016x}", epoch.fingerprint)),
+                ),
+                ("epoch".into(), Json::Num(epoch.version as f64)),
+                (
                     "elapsed_ms".into(),
                     Json::Num(started.elapsed().as_secs_f64() * 1e3),
                 ),
@@ -197,7 +216,11 @@ fn extract_handler(state: &ServeState, body: &Json, remaining: Duration) -> Http
 
 /// Resolves the extraction target set: `"task"` names a datagen NC task;
 /// `"target_class"` builds an ad-hoc task from every node of a class.
-fn resolve_task(state: &ServeState, body: &Json) -> Result<ExtractionTask, Box<HttpResponse>> {
+fn resolve_task(
+    state: &ServeState,
+    epoch: &KgEpoch,
+    body: &Json,
+) -> Result<ExtractionTask, Box<HttpResponse>> {
     if let Some(name) = body.get("task").and_then(Json::as_str) {
         let Some(task) = state.nc_tasks().iter().find(|t| t.name == name) else {
             let known: Vec<&str> = state.nc_tasks().iter().map(|t| t.name.as_str()).collect();
@@ -213,13 +236,13 @@ fn resolve_task(state: &ServeState, body: &Json) -> Result<ExtractionTask, Box<H
         ));
     }
     if let Some(class) = body.get("target_class").and_then(Json::as_str) {
-        let Some(cid) = state.kg().find_class(class) else {
+        let Some(cid) = epoch.kg.find_class(class) else {
             return Err(Box::new(HttpResponse::error(
                 404,
                 format!("class {class:?} not found in the loaded KG"),
             )));
         };
-        let targets = state.kg().nodes_of_class(cid);
+        let targets = epoch.kg.nodes_of_class(cid);
         return Ok(ExtractionTask::node_classification(class, class, targets));
     }
     Err(Box::new(HttpResponse::error(
@@ -264,18 +287,19 @@ fn infer_handler(state: &ServeState, body: &Json, remaining: Duration) -> HttpRe
             None => return HttpResponse::error(400, "dataset has no NC tasks; pass \"task\""),
         },
     };
+    let epoch = state.epoch();
     let nodes: Vec<Vid> = match body.get("nodes") {
         Some(Json::Arr(items)) => {
             let mut out = Vec::with_capacity(items.len());
             for item in items {
                 match item.as_f64() {
-                    Some(n) if n >= 0.0 && (n as usize) < state.graph().num_nodes() => {
+                    Some(n) if n >= 0.0 && (n as usize) < epoch.graph.num_nodes() => {
                         out.push(Vid(n as u32))
                     }
                     _ => {
                         return HttpResponse::error(
                             400,
-                            format!("\"nodes\" entries must be node ids < {}", state.graph().num_nodes()),
+                            format!("\"nodes\" entries must be node ids < {}", epoch.graph.num_nodes()),
                         )
                     }
                 }
@@ -287,7 +311,7 @@ fn infer_handler(state: &ServeState, body: &Json, remaining: Duration) -> HttpRe
     };
 
     let started = Instant::now();
-    let model = match state.model_for(&info, task.num_labels) {
+    let model = match state.model_for(&epoch, &info, task.num_labels) {
         Ok(m) => m,
         Err(e) => return HttpResponse::error(500, e),
     };
@@ -297,7 +321,7 @@ fn infer_handler(state: &ServeState, body: &Json, remaining: Duration) -> HttpRe
         kgtosa_obs::counter("serve.deadline_expired").inc();
         return HttpResponse::error(504, "deadline exhausted before inference");
     }
-    let preds = model.predict_nodes(state.graph(), &nodes);
+    let preds = model.predict_nodes(&epoch.graph, &nodes);
     let fields = vec![
         ("status".into(), Json::Str("ok".into())),
         ("method".into(), Json::Str(info.method.clone())),
@@ -352,12 +376,27 @@ fn admin_fault(state: &ServeState, req: &HttpRequest) -> HttpResponse {
 /// breaker counters and its full transition trajectory.
 fn serve_stats(state: &ServeState) -> HttpResponse {
     let b = &state.breaker;
+    let epoch = state.epoch();
     let trajectory: Vec<Json> = b.trajectory().into_iter().map(Json::Str).collect();
     let fields = vec![
         ("dataset".into(), Json::Str(state.cfg.dataset.clone())),
         (
             "kg_fingerprint".into(),
-            Json::Str(format!("{:016x}", state.kg_fingerprint())),
+            Json::Str(format!("{:016x}", epoch.fingerprint)),
+        ),
+        (
+            "epoch".into(),
+            Json::Obj(vec![
+                ("version".into(), Json::Num(epoch.version as f64)),
+                ("nodes".into(), Json::Num(epoch.stats.num_nodes as f64)),
+                ("triples".into(), Json::Num(epoch.stats.num_triples as f64)),
+                ("classes".into(), Json::Num(epoch.stats.num_classes as f64)),
+                (
+                    "relations".into(),
+                    Json::Num(epoch.stats.num_relations as f64),
+                ),
+                ("avg_degree".into(), Json::Num(epoch.stats.avg_degree())),
+            ]),
         ),
         (
             "draining".into(),

@@ -26,6 +26,12 @@
 //!   admission at once, finishes (or deadline-cancels) queued work, joins
 //!   the pool, and hands back a [`DrainReport`] so the caller can flush
 //!   sinks and exit 0 ([`signal`], [`daemon`]).
+//! - **Live updates** — `POST /admin/update` applies a checked triple
+//!   delta: the KG epoch (store, adjacency, fingerprints, page cache) is
+//!   rebuilt off to the side and swapped atomically, then stale artifact
+//!   cache entries are incrementally repaired or invalidated while
+//!   untouched ones migrate to the new fingerprint ([`update`],
+//!   [`state::KgEpoch`]).
 
 pub mod client;
 pub mod config;
@@ -33,9 +39,10 @@ pub mod daemon;
 pub mod handlers;
 pub mod signal;
 pub mod state;
+pub mod update;
 
 pub use client::HttpReply;
 pub use config::ServeConfig;
 pub use daemon::{DrainReport, Server};
 pub use handlers::handle_guarded;
-pub use state::ServeState;
+pub use state::{KgEpoch, ServeState};

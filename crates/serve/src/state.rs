@@ -1,14 +1,29 @@
-//! Shared daemon state: the loaded KG, its RDF store, the checkpoint
-//! registry, and the robustness machinery every request flows through.
+//! Shared daemon state: the loaded KG (as a swappable epoch), the
+//! checkpoint registry, and the robustness machinery every request flows
+//! through.
+//!
+//! ## Epochs
+//!
+//! Everything derived from the KG's *contents* — the RDF store, the
+//! adjacency views, the canonical and multiset fingerprints, the running
+//! stats, and the SPARQL page cache — lives in one immutable [`KgEpoch`]
+//! behind an `RwLock<Arc<..>>`. Requests grab an `Arc` once and work
+//! against a consistent world for their whole lifetime; `POST
+//! /admin/update` builds the next epoch off to the side and swaps the
+//! pointer, so in-flight requests never observe a half-applied delta.
+//! The page cache is per-epoch by construction: rendered query text only
+//! identifies a result relative to one graph's contents, so an update
+//! must start from an empty page cache rather than poison the new world
+//! with old pages.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use kgtosa_cache::ArtifactCache;
 use kgtosa_core::transform;
 use kgtosa_datagen::{Dataset, NcTask};
-use kgtosa_kg::{HeteroGraph, KnowledgeGraph};
+use kgtosa_kg::{HeteroGraph, KgStats, KnowledgeGraph, MultisetFingerprint};
 use kgtosa_models::{
     read_validated_state, CheckpointInfo, CheckpointRegistry, NcModelShape, RgcnNcModel,
 };
@@ -16,25 +31,78 @@ use kgtosa_rdf::{CircuitBreaker, FaultPlan, PageCache, RdfStore};
 
 use crate::config::ServeConfig;
 
-/// Everything a request handler can touch, shared across workers.
+/// One immutable generation of the served KG and everything derived from
+/// its contents.
 ///
-/// The KG (and the datagen tasks over it) are leaked to `'static`: the
-/// daemon serves them for the life of the process, and [`RdfStore`]
-/// borrows the graph — a deliberate one-time leak per daemon, not a drip.
+/// The graph is leaked to `'static`: the daemon serves each epoch for an
+/// unbounded time (in-flight requests may hold it arbitrarily long after
+/// a swap), and [`RdfStore`] borrows it. Updates are operator actions,
+/// not a hot path — one deliberate leak per applied delta, not a drip.
+pub struct KgEpoch {
+    /// The knowledge graph this epoch serves.
+    pub kg: &'static KnowledgeGraph,
+    /// The RDF store indexing it.
+    pub store: RdfStore<'static>,
+    /// Adjacency views for inference forward passes.
+    pub graph: HeteroGraph,
+    /// Canonical snapshot fingerprint (cache key component), computed
+    /// once per epoch.
+    pub fingerprint: u64,
+    /// Incrementally maintained multiset fingerprint; the differential
+    /// invariant `MultisetFingerprint::of(kg) == multiset` is what the
+    /// delta test harness checks.
+    pub multiset: MultisetFingerprint,
+    /// Running KG stats, adjusted (not recomputed) on delta apply.
+    pub stats: KgStats,
+    /// SPARQL page cache, fresh per epoch.
+    pub page_cache: PageCache,
+    /// 0 for the startup epoch, +1 per applied delta.
+    pub version: u64,
+}
+
+impl KgEpoch {
+    /// Builds the derived state for a graph. `fingerprint`/`multiset`/
+    /// `stats` are passed in because the update path maintains them
+    /// incrementally; the startup path computes them from scratch.
+    pub fn build(
+        kg: &'static KnowledgeGraph,
+        fingerprint: u64,
+        multiset: MultisetFingerprint,
+        stats: KgStats,
+        version: u64,
+    ) -> Self {
+        let store = RdfStore::new(kg);
+        let (graph, _) = transform(kg);
+        KgEpoch {
+            kg,
+            store,
+            graph,
+            fingerprint,
+            multiset,
+            stats,
+            page_cache: PageCache::new(),
+            version,
+        }
+    }
+}
+
+/// Everything a request handler can touch, shared across workers.
 pub struct ServeState {
     /// The daemon's configuration.
     pub cfg: ServeConfig,
-    kg: &'static KnowledgeGraph,
-    store: RdfStore<'static>,
-    graph: HeteroGraph,
-    fingerprint: u64,
+    /// The current KG epoch; swapped atomically by `/admin/update`.
+    epoch: RwLock<Arc<KgEpoch>>,
+    /// Serializes delta application (epoch build + cache sweep). Readers
+    /// never take this; they only clone the epoch `Arc`.
+    pub update_lock: Mutex<()>,
     nc_tasks: &'static [NcTask],
     registry: CheckpointRegistry,
-    models: Mutex<HashMap<u64, Arc<RgcnNcModel>>>,
+    /// Frozen inference models, keyed by (checkpoint fingerprint, node
+    /// count of the epoch they were materialized against) — a delta that
+    /// grows the graph must not serve a model shaped for the old size.
+    models: Mutex<HashMap<(u64, usize), Arc<RgcnNcModel>>>,
     /// Extraction artifact cache (the breaker-open degraded-answer path).
     pub cache: Option<ArtifactCache>,
-    /// SPARQL page cache shared across requests.
-    pub page_cache: PageCache,
     /// Circuit breaker shared by every extraction against the backend.
     pub breaker: CircuitBreaker,
     /// Runtime-togglable deterministic fault plan (`POST /admin/fault`).
@@ -57,8 +125,13 @@ impl ServeState {
         let d: &'static Dataset = Box::leak(Box::new(d));
         let kg = &d.gen.kg;
         let fingerprint = kgtosa_kg::fingerprint(kg);
-        let store = RdfStore::new(kg);
-        let (graph, _) = transform(kg);
+        let epoch = KgEpoch::build(
+            kg,
+            fingerprint,
+            MultisetFingerprint::of(kg),
+            KgStats::compute(kg),
+            0,
+        );
         let registry = match &cfg.checkpoint_dir {
             Some(dir) => CheckpointRegistry::scan(dir)
                 .map_err(|e| format!("cannot scan checkpoint dir {}: {e}", dir.display()))?,
@@ -83,15 +156,12 @@ impl ServeState {
         );
         Ok(Arc::new(Self {
             cfg,
-            kg,
-            store,
-            graph,
-            fingerprint,
+            epoch: RwLock::new(Arc::new(epoch)),
+            update_lock: Mutex::new(()),
             nc_tasks: &d.nc,
             registry,
             models: Mutex::new(HashMap::new()),
             cache,
-            page_cache: PageCache::new(),
             breaker,
             fault,
             draining: AtomicBool::new(false),
@@ -100,27 +170,26 @@ impl ServeState {
         }))
     }
 
-    /// The loaded knowledge graph.
-    pub fn kg(&self) -> &KnowledgeGraph {
-        self.kg
+    /// The current epoch. Handlers clone the `Arc` once per request and
+    /// use it throughout, so a concurrent update cannot shear their view.
+    pub fn epoch(&self) -> Arc<KgEpoch> {
+        self.epoch
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
-    /// The RDF store indexing it.
-    pub fn store(&self) -> &RdfStore<'static> {
-        &self.store
+    /// Publishes `next` as the current epoch. Callers must hold
+    /// [`ServeState::update_lock`].
+    pub fn swap_epoch(&self, next: Arc<KgEpoch>) {
+        *self
+            .epoch
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = next;
     }
 
-    /// Adjacency views for inference forward passes.
-    pub fn graph(&self) -> &HeteroGraph {
-        &self.graph
-    }
-
-    /// FNV fingerprint of the loaded KG snapshot.
-    pub fn kg_fingerprint(&self) -> u64 {
-        self.fingerprint
-    }
-
-    /// The dataset's node-classification tasks.
+    /// The dataset's node-classification tasks. Their target vertex ids
+    /// stay valid across deltas (vertex ids are append-only).
     pub fn nc_tasks(&self) -> &[NcTask] {
         self.nc_tasks
     }
@@ -130,22 +199,26 @@ impl ServeState {
         &self.registry
     }
 
-    /// Loads (or returns the cached) inference model for a checkpoint.
-    /// The state blob is checksum-verified on first load; later requests
-    /// share one frozen in-memory model.
+    /// Loads (or returns the cached) inference model for a checkpoint,
+    /// shaped against `epoch`'s graph. The state blob is
+    /// checksum-verified on first load; later requests share one frozen
+    /// in-memory model. A checkpoint trained against a differently-sized
+    /// graph fails shape validation here rather than predicting garbage.
     pub fn model_for(
         &self,
+        epoch: &KgEpoch,
         info: &CheckpointInfo,
         num_labels: usize,
     ) -> Result<Arc<RgcnNcModel>, String> {
-        if let Some(m) = self.models.lock().unwrap().get(&info.fingerprint) {
+        let key = (info.fingerprint, epoch.graph.num_nodes());
+        if let Some(m) = self.models.lock().unwrap().get(&key) {
             return Ok(m.clone());
         }
         let (_, state) = read_validated_state(&info.path)
             .map_err(|e| format!("checkpoint {} unreadable: {e}", info.path.display()))?;
         let shape = NcModelShape {
-            nodes: self.graph.num_nodes(),
-            relations: self.graph.num_relations(),
+            nodes: epoch.graph.num_nodes(),
+            relations: epoch.graph.num_relations(),
             dim: self.cfg.dim,
             num_labels,
             lr: self.cfg.lr,
@@ -155,10 +228,7 @@ impl ServeState {
             RgcnNcModel::from_state(shape, &state)
                 .map_err(|e| format!("checkpoint {} does not fit shape {shape:?}: {e}", info.path.display()))?,
         );
-        self.models
-            .lock()
-            .unwrap()
-            .insert(info.fingerprint, model.clone());
+        self.models.lock().unwrap().insert(key, model.clone());
         Ok(model)
     }
 }
