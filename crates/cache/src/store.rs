@@ -355,7 +355,9 @@ impl ArtifactCache {
     /// identical key re-pinned to `new_fp` and removes the old file — so
     /// entries untouched by the delta keep hitting after the update.
     /// Entries keyed by other fingerprints are skipped; entries whose
-    /// bytes fail validation are removed and counted as `failed`.
+    /// bytes fail validation — and `Migrate`s whose re-publish fails —
+    /// are removed and counted as `failed`, so a sweep always terminates
+    /// with no entries left under `old_fp`.
     pub fn sweep_fingerprint(
         &self,
         old_fp: u64,
@@ -397,10 +399,24 @@ impl ArtifactCache {
                 }
                 SweepAction::Migrate(new_payload) => {
                     let new_key = CacheKey { kg_fingerprint: new_fp, ..old_key };
-                    self.store(&new_key, &new_payload)?;
-                    remove_entry(&path);
-                    report.migrated += 1;
-                    kgtosa_obs::counter("cache.migrations").inc();
+                    match self.store(&new_key, &new_payload) {
+                        Ok(_) => {
+                            remove_entry(&path);
+                            report.migrated += 1;
+                            kgtosa_obs::counter("cache.migrations").inc();
+                        }
+                        // A failed publish must not abort the sweep: the
+                        // old file is unreachable under the new fingerprint
+                        // anyway, and later sweeps skip foreign
+                        // fingerprints, so leaving it behind would strand
+                        // dead bytes on disk forever. Drop it and count the
+                        // entry as failed (cold cache, never a wrong
+                        // answer).
+                        Err(_) => {
+                            remove_entry(&path);
+                            report.failed += 1;
+                        }
+                    }
                 }
             }
         }
@@ -716,6 +732,33 @@ mod tests {
         assert_eq!(report.failed, 1);
         assert_eq!(report.migrated, 0);
         assert!(!path.exists(), "unreadable entry leaves the slot clean");
+    }
+
+    #[test]
+    fn sweep_survives_a_failed_migrate_publish() {
+        let cache = ArtifactCache::open(tmpdir("sweep-migrate-fail")).unwrap();
+        let blocked = key("nc:Paper");
+        let clean = key("nc:Venue");
+        cache.store(&blocked, b"blocked-payload").unwrap();
+        cache.store(&clean, b"clean-payload").unwrap();
+        // A directory squatting on the new key's tmp path makes the
+        // re-publish fail for that entry only.
+        let blocked_new = CacheKey { kg_fingerprint: 43, ..key("nc:Paper") };
+        let tmp = cache.artifact_path(&blocked_new).with_extension("kgc.tmp");
+        fs::create_dir(&tmp).unwrap();
+
+        let report = cache
+            .sweep_fingerprint(42, 43, |_, p| SweepAction::Migrate(p))
+            .expect("a failed publish must not abort the sweep");
+        assert_eq!(report.migrated, 1);
+        assert_eq!(report.failed, 1);
+        // Nothing is left keyed under the old fingerprint — the failed
+        // entry is dropped (cold cache), not stranded as dead bytes.
+        assert!(!cache.artifact_path(&blocked).exists());
+        assert_eq!(cache.lookup(&blocked).outcome, CacheOutcome::Miss);
+        assert_eq!(cache.lookup(&blocked_new).outcome, CacheOutcome::Miss);
+        let clean_new = CacheKey { kg_fingerprint: 43, ..key("nc:Venue") };
+        assert_eq!(cache.lookup(&clean_new).outcome, CacheOutcome::Hit);
     }
 
     #[test]

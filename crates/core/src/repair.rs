@@ -22,8 +22,9 @@
 //! its incident frontier, not with `|KG|`.
 //!
 //! When the candidate frontier grows past a configurable fraction of the KG,
-//! or the task/pattern is outside the supported shape (link prediction, more
-//! than two hops), repair falls back to the full extractor — correctness never
+//! a target class's anchor is shadowed by a same-named vertex, or the
+//! task/pattern is outside the supported shape (link prediction, more than
+//! two hops), repair falls back to the full extractor — correctness never
 //! depends on the cheap path being applicable.
 
 use kgtosa_kg::{
@@ -65,6 +66,11 @@ pub enum FallbackReason {
     LinkPrediction,
     /// Patterns deeper than two hops (none of the paper's four variants).
     HopsUnsupported,
+    /// A target class's name is shadowed by a vertex term: the store
+    /// resolves query constants vertex-first, so fresh extraction matches
+    /// nothing — while the splice would keep every old triple the delta
+    /// did not touch. Only the full extractor agrees with the store here.
+    ClassShadowed,
     /// The candidate frontier exceeded [`RepairConfig::max_candidate_ratio`].
     FrontierTooLarge,
 }
@@ -203,6 +209,19 @@ pub fn repair_extraction(
     }
 
     let kg = store.kg();
+    // A vertex term equal to a target class name shadows the class: the
+    // store resolves the anchor's constant vertex-first, so a fresh run
+    // matches nothing — but the splice below starts from the *old* triple
+    // set and only touches delta candidates, so it would keep everything
+    // else and diverge. Dictionaries are append-only, so checking the
+    // updated KG sees exactly what the fresh extractor would.
+    if task
+        .target_classes
+        .iter()
+        .any(|class| kg.find_node(class).is_some())
+    {
+        return fallback(FallbackReason::ClassShadowed, 0);
+    }
     let guard = kgtosa_obs::span!("extract.repair");
 
     // Candidate enumeration: the delta's own triples always qualify; at two
@@ -232,16 +251,12 @@ pub fn repair_extraction(
         return fallback(FallbackReason::FrontierTooLarge, candidates.len());
     }
 
-    // Branch shapes, exactly as the BGP compiler would emit them. A target
-    // class whose name is shadowed by a vertex term matches nothing: the
-    // store resolves query constants vertex-first, so the anchor
-    // `?v0 a <class>` binds to the vertex, which is never an rdf:type object.
+    // Branch shapes, exactly as the BGP compiler would emit them. Shadowed
+    // classes already fell back above, so every target class resolves to
+    // its class anchor here.
     let seqs = direction_sequences(pattern);
     let mut branches: Vec<(kgtosa_kg::Cid, &[Step])> = Vec::new();
     for class in &task.target_classes {
-        if kg.find_node(class).is_some() {
-            continue;
-        }
         if let Some(cid) = kg.find_class(class) {
             for seq in &seqs {
                 branches.push((cid, seq.as_slice()));
@@ -381,7 +396,7 @@ mod tests {
     fn repair_handles_class_shadowed_by_vertex() {
         // A vertex literally named "Paper" makes the anchor resolve to the
         // vertex, so fresh extraction returns nothing for the class — repair
-        // must agree.
+        // must fall back to the full extractor and agree.
         let mut kg = KnowledgeGraph::new();
         kg.add_triple_terms("Paper", "Thing", "rel", "x", "Thing");
         kg.add_triple_terms("p1", "Paper", "cites", "p2", "Paper");
@@ -406,7 +421,7 @@ mod tests {
         for pattern in &GraphPattern::VARIANTS {
             let old = extract_sparql(&old_store, &task, pattern, &fetch).unwrap();
             let old_triples = parent_triples(&kg, &old.subgraph);
-            let (repaired, _) = repair_extraction(
+            let (repaired, report) = repair_extraction(
                 &new_store,
                 &graph,
                 &task,
@@ -418,6 +433,58 @@ mod tests {
                 &RepairConfig::default(),
             )
             .unwrap();
+            assert_eq!(report.fallback, Some(FallbackReason::ClassShadowed));
+            let fresh = extract_sparql(&new_store, &task, pattern, &fetch).unwrap();
+            assert_identical(&repaired, &fresh);
+        }
+    }
+
+    #[test]
+    fn delta_interned_vertex_shadowing_class_invalidates_old_extraction() {
+        // The regression from the review: the *delta itself* interns a
+        // vertex named after the target class. The old extraction is
+        // non-empty, but a fresh run on the updated KG is empty (the
+        // anchor now binds to the vertex). A splice that only re-evaluates
+        // delta candidates would keep the old triples — repair must fall
+        // back and return the (empty) fresh result bit-identically.
+        let (kg, task) = academic_kg();
+        let delta = KgDelta {
+            base_fingerprint: fingerprint(&kg),
+            ops: vec![DeltaOp::Add {
+                s: "Paper".into(),
+                s_class: "Thing".into(),
+                p: "rel".into(),
+                o: "x".into(),
+                o_class: "Thing".into(),
+            }],
+        };
+        let app = apply_delta(&kg, fingerprint(&kg), MultisetFingerprint::of(&kg), &delta)
+            .unwrap();
+        let new_store = RdfStore::new(&app.kg);
+        let graph = HeteroGraph::build(&app.kg);
+        let fetch = FetchConfig::default();
+        let old_store = RdfStore::new(&kg);
+        for pattern in &GraphPattern::VARIANTS {
+            let old = extract_sparql(&old_store, &task, pattern, &fetch).unwrap();
+            assert!(
+                old.subgraph.kg.num_triples() > 0,
+                "{}: precondition — the old extraction must be non-empty",
+                pattern.label()
+            );
+            let old_triples = parent_triples(&kg, &old.subgraph);
+            let (repaired, report) = repair_extraction(
+                &new_store,
+                &graph,
+                &task,
+                pattern,
+                &old_triples,
+                &app.added,
+                &app.removed,
+                &fetch,
+                &RepairConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(report.fallback, Some(FallbackReason::ClassShadowed));
             let fresh = extract_sparql(&new_store, &task, pattern, &fetch).unwrap();
             assert_identical(&repaired, &fresh);
         }

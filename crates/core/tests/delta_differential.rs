@@ -109,6 +109,18 @@ fn resolve_ops(kg: &KnowledgeGraph, specs: &[OpSpec], fresh: &mut usize) -> Vec<
                     kg.node_term(v).to_string(),
                     kg.class_term(kg.class_of(v)).to_string(),
                 )
+            } else if pick % 2 == 0 {
+                // Sometimes the new vertex's *term* is a class name: the
+                // store resolves query constants vertex-first, so this
+                // shadows the class's anchor mid-stream and repair must
+                // notice (fall back) rather than splice stale triples.
+                // Biased toward "A" — the class obligation (2) repairs —
+                // so streams regularly shadow an extraction that was
+                // non-empty the round before. The term→class mapping is
+                // fixed so a re-mint of the same shadow term in a later
+                // round stays class-consistent.
+                let j = [0, 0, 1, 2][(pick / (n + 1)) % 4];
+                (CLASSES[j].to_string(), CLASSES[(j + 1) % 3].to_string())
             } else {
                 *fresh += 1;
                 (format!("x{fresh}"), CLASSES[pick % 3].to_string())

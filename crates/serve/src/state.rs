@@ -38,6 +38,12 @@ use crate::config::ServeConfig;
 /// unbounded time (in-flight requests may hold it arbitrarily long after
 /// a swap), and [`RdfStore`] borrows it. Updates are operator actions,
 /// not a hot path — one deliberate leak per applied delta, not a drip.
+/// The derived state below is dropped with the epoch's `Arc`, but the
+/// leaked graphs themselves accumulate at O(|KG|) per update with no
+/// cap: the `delta.epochs_leaked` / `delta.leaked_kg_bytes` gauges on
+/// `/metrics` expose the growth, and deployments driving a sustained
+/// update stream should restart on a cadence keyed to those gauges
+/// (see README "Live updates & incremental repair").
 pub struct KgEpoch {
     /// The knowledge graph this epoch serves.
     pub kg: &'static KnowledgeGraph,

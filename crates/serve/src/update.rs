@@ -20,7 +20,10 @@
 //! Everything is counted: `delta.applied`, `delta.ops`,
 //! `delta.migrations`, `delta.invalidations`, `delta.repairs`,
 //! `delta.rebuilds` — visible per-request through the telemetry context
-//! and globally on `/metrics`.
+//! and globally on `/metrics`. The `delta.epochs_leaked` /
+//! `delta.leaked_kg_bytes` gauges track the deliberate per-update KG
+//! leak (see [`KgEpoch`]), which grows without bound under a sustained
+//! update stream.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -129,9 +132,15 @@ pub fn admin_update(state: &ServeState, req: &HttpRequest) -> HttpResponse {
         removed,
         new_nodes,
     } = app;
-    // Each epoch is leaked for the daemon's lifetime — in-flight requests
-    // may hold the old one arbitrarily long after the swap (see KgEpoch).
+    // Each epoch's KG is leaked for the daemon's lifetime — in-flight
+    // requests may hold the old epoch arbitrarily long after the swap (see
+    // KgEpoch). The derived state (store/adjacency/page cache) is dropped
+    // with the old epoch's Arc, but the leaked graphs accumulate at
+    // O(|KG|) per applied delta; `delta.epochs_leaked` /
+    // `delta.leaked_kg_bytes` make that growth visible so operators on a
+    // sustained update stream know when to restart.
     let kg: &'static KnowledgeGraph = Box::leak(Box::new(kg));
+    kgtosa_obs::gauge("delta.leaked_kg_bytes").add(kg.heap_bytes() as i64);
     let fingerprint = kgtosa_kg::fingerprint(kg);
     let epoch = Arc::new(KgEpoch::build(
         kg,
@@ -147,6 +156,9 @@ pub fn admin_update(state: &ServeState, req: &HttpRequest) -> HttpResponse {
     let swapped_after = started.elapsed();
     kgtosa_obs::counter("delta.applied").inc();
     kgtosa_obs::counter("delta.ops").add(num_ops as u64);
+    // version == number of applied deltas == number of KGs leaked beyond
+    // the startup graph.
+    kgtosa_obs::gauge("delta.epochs_leaked").set(epoch.version as i64);
 
     let sweep_started = Instant::now();
     let mut outcome = DeltaSweepOutcome::default();
